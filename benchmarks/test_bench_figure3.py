@@ -1,0 +1,54 @@
+"""Benchmark E1 — Figure 3: queries A1-A5 under all strategies.
+
+Regenerates both panels of Figure 3 (absolute metrics and metrics relative to
+SEQ) and checks the qualitative claims of Section 5.2: parallel plans lower
+the net time, PAR pays in total time, GREEDY recovers the total time on the
+sharing-heavy queries, and the Hive/Pig baselines lose to Gumbo.
+"""
+
+from repro.experiments import averages_by_strategy, run_figure3
+
+from common import bench_environment
+
+
+def test_bench_figure3(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_figure3, kwargs={"environment": bench_environment()}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    averages = averages_by_strategy(result.records, "seq")
+    # Parallel Gumbo strategies reduce the net time versus SEQ on average...
+    assert averages["PAR"]["net_time_pct"] < 100.0
+    assert averages["GREEDY"]["net_time_pct"] < 100.0
+    # ...but naive parallelism costs extra total time, which GREEDY reduces.
+    assert averages["PAR"]["total_time_pct"] > 100.0
+    assert averages["GREEDY"]["total_time_pct"] < averages["PAR"]["total_time_pct"]
+
+    for query_id in ("A1", "A2", "A3", "A5"):
+        par = result.record(query_id, "par")
+        greedy = result.record(query_id, "greedy")
+        assert greedy.total_time <= par.total_time, query_id
+
+    # Hive and Pig lose to Gumbo's parallel strategies on total time.
+    for query_id in ("A1", "A2", "A3"):
+        for baseline in ("hpar", "hpars", "ppar"):
+            assert (
+                result.record(query_id, baseline).total_time
+                > result.record(query_id, "par").total_time
+            ), (query_id, baseline)
+
+    # HPAR's sequential join stages hurt its net time versus HPARS (A1, A2).
+    for query_id in ("A1", "A2"):
+        assert (
+            result.record(query_id, "hpar").net_time
+            > result.record(query_id, "hpars").net_time
+        )
+
+    # 1-ROUND is reported for A3 and dominates every other strategy there.
+    one_round = result.record("A3", "1-round")
+    for strategy in ("seq", "par", "greedy", "hpar", "hpars", "ppar"):
+        assert one_round.net_time <= result.record("A3", strategy).net_time
+        assert one_round.total_time <= result.record("A3", strategy).total_time

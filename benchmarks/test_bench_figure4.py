@@ -1,0 +1,45 @@
+"""Benchmark E2 — Figure 4: the large BSGF queries B1 and B2.
+
+Regenerates the Figure 4 table and checks the paper's claims: B1's deep
+sequential plan makes SEQ slow in net time while PAR explodes the total time
+and GREEDY keeps both low; on B2 the parallel strategies win on both metrics
+and the 1-ROUND plan is the overall best.
+"""
+
+import pytest
+
+from repro.experiments import run_figure4
+
+from common import bench_environment
+
+
+def test_bench_figure4(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"environment": bench_environment()}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    b1_seq = result.record("B1", "seq")
+    b1_par = result.record("B1", "par")
+    b1_greedy = result.record("B1", "greedy")
+    # B1: 17 sequential rounds vs 2 -> a large net-time reduction (paper: 22%).
+    assert b1_seq.rounds > b1_par.rounds
+    assert b1_par.net_time < 0.6 * b1_seq.net_time
+    # PAR inflates the total time; GREEDY pulls it back towards SEQ.
+    assert b1_par.total_time > 1.5 * b1_seq.total_time
+    assert b1_greedy.total_time < b1_par.total_time
+    assert b1_greedy.net_time <= 1.2 * b1_par.net_time
+
+    b2_seq = result.record("B2", "seq")
+    b2_par = result.record("B2", "par")
+    b2_greedy = result.record("B2", "greedy")
+    b2_one_round = result.record("B2", "1-round")
+    # B2: parallel evaluation reduces net AND total time (paper: 44% / 43%).
+    assert b2_par.net_time < b2_seq.net_time
+    assert b2_par.total_time < b2_seq.total_time
+    assert b2_greedy.total_time <= b2_par.total_time
+    # 1-ROUND reduces both metrics by a large margin (paper: >80%).
+    assert b2_one_round.net_time < 0.5 * b2_seq.net_time
+    assert b2_one_round.total_time < 0.5 * b2_seq.total_time

@@ -1,0 +1,37 @@
+"""Benchmark E4 — Figure 5: SGF queries C1-C4 under SEQUNIT / PARUNIT / GREEDY-SGF.
+
+Regenerates the relative-to-SEQUNIT table of Section 5.3 and checks its
+qualitative claims: PARUNIT lowers net times (paper: 55 % lower on average),
+GREEDY-SGF lowers total times below both SEQUNIT and PARUNIT while keeping
+net times well below SEQUNIT.
+"""
+
+from repro.experiments import averages_by_strategy, run_figure5
+
+from common import bench_environment
+
+
+def test_bench_figure5(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_figure5, kwargs={"environment": bench_environment()}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    averages = averages_by_strategy(result.records, "sequnit")
+    # PARUNIT: lowest net times.
+    assert averages["PARUNIT"]["net_time_pct"] < 80.0
+    # GREEDY-SGF: net time below SEQUNIT, total time below both.
+    assert averages["GREEDY-SGF"]["net_time_pct"] < 100.0
+    assert averages["GREEDY-SGF"]["total_time_pct"] < 100.0
+    assert (
+        averages["GREEDY-SGF"]["total_time_pct"]
+        <= averages["PARUNIT"]["total_time_pct"]
+    )
+
+    # Per query, GREEDY-SGF never reads more than SEQUNIT (it groups jobs).
+    for query_id in ("C1", "C2", "C3", "C4"):
+        greedy = result.record(query_id, "greedy-sgf")
+        sequnit = result.record(query_id, "sequnit")
+        assert greedy.input_gb <= sequnit.input_gb + 1e-9

@@ -1,0 +1,100 @@
+"""Benchmarks E5-E7 — Figure 7: data-size, cluster-size and combined scaling.
+
+Regenerates the three panels of Figure 7 for the A3-style query and checks the
+paper's observations: 1-ROUND is best everywhere; PAR's net time deteriorates
+at large data volumes; extra nodes help the parallel strategies; scaling data
+and nodes together keeps net times roughly flat while total time grows.
+"""
+
+from repro.experiments import run_figure7a, run_figure7b, run_figure7c
+
+from common import SWEEP_BENCH_SCALE, bench_environment
+
+
+def test_bench_figure7a_data_size(benchmark, capsys):
+    environment = bench_environment(SWEEP_BENCH_SCALE)
+    result = benchmark.pedantic(
+        run_figure7a, kwargs={"environment": environment}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    labels = ["200M", "400M", "800M", "1600M"]
+    for label in labels:
+        # Observation 1: 1-ROUND is best in both net and total time.
+        one_round = result.record(label, "1-round")
+        for strategy in ("seq", "par", "greedy"):
+            record = result.record(label, strategy)
+            assert one_round.net_time <= record.net_time + 1e-9
+            assert one_round.total_time <= record.total_time + 1e-9
+    # Total time grows with the data for every strategy.
+    for strategy in ("seq", "par", "greedy", "1-round"):
+        totals = [result.record(label, strategy).total_time for label in labels]
+        assert totals == sorted(totals)
+    # At the largest size the grouped strategies still beat SEQ's net time...
+    largest = labels[-1]
+    for strategy in ("greedy", "1-round"):
+        assert (
+            result.record(largest, strategy).net_time
+            < result.record(largest, "seq").net_time
+        )
+    # ...while PAR deteriorates: its lack of grouping needs so many map tasks
+    # that it loses ground against GREEDY as the data grows (observation 2 of
+    # Section 5.4 — in the paper PAR's net time blows up at the right end of
+    # Figure 7a).
+    smallest = labels[0]
+    par_vs_greedy_small = (
+        result.record(smallest, "par").net_time
+        / result.record(smallest, "greedy").net_time
+    )
+    par_vs_greedy_large = (
+        result.record(largest, "par").net_time
+        / result.record(largest, "greedy").net_time
+    )
+    assert par_vs_greedy_large >= par_vs_greedy_small
+
+
+def test_bench_figure7b_cluster_size(benchmark, capsys):
+    environment = bench_environment(SWEEP_BENCH_SCALE)
+    result = benchmark.pedantic(
+        run_figure7b, kwargs={"environment": environment}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    # Observation 3: adding nodes improves the parallel strategies' net time.
+    for strategy in ("par", "greedy", "1-round"):
+        five = result.record("5nodes", strategy).net_time
+        twenty = result.record("20nodes", strategy).net_time
+        assert twenty <= five + 1e-9
+    # SEQ benefits much less from extra nodes than PAR does.
+    seq_gain = (
+        result.record("5nodes", "seq").net_time
+        - result.record("20nodes", "seq").net_time
+    )
+    par_gain = (
+        result.record("5nodes", "par").net_time
+        - result.record("20nodes", "par").net_time
+    )
+    assert par_gain >= seq_gain - 1e-9
+
+
+def test_bench_figure7c_combined_scaling(benchmark, capsys):
+    environment = bench_environment(SWEEP_BENCH_SCALE)
+    result = benchmark.pedantic(
+        run_figure7c, kwargs={"environment": environment}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    # Observation 4: with data and nodes scaled together, net times stay
+    # roughly flat (within a factor 2) while total time keeps growing.
+    labels = ["200M/5", "400M/10", "800M/20"]
+    for strategy in ("par", "greedy", "1-round"):
+        nets = [result.record(label, strategy).net_time for label in labels]
+        totals = [result.record(label, strategy).total_time for label in labels]
+        assert max(nets) <= 2.0 * min(nets)
+        assert totals == sorted(totals)

@@ -1,0 +1,40 @@
+"""Benchmark E8 — Figure 8: varying the number of conditional atoms (2-16).
+
+Regenerates the query-size sweep of Section 5.4 and checks its claims: SEQ's
+net time grows with the number of atoms much faster than the parallel
+strategies'; PAR's total time grows faster than GREEDY's and 1-ROUND's
+because it cannot exploit message packing.
+"""
+
+from repro.experiments import run_figure8
+
+from common import SWEEP_BENCH_SCALE, bench_environment
+
+
+def test_bench_figure8(benchmark, capsys):
+    environment = bench_environment(SWEEP_BENCH_SCALE)
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"environment": environment}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    def growth(strategy, metric):
+        small = getattr(result.record("2atoms", strategy), metric)
+        large = getattr(result.record("16atoms", strategy), metric)
+        return large / small if small else float("inf")
+
+    # SEQ's net time grows (more rounds); the parallel strategies stay flat(ter).
+    assert growth("seq", "net_time") > 1.5
+    assert growth("seq", "net_time") > growth("greedy", "net_time")
+    assert growth("seq", "net_time") > growth("1-round", "net_time")
+    # PAR's total time grows faster than GREEDY's and 1-ROUND's (no packing).
+    assert growth("par", "total_time") > growth("greedy", "total_time")
+    assert growth("par", "total_time") > growth("1-round", "total_time")
+    # At every size, 1-ROUND has the lowest net time.
+    for atoms in (2, 4, 8, 12, 16):
+        label = f"{atoms}atoms"
+        one_round = result.record(label, "1-round")
+        for strategy in ("seq", "par", "greedy"):
+            assert one_round.net_time <= result.record(label, strategy).net_time + 1e-9

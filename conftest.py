@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without an installed package.
+
+The library is normally installed with ``pip install -e .``; this fallback
+keeps the test and benchmark suites runnable in minimal environments (no
+network, no wheel package) where the editable install is unavailable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

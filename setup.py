@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e .`` on environments without the
+``wheel`` package or network access for build isolation) keep working via
+``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of "Parallel Evaluation of Multi-Semi-Joins" (Daenen et al., 2016).
+
+The package implements the Gumbo system described in the paper: the
+multi-semi-join MapReduce operator (MSJ), the EVAL job for Boolean
+combinations, the per-partition MapReduce cost model, the greedy plan
+optimisers ``Greedy-BSGF`` and ``Greedy-SGF``, the SEQ / PAR / GREEDY /
+1-ROUND evaluation strategies, and simulated Pig/Hive baselines — all on top
+of an in-process MapReduce simulator standing in for the paper's Hadoop
+cluster.
+
+Quick start
+-----------
+>>> from repro import Database, Gumbo
+>>> db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)], "T": [(4,)]})
+>>> result = Gumbo().execute(
+...     "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR T(y);", db
+... )
+>>> sorted(result.output().tuples())
+[(1, 2), (3, 4)]
+"""
+
+from .core.dynamic import DynamicSGFExecutor
+from .core.gumbo import Gumbo, GumboResult
+from .core.msj import MSJJob, multi_semi_join
+from .core.options import GumboOptions
+from .core.skew import SkewAwareMSJJob, detect_heavy_hitters
+from .cost.constants import CostConstants, HadoopSettings
+from .cost.models import GumboCostModel, WangCostModel
+from .io import load_database, load_relation, save_database, save_relation
+from .mapreduce.cluster import ClusterConfig
+from .mapreduce.engine import MapReduceEngine
+from .model.atoms import Atom, Fact
+from .model.database import Database
+from .model.relation import Relation
+from .model.terms import Constant, Variable
+from .query.bsgf import BSGFQuery
+from .query.parser import parse_bsgf, parse_sgf
+from .query.reference import evaluate_bsgf, evaluate_sgf
+from .query.sgf import SGFQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BSGFQuery",
+    "ClusterConfig",
+    "Constant",
+    "CostConstants",
+    "Database",
+    "DynamicSGFExecutor",
+    "Fact",
+    "Gumbo",
+    "GumboCostModel",
+    "GumboOptions",
+    "GumboResult",
+    "HadoopSettings",
+    "MSJJob",
+    "MapReduceEngine",
+    "Relation",
+    "SGFQuery",
+    "SkewAwareMSJJob",
+    "Variable",
+    "WangCostModel",
+    "__version__",
+    "detect_heavy_hitters",
+    "evaluate_bsgf",
+    "evaluate_sgf",
+    "load_database",
+    "load_relation",
+    "multi_semi_join",
+    "parse_bsgf",
+    "parse_sgf",
+    "save_database",
+    "save_relation",
+]

@@ -1,0 +1,31 @@
+"""Simulated Pig / Hive comparators of Section 5.2 (HPAR, HPARS, PPAR)."""
+
+from .jobs import BaselineCombineJob, BaselineSemiJoinJob, HiveOuterJoinJob
+from .plans import (
+    BASELINE_STRATEGIES,
+    HIVE_INPUT_MB_PER_REDUCER,
+    HPAR,
+    HPARS,
+    PPAR,
+    build_baseline_program,
+    build_hpar_program,
+    build_hpars_program,
+    build_ppar_program,
+    reducer_mb_for,
+)
+
+__all__ = [
+    "BASELINE_STRATEGIES",
+    "BaselineCombineJob",
+    "BaselineSemiJoinJob",
+    "HIVE_INPUT_MB_PER_REDUCER",
+    "HPAR",
+    "HPARS",
+    "HiveOuterJoinJob",
+    "PPAR",
+    "build_baseline_program",
+    "build_hpar_program",
+    "build_hpars_program",
+    "build_ppar_program",
+    "reducer_mb_for",
+]

@@ -1,0 +1,262 @@
+"""Command-line interface: run queries, inspect plans, reproduce experiments.
+
+Four subcommands are provided (``python -m repro <command> --help``):
+
+``query``
+    Evaluate an SGF query (from a string or a file) over CSV data (a directory
+    with one file per relation) under a chosen strategy, print the metrics and
+    optionally write the output relations back to CSV.
+
+``plan``
+    Show the MapReduce plan (jobs, rounds, partition of the semi-joins) that a
+    strategy would produce for a query, without executing it.
+
+``generate``
+    Generate the synthetic workload of one of the paper's experiment queries
+    (A1–A5, B1–B2, C1–C4) as CSV files, for use with ``query``.
+
+``experiment``
+    Run one of the paper's experiments (figure3, figure4, figure5, figure7a,
+    figure7b, figure7c, figure8, table3, costmodel, ablation, or ``all``) and
+    print the same tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core.gumbo import Gumbo
+from .core.options import GumboOptions
+from .experiments import (
+    format_table3,
+    run_ablation,
+    run_cost_model_experiment,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure7a,
+    run_figure7b,
+    run_figure7c,
+    run_figure8,
+    run_table3,
+)
+from .io import load_database, save_database
+from .query.parser import parse_sgf
+from .workloads.queries import bsgf_query_set, database_for, sgf_query
+from .workloads.scaling import ScaledEnvironment
+
+#: Experiment name → driver returning an object with a ``format()`` method.
+_EXPERIMENTS: Dict[str, Callable] = {
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure7a": run_figure7a,
+    "figure7b": run_figure7b,
+    "figure7c": run_figure7c,
+    "figure8": run_figure8,
+    "costmodel": run_cost_model_experiment,
+    "ablation": run_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gumbo: parallel evaluation of multi-semi-joins (paper reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="evaluate an SGF query over CSV data")
+    _add_query_arguments(query)
+    query.add_argument(
+        "--output-dir", help="write the query's output relations to this directory"
+    )
+    query.add_argument(
+        "--show-plan", action="store_true", help="also print the chosen MR plan"
+    )
+
+    plan = subparsers.add_parser("plan", help="show the MR plan without executing it")
+    _add_query_arguments(plan)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a paper workload as CSV files"
+    )
+    generate.add_argument("query_id", help="A1-A5, B1-B2 or C1-C4")
+    generate.add_argument("output_dir", help="directory to write the CSV files to")
+    generate.add_argument("--guard-tuples", type=int, default=10_000)
+    generate.add_argument("--selectivity", type=float, default=0.5)
+    generate.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="reproduce one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name", choices=sorted(_EXPERIMENTS) + ["table3", "all"],
+        help="which experiment to run",
+    )
+    experiment.add_argument(
+        "--scale", type=float, default=5e-6,
+        help="workload scale relative to the paper's 100M tuples (default 5e-6)",
+    )
+    experiment.add_argument("--nodes", type=int, default=10, help="cluster size")
+    return parser
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--query", help="the SGF query text")
+    source.add_argument("--query-file", help="file containing the SGF query")
+    parser.add_argument(
+        "--data", required=True,
+        help="directory with one CSV/TSV file per relation",
+    )
+    parser.add_argument(
+        "--strategy", default="greedy",
+        help="seq, par, greedy, 1-round, sequnit, parunit, greedy-sgf (default greedy)",
+    )
+    parser.add_argument(
+        "--cost-model", default="gumbo", choices=["gumbo", "wang"],
+        help="cost model driving plan choice (default gumbo)",
+    )
+    parser.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    parser.add_argument(
+        "--no-packing", action="store_true", help="disable message packing"
+    )
+    parser.add_argument(
+        "--no-tuple-reference", action="store_true", help="disable tuple references"
+    )
+
+
+def _read_query_text(args: argparse.Namespace) -> str:
+    if args.query:
+        return args.query
+    with open(args.query_file) as handle:
+        return handle.read()
+
+
+def _gumbo_for(args: argparse.Namespace) -> Gumbo:
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    options = GumboOptions(
+        message_packing=not args.no_packing,
+        tuple_reference=not args.no_tuple_reference,
+    )
+    return Gumbo(
+        engine=environment.engine(),
+        cost_model=args.cost_model,
+        options=options,
+    )
+
+
+def _describe_program(program) -> str:
+    lines = [f"MR program {program.name!r}: {len(program)} jobs, {program.rounds()} rounds"]
+    for level_index, level in enumerate(program.levels()):
+        for job in level:
+            inputs = ", ".join(job.input_relations())
+            outputs = ", ".join(job.output_schema())
+            lines.append(
+                f"  round {level_index}: {type(job).__name__}[{job.job_id}] "
+                f"reads({inputs}) writes({outputs})"
+            )
+    return "\n".join(lines)
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    database = load_database(args.data)
+    query = parse_sgf(_read_query_text(args))
+    gumbo = _gumbo_for(args)
+    if args.show_plan:
+        program = gumbo.plan(query, database, args.strategy)
+        print(_describe_program(program))
+        print()
+    result = gumbo.execute(query, database, args.strategy)
+    print(f"strategy: {result.strategy}")
+    for key, value in result.summary().items():
+        print(f"{key}: {value:.3f}")
+    for name in sorted(result.outputs):
+        relation = result.outputs[name]
+        print(f"{name}: {len(relation)} tuples")
+        for row in relation.sorted_tuples()[:20]:
+            print("   ", row)
+        if len(relation) > 20:
+            print(f"    ... ({len(relation) - 20} more)")
+    if args.output_dir:
+        written = save_database_like(result.outputs, args.output_dir)
+        print("wrote:", ", ".join(written))
+    return 0
+
+
+def save_database_like(relations: Dict[str, object], directory: str) -> List[str]:
+    """Persist a name→relation mapping as CSV files (helper for the CLI)."""
+    from .model.database import Database
+
+    database = Database()
+    for relation in relations.values():
+        database.add_relation(relation)
+    return save_database(database, directory)
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    database = load_database(args.data)
+    query = parse_sgf(_read_query_text(args))
+    gumbo = _gumbo_for(args)
+    program = gumbo.plan(query, database, args.strategy)
+    print(_describe_program(program))
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    query_id = args.query_id.upper()
+    if query_id.startswith("C"):
+        queries = sgf_query(query_id)
+    else:
+        queries = bsgf_query_set(query_id)
+    database = database_for(
+        queries,
+        guard_tuples=args.guard_tuples,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    paths = save_database(database, args.output_dir)
+    print(f"generated {len(paths)} relations for {query_id} in {args.output_dir}:")
+    for path in paths:
+        print("   ", path)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    environment = ScaledEnvironment(scale=args.scale, nodes=args.nodes)
+    names: Sequence[str]
+    if args.name == "all":
+        names = sorted(_EXPERIMENTS) + ["table3"]
+    else:
+        names = [args.name]
+    for name in names:
+        if name == "table3":
+            result = run_table3(environment)
+            print(result.format())
+            print(format_table3(result))
+            continue
+        driver = _EXPERIMENTS[name]
+        result = driver(environment)
+        print(result.format())
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "query": _command_query,
+        "plan": _command_plan,
+        "generate": _command_generate,
+        "experiment": _command_experiment,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

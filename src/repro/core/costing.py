@@ -1,0 +1,368 @@
+"""Planner-side cost estimation for MSJ / EVAL / fused jobs.
+
+The grouping decisions of ``Greedy-BSGF`` (Section 4.4) and the ordering
+decisions of ``Greedy-SGF`` (Section 4.6) are driven by *estimated* job costs:
+Equation (5) for a grouped ``MSJ(S)`` job, Equation (6) for evaluating each
+semi-join in its own job, and Equation (7) for the EVAL job.  This module
+computes those estimates from a :class:`~repro.cost.estimates.StatisticsCatalog`
+and a :class:`~repro.cost.models.CostModel` (Gumbo or Wang — experiment E3
+compares the plans each model produces).
+
+The estimates mirror what the execution engine will actually measure:
+
+* every input relation of a job is one uniform map partition, whose
+  intermediate size is derived from the number of conforming facts and the
+  per-message sizes of :mod:`repro.core.messages`;
+* message packing is modelled by grouping messages that provably share a key
+  (same relation and same join-key column signature) so that the key is
+  charged once per group;
+* output sizes use the paper's upper bound (all conforming guard tuples
+  survive), stored as 8-byte tuple references when optimisation (2) is on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cost.constants import GUMBO_MB_PER_REDUCER, PIG_INPUT_MB_PER_REDUCER
+from ..cost.estimates import StatisticsCatalog
+from ..cost.formulas import MapPartition
+from ..cost.models import CostModel, GumboCostModel, JobProfile
+from ..model.atoms import Atom
+from ..query.bsgf import BSGFQuery, SemiJoinSpec
+from .eval_job import EvalTarget
+from .messages import FIELD_BYTES, TAG_BYTES, TUPLE_REFERENCE_BYTES
+from .options import GumboOptions
+
+_MB = 1024.0 * 1024.0
+
+
+def _key_bytes(key_length: int) -> int:
+    return max(1, key_length) * FIELD_BYTES
+
+
+def _key_signature(atom: Atom, join_key: Sequence) -> Tuple[int, ...]:
+    """Column positions of the join-key variables within *atom*.
+
+    Two messages emitted by the same fact share their key value whenever the
+    join keys project the same columns of that fact, which is exactly what
+    this signature captures (for atoms without constants or repeated
+    variables, which covers the experiment workloads).
+    """
+    positions = []
+    for variable in join_key:
+        occurrences = atom.positions_of(variable)
+        positions.append(occurrences[0] if occurrences else -1)
+    return tuple(positions)
+
+
+@dataclass(frozen=True)
+class JobEstimate:
+    """Estimated profile and cost of one MR job."""
+
+    profile: JobProfile
+    cost: float
+
+    @property
+    def intermediate_mb(self) -> float:
+        return self.profile.intermediate_mb
+
+    @property
+    def input_mb(self) -> float:
+        return self.profile.input_mb
+
+
+class PlanCostEstimator:
+    """Estimates the cost of Gumbo's job types for the plan optimizers."""
+
+    def __init__(
+        self,
+        catalog: StatisticsCatalog,
+        cost_model: Optional[CostModel] = None,
+        options: Optional[GumboOptions] = None,
+        split_mb: float = 128.0,
+        mb_per_reducer: float = GUMBO_MB_PER_REDUCER,
+        mb_per_reducer_input: float = PIG_INPUT_MB_PER_REDUCER,
+        use_selectivity_for_outputs: bool = False,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model or GumboCostModel()
+        self.options = options or GumboOptions()
+        self.split_mb = split_mb
+        self.mb_per_reducer = mb_per_reducer
+        self.mb_per_reducer_input = mb_per_reducer_input
+        #: When true, output-size estimates apply the sampled semi-join
+        #: selectivity instead of the paper's upper bound (all guard facts
+        #: survive).  The upper bound is the default, matching Section 4.1.
+        self.use_selectivity_for_outputs = use_selectivity_for_outputs
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _mappers_for(self, input_mb: float) -> int:
+        return max(1, math.ceil(input_mb / self.split_mb))
+
+    def _reducers_for(self, input_mb: float, intermediate_mb: float) -> int:
+        if self.options.reducers_by_intermediate:
+            basis, per = intermediate_mb, self.mb_per_reducer
+        else:
+            basis, per = input_mb, self.mb_per_reducer_input
+        return max(1, math.ceil(basis / per)) if per > 0 else 1
+
+    def _request_payload_bytes(self, spec: SemiJoinSpec) -> int:
+        if self.options.tuple_reference:
+            return TUPLE_REFERENCE_BYTES
+        return max(1, spec.guard.arity) * FIELD_BYTES
+
+    def semijoin_output_mb(self, spec: SemiJoinSpec) -> float:
+        """Estimate of |X_i| (upper bound, or selectivity-scaled when enabled)."""
+        count = self.catalog.atom_count(spec.guard)
+        per_tuple = (
+            TUPLE_REFERENCE_BYTES
+            if self.options.tuple_reference
+            else max(1, len(spec.projection)) * FIELD_BYTES
+        )
+        size = count * per_tuple / _MB
+        if self.use_selectivity_for_outputs:
+            size *= self.catalog.semijoin_selectivity(spec.guard, spec.conditional)
+        return size
+
+    def bsgf_output_mb(self, query: BSGFQuery) -> float:
+        """Estimate of the final output size |Z| of a BSGF query."""
+        count = self.catalog.atom_count(query.guard)
+        per_tuple = max(1, len(query.projection)) * FIELD_BYTES
+        size = count * per_tuple / _MB
+        if self.use_selectivity_for_outputs and query.conditional_atoms:
+            # Conservatively use the most selective conjunct-style bound: the
+            # minimum single-atom selectivity.
+            selectivities = [
+                self.catalog.semijoin_selectivity(query.guard, atom)
+                for atom in query.conditional_atoms
+            ]
+            size *= min(selectivities) if selectivities else 1.0
+        return size
+
+    # -- MSJ jobs (Equation (5)) ---------------------------------------------------
+
+    def msj_partitions(self, specs: Sequence[SemiJoinSpec]) -> List[MapPartition]:
+        """Estimated map partitions of the MSJ job evaluating *specs* together."""
+        packing = self.options.message_packing
+
+        # Guard-role contributions, grouped per relation.
+        guard_bytes: Dict[str, float] = defaultdict(float)
+        guard_records: Dict[str, float] = defaultdict(float)
+        by_guard_atom: Dict[Atom, List[SemiJoinSpec]] = defaultdict(list)
+        for spec in specs:
+            by_guard_atom[spec.guard].append(spec)
+        for guard, guard_specs in by_guard_atom.items():
+            count = self.catalog.atom_count(guard)
+            groups: Dict[Tuple[int, ...], List[SemiJoinSpec]] = defaultdict(list)
+            for spec in guard_specs:
+                groups[_key_signature(guard, spec.join_key)].append(spec)
+            per_tuple_bytes = 0.0
+            per_tuple_records = 0
+            for signature, members in groups.items():
+                request_bytes = sum(
+                    TAG_BYTES + self._request_payload_bytes(spec) for spec in members
+                )
+                if packing:
+                    per_tuple_bytes += _key_bytes(len(signature)) + request_bytes
+                    per_tuple_records += 1
+                else:
+                    per_tuple_bytes += sum(
+                        _key_bytes(len(signature)) + TAG_BYTES + self._request_payload_bytes(spec)
+                        for spec in members
+                    )
+                    per_tuple_records += len(members)
+            guard_bytes[guard.relation] += count * per_tuple_bytes
+            guard_records[guard.relation] += count * per_tuple_records
+
+        # Conditional-role contributions: one assert per distinct (atom, key) tag.
+        cond_bytes: Dict[str, float] = defaultdict(float)
+        cond_records: Dict[str, float] = defaultdict(float)
+        tags: Dict[Tuple[Atom, Tuple[int, ...]], None] = {}
+        for spec in specs:
+            signature = _key_signature(spec.conditional, spec.join_key)
+            tags[(spec.conditional, signature)] = None
+        by_relation_signature: Dict[Tuple[str, Tuple[int, ...]], List[Atom]] = defaultdict(list)
+        for (atom, signature) in tags:
+            by_relation_signature[(atom.relation, signature)].append(atom)
+        for (relation, signature), atoms in by_relation_signature.items():
+            # Atoms over the same relation with the same key signature share key
+            # values fact-by-fact, so packing merges their asserts.
+            counts = [self.catalog.atom_count(atom) for atom in atoms]
+            representative = max(counts) if counts else 0.0
+            if packing:
+                per_tuple_bytes = _key_bytes(len(signature)) + TAG_BYTES * len(atoms)
+                per_tuple_records = 1
+            else:
+                per_tuple_bytes = (_key_bytes(len(signature)) + TAG_BYTES) * len(atoms)
+                per_tuple_records = len(atoms)
+            cond_bytes[relation] += representative * per_tuple_bytes
+            cond_records[relation] += representative * per_tuple_records
+
+        # One partition per distinct input relation (read once).
+        relations: List[str] = []
+        for spec in specs:
+            for name in (spec.guard.relation, spec.conditional.relation):
+                if name not in relations:
+                    relations.append(name)
+        partitions: List[MapPartition] = []
+        for name in relations:
+            stats = self.catalog.relation_stats(name)
+            input_mb = stats.size_mb if stats else 0.0
+            intermediate_mb = (guard_bytes[name] + cond_bytes[name]) / _MB
+            records = int(round(guard_records[name] + cond_records[name]))
+            partitions.append(
+                MapPartition(
+                    input_mb=input_mb,
+                    intermediate_mb=intermediate_mb,
+                    records=records,
+                    mappers=self._mappers_for(input_mb),
+                    label=name,
+                )
+            )
+        return partitions
+
+    def msj_estimate(self, specs: Sequence[SemiJoinSpec]) -> JobEstimate:
+        """Equation (5): estimated cost of evaluating *specs* in one MSJ job."""
+        partitions = self.msj_partitions(specs)
+        output_mb = sum(self.semijoin_output_mb(spec) for spec in specs)
+        input_mb = sum(p.input_mb for p in partitions)
+        intermediate_mb = sum(p.intermediate_mb for p in partitions)
+        reducers = self._reducers_for(input_mb, intermediate_mb)
+        profile = JobProfile(partitions, output_mb, reducers, label="MSJ")
+        return JobEstimate(profile, self.cost_model.job_cost(profile))
+
+    def msj_cost(self, specs: Sequence[SemiJoinSpec]) -> float:
+        return self.msj_estimate(specs).cost
+
+    def separate_cost(self, specs: Sequence[SemiJoinSpec]) -> float:
+        """Equation (6): each semi-join evaluated in its own MR job."""
+        return sum(self.msj_cost([spec]) for spec in specs)
+
+    def gain(
+        self, group_a: Sequence[SemiJoinSpec], group_b: Sequence[SemiJoinSpec]
+    ) -> float:
+        """``gain(S_i, S_j) = cost(S_i) + cost(S_j) - cost(S_i ∪ S_j)``."""
+        return (
+            self.msj_cost(group_a)
+            + self.msj_cost(group_b)
+            - self.msj_cost(list(group_a) + list(group_b))
+        )
+
+    # -- EVAL jobs (Equation (7)) -------------------------------------------------------
+
+    def eval_estimate(self, targets: Sequence[EvalTarget]) -> JobEstimate:
+        """Estimated cost of the EVAL job combining the given targets."""
+        partitions: List[MapPartition] = []
+        seen_guards: Dict[str, float] = {}
+        output_mb = 0.0
+        for target in targets:
+            query = target.query
+            guard_stats = self.catalog.relation_stats(query.guard.relation)
+            guard_mb = guard_stats.size_mb if guard_stats else 0.0
+            guard_count = self.catalog.atom_count(query.guard)
+            if query.guard.relation not in seen_guards:
+                key_value_bytes = (
+                    TAG_BYTES
+                    + (
+                        TUPLE_REFERENCE_BYTES
+                        if self.options.tuple_reference
+                        else query.guard.arity * FIELD_BYTES
+                    )
+                    + TAG_BYTES
+                )
+                partitions.append(
+                    MapPartition(
+                        input_mb=guard_mb,
+                        intermediate_mb=guard_count * key_value_bytes / _MB,
+                        records=int(guard_count),
+                        mappers=self._mappers_for(guard_mb),
+                        label=query.guard.relation,
+                    )
+                )
+                seen_guards[query.guard.relation] = guard_mb
+            for spec, name in zip(query.semijoin_specs(), target.intermediates):
+                size_mb = self.semijoin_output_mb(spec)
+                count = self.catalog.atom_count(spec.guard)
+                key_value_bytes = (
+                    TAG_BYTES
+                    + (
+                        TUPLE_REFERENCE_BYTES
+                        if self.options.tuple_reference
+                        else spec.guard.arity * FIELD_BYTES
+                    )
+                    + TAG_BYTES
+                )
+                partitions.append(
+                    MapPartition(
+                        input_mb=size_mb,
+                        intermediate_mb=count * key_value_bytes / _MB,
+                        records=int(count),
+                        mappers=self._mappers_for(size_mb),
+                        label=name,
+                    )
+                )
+            output_mb += self.bsgf_output_mb(query)
+        input_mb = sum(p.input_mb for p in partitions)
+        intermediate_mb = sum(p.intermediate_mb for p in partitions)
+        reducers = self._reducers_for(input_mb, intermediate_mb)
+        profile = JobProfile(partitions, output_mb, reducers, label="EVAL")
+        return JobEstimate(profile, self.cost_model.job_cost(profile))
+
+    def eval_cost(self, targets: Sequence[EvalTarget]) -> float:
+        return self.eval_estimate(targets).cost
+
+    def eval_cost_for_queries(self, queries: Sequence[BSGFQuery]) -> float:
+        """EVAL cost when every query's semi-joins get default intermediate names."""
+        targets = [
+            EvalTarget(
+                query,
+                tuple(spec.output for spec in query.semijoin_specs()),
+            )
+            for query in queries
+        ]
+        return self.eval_cost(targets)
+
+    # -- fused 1-ROUND jobs ----------------------------------------------------------------
+
+    def one_round_estimate(self, queries: Sequence[BSGFQuery]) -> JobEstimate:
+        """Estimated cost of the fused MSJ+EVAL job for shared-key queries."""
+        all_specs: List[SemiJoinSpec] = []
+        for query in queries:
+            all_specs.extend(query.semijoin_specs())
+        partitions = self.msj_partitions(all_specs) if all_specs else []
+        if not all_specs:
+            for query in queries:
+                stats = self.catalog.relation_stats(query.guard.relation)
+                input_mb = stats.size_mb if stats else 0.0
+                partitions.append(
+                    MapPartition(
+                        input_mb=input_mb,
+                        intermediate_mb=input_mb,
+                        records=int(self.catalog.atom_count(query.guard)),
+                        mappers=self._mappers_for(input_mb),
+                        label=query.guard.relation,
+                    )
+                )
+        output_mb = sum(self.bsgf_output_mb(query) for query in queries)
+        input_mb = sum(p.input_mb for p in partitions)
+        intermediate_mb = sum(p.intermediate_mb for p in partitions)
+        reducers = self._reducers_for(input_mb, intermediate_mb)
+        profile = JobProfile(partitions, output_mb, reducers, label="1-ROUND")
+        return JobEstimate(profile, self.cost_model.job_cost(profile))
+
+    # -- whole basic MR programs (Equation (9)) -----------------------------------------------
+
+    def basic_program_cost(
+        self,
+        queries: Sequence[BSGFQuery],
+        groups: Sequence[Sequence[SemiJoinSpec]],
+    ) -> float:
+        """Equation (9): EVAL cost plus the cost of every MSJ group."""
+        return self.eval_cost_for_queries(queries) + sum(
+            self.msj_cost(group) for group in groups
+        )

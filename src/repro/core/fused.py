@@ -1,0 +1,166 @@
+"""The fused 1-ROUND job: MSJ and EVAL combined into a single MapReduce job.
+
+Section 5.1, optimisation (4): when all conditional atoms of a BSGF query
+share the same join key with the guard, the semi-join evaluation and the
+Boolean combination can be performed by one job — every guard fact and every
+relevant conditional fact meet at the reducer responsible for the shared key,
+so the reducer can evaluate the full condition and emit the output directly.
+The same fusion applies to several BSGF queries at once (each query keeps its
+own key space via a target index in the key).
+
+Queries A3 and B2 of the paper's experiments are evaluated this way by the
+1-ROUND strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mapreduce.job import (
+    Key,
+    MapReduceJob,
+    OutputFact,
+    REDUCERS_BY_INPUT,
+    REDUCERS_BY_INTERMEDIATE,
+)
+from ..model.atoms import Atom
+from ..model.terms import Variable
+from ..query.bsgf import BSGFQuery
+from .messages import AssertMessage, RequestMessage, pack_messages, unpack_messages
+from .options import GumboOptions
+
+
+class OneRoundNotApplicableError(ValueError):
+    """Raised when a query does not satisfy the shared-join-key requirement."""
+
+
+def one_round_applicable(query: BSGFQuery) -> bool:
+    """True when the query can be evaluated by the fused 1-ROUND job.
+
+    The requirement implemented here is the shared-join-key condition of
+    Section 5.1 (all conditional atoms agree on the join key with the guard).
+    Queries without any conditional atom are trivially applicable.
+    """
+    return query.shares_join_key()
+
+
+class FusedOneRoundJob(MapReduceJob):
+    """A single job evaluating one or more shared-key BSGF queries end to end."""
+
+    def __init__(
+        self,
+        job_id: str,
+        queries: Sequence[BSGFQuery],
+        options: Optional[GumboOptions] = None,
+    ) -> None:
+        super().__init__(job_id)
+        queries = list(queries)
+        if not queries:
+            raise ValueError("the fused job needs at least one query")
+        for query in queries:
+            if not one_round_applicable(query):
+                raise OneRoundNotApplicableError(
+                    f"query {query.output!r} has conditional atoms with "
+                    f"different join keys; 1-ROUND evaluation is not applicable"
+                )
+        outputs = [q.output for q in queries]
+        if len(set(outputs)) != len(outputs):
+            raise ValueError("query outputs must be pairwise distinct")
+        self.queries: List[BSGFQuery] = queries
+        self.options = options or GumboOptions()
+        self.reducer_allocation = (
+            REDUCERS_BY_INTERMEDIATE
+            if self.options.reducers_by_intermediate
+            else REDUCERS_BY_INPUT
+        )
+        # Per query: the shared join key (guard-variable order) and, per
+        # conditional atom, its global assert tag.
+        self._join_keys: List[Tuple[Variable, ...]] = []
+        self._atom_tags: List[Dict[Atom, int]] = []
+        self._tags: List[Tuple[int, Atom, Tuple[Variable, ...]]] = []
+        for q_index, query in enumerate(queries):
+            specs = query.semijoin_specs()
+            join_key = specs[0].join_key if specs else ()
+            self._join_keys.append(join_key)
+            tags: Dict[Atom, int] = {}
+            for atom in query.conditional_atoms:
+                tag = len(self._tags)
+                tags[atom] = tag
+                self._tags.append((q_index, atom, join_key))
+            self._atom_tags.append(tags)
+
+    # -- schema -------------------------------------------------------------------
+
+    def input_relations(self) -> Sequence[str]:
+        seen: List[str] = []
+        for query in self.queries:
+            if query.guard.relation not in seen:
+                seen.append(query.guard.relation)
+            for atom in query.conditional_atoms:
+                if atom.relation not in seen:
+                    seen.append(atom.relation)
+        return seen
+
+    def output_schema(self) -> Dict[str, int]:
+        return {
+            query.output: max(1, len(query.projection)) for query in self.queries
+        }
+
+    # -- map / combine / reduce -------------------------------------------------------
+
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+        pairs: List[Tuple[Key, object]] = []
+        for q_index, query in enumerate(self.queries):
+            if query.guard.relation == relation:
+                binding = query.guard.match(row)
+                if binding is not None:
+                    key_values = tuple(
+                        binding[v] for v in self._join_keys[q_index]
+                    )
+                    pairs.append(
+                        (
+                            (q_index,) + key_values,
+                            RequestMessage(
+                                index=q_index,
+                                payload=tuple(row),
+                                by_reference=self.options.tuple_reference,
+                            ),
+                        )
+                    )
+        for tag, (q_index, atom, join_key) in enumerate(self._tags):
+            if atom.relation != relation:
+                continue
+            binding = atom.match(row)
+            if binding is None:
+                continue
+            key_values = tuple(binding[v] for v in join_key)
+            pairs.append(((q_index,) + key_values, AssertMessage(tag)))
+        return pairs
+
+    def uses_combiner(self) -> bool:
+        return self.options.message_packing
+
+    def combine(self, key: Key, values: List[object]) -> List[object]:
+        return pack_messages(values)
+
+    def reduce(self, key: Key, values: List[object]) -> Iterable[OutputFact]:
+        messages = list(unpack_messages(values))
+        asserted = {m.tag for m in messages if isinstance(m, AssertMessage)}
+        for message in messages:
+            if not isinstance(message, RequestMessage):
+                continue
+            q_index = message.index
+            query = self.queries[q_index]
+            tags = self._atom_tags[q_index]
+            holds = query.condition.evaluate(lambda atom: tags[atom] in asserted)
+            if not holds:
+                continue
+            binding = query.guard.match(message.payload)
+            if binding is None:  # pragma: no cover - defensive
+                continue
+            projected = tuple(binding[v] for v in query.projection)
+            yield (query.output, projected if projected else (message.payload[0],))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(q.output for q in self.queries)
+        return f"FusedOneRoundJob({self.job_id!r}: {inner})"

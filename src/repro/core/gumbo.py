@@ -1,0 +1,211 @@
+"""The Gumbo facade: plan and execute SGF queries end to end.
+
+:class:`Gumbo` is the public entry point of the library, playing the role of
+the paper's Gumbo system (Section 5.1): it takes a query (text in the paper's
+SQL-like syntax, or query objects), collects statistics over the database,
+chooses a plan according to the requested strategy and cost model, runs the
+resulting MR program on the simulated Hadoop engine, and returns the output
+relations together with the four performance metrics.
+
+Example
+-------
+>>> from repro import Gumbo, Database
+>>> db = Database.from_dict({
+...     "R": [(1, 2), (3, 4)],
+...     "S": [(1,)],
+...     "T": [(4,)],
+... })
+>>> gumbo = Gumbo()
+>>> result = gumbo.execute(
+...     "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR T(y);", db
+... )
+>>> sorted(result.output().tuples())
+[(1, 2), (3, 4)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..cost.estimates import StatisticsCatalog
+from ..cost.models import CostModel, make_cost_model
+from ..mapreduce.counters import ProgramMetrics
+from ..mapreduce.engine import MapReduceEngine, ProgramResult
+from ..mapreduce.program import MRProgram
+from ..model.database import Database
+from ..model.relation import Relation
+from ..query.bsgf import BSGFQuery
+from ..query.parser import parse_sgf
+from ..query.sgf import SGFQuery
+from .costing import PlanCostEstimator
+from .options import GumboOptions
+from .strategies import (
+    BSGF_STRATEGIES,
+    GREEDY,
+    GREEDY_SGF,
+    PAR,
+    PARUNIT,
+    SEQ,
+    SEQUNIT,
+    SGF_STRATEGIES,
+    build_bsgf_program,
+    build_sgf_program,
+)
+
+#: Anything Gumbo accepts as a query.
+QueryLike = Union[str, BSGFQuery, SGFQuery, Sequence[BSGFQuery]]
+
+#: Mapping applied when a BSGF strategy name is used for a nested SGF query.
+_SGF_EQUIVALENT = {SEQ: SEQUNIT, PAR: PARUNIT, GREEDY: GREEDY_SGF}
+
+
+@dataclass
+class GumboResult:
+    """Outcome of one Gumbo execution."""
+
+    query: SGFQuery
+    strategy: str
+    program: MRProgram
+    outputs: Dict[str, Relation]
+    all_outputs: Dict[str, Relation]
+    metrics: ProgramMetrics
+
+    def output(self, name: Optional[str] = None) -> Relation:
+        """The output relation called *name* (default: the query's final output)."""
+        return self.all_outputs[name or self.query.output]
+
+    def summary(self) -> Dict[str, float]:
+        return self.metrics.summary()
+
+
+class Gumbo:
+    """Planner + executor for (B)SGF queries on the simulated MapReduce engine.
+
+    Parameters
+    ----------
+    engine:
+        The MapReduce engine to run plans on; a default engine over the
+        paper's 10-node cluster is created when omitted.
+    cost_model:
+        ``"gumbo"`` (per-partition, Equation (2)) or ``"wang"`` (aggregate,
+        Equation (3)), or a :class:`~repro.cost.models.CostModel` instance.
+        This is the model driving *plan choice*; measured times always come
+        from the engine.
+    options:
+        The Gumbo optimisation switches (packing, tuple references, ...).
+    sample_size:
+        Tuples sampled per relation when collecting statistics.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[MapReduceEngine] = None,
+        cost_model: Union[str, CostModel] = "gumbo",
+        options: Optional[GumboOptions] = None,
+        sample_size: int = 1000,
+    ) -> None:
+        self.engine = engine or MapReduceEngine()
+        if isinstance(cost_model, CostModel):
+            self.cost_model = cost_model
+        else:
+            self.cost_model = make_cost_model(cost_model, self.engine.constants)
+        self.options = options or GumboOptions()
+        self.sample_size = sample_size
+
+    # -- query normalisation -----------------------------------------------------
+
+    @staticmethod
+    def as_sgf(query: QueryLike) -> SGFQuery:
+        """Normalise any accepted query form into an :class:`SGFQuery`."""
+        if isinstance(query, str):
+            return parse_sgf(query)
+        if isinstance(query, SGFQuery):
+            return query
+        if isinstance(query, BSGFQuery):
+            return SGFQuery((query,))
+        return SGFQuery(tuple(query))
+
+    def estimator(
+        self, database: Database, cost_model: Optional[CostModel] = None
+    ) -> PlanCostEstimator:
+        """A cost estimator over fresh statistics of *database*."""
+        catalog = StatisticsCatalog(database, sample_size=self.sample_size)
+        return PlanCostEstimator(
+            catalog,
+            cost_model or self.cost_model,
+            self.options,
+            split_mb=self.engine.cluster.split_mb,
+            mb_per_reducer=self.engine.mb_per_reducer_intermediate,
+            mb_per_reducer_input=self.engine.mb_per_reducer_input,
+        )
+
+    # -- planning ----------------------------------------------------------------------
+
+    def plan(
+        self,
+        query: QueryLike,
+        database: Database,
+        strategy: str = GREEDY,
+    ) -> MRProgram:
+        """Build (but do not run) the MR program for *query* under *strategy*."""
+        sgf = self.as_sgf(query)
+        strategy = self._resolve_strategy(sgf, strategy)
+        estimator = self.estimator(database)
+        if strategy in SGF_STRATEGIES:
+            return build_sgf_program(sgf, strategy, estimator, self.options)
+        return build_bsgf_program(
+            list(sgf.subqueries), strategy, estimator, self.options
+        )
+
+    def _resolve_strategy(self, query: SGFQuery, strategy: str) -> str:
+        normalised = strategy.strip().lower().replace("_", "-").replace(" ", "-")
+        has_dependencies = bool(query.intermediate_names)
+        if has_dependencies and normalised in _SGF_EQUIVALENT:
+            return _SGF_EQUIVALENT[normalised]
+        return normalised
+
+    # -- execution --------------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: QueryLike,
+        database: Database,
+        strategy: str = GREEDY,
+    ) -> GumboResult:
+        """Plan and run *query*, returning outputs and metrics."""
+        sgf = self.as_sgf(query)
+        resolved = self._resolve_strategy(sgf, strategy)
+        program = self.plan(sgf, database, resolved)
+        result: ProgramResult = self.engine.run_program(program, database)
+        roots = set(sgf.root_names)
+        outputs = {
+            name: relation
+            for name, relation in result.outputs.items()
+            if name in roots
+        }
+        all_outputs = {
+            name: relation
+            for name, relation in result.outputs.items()
+            if name in set(sgf.output_names)
+        }
+        return GumboResult(
+            query=sgf,
+            strategy=resolved,
+            program=program,
+            outputs=outputs,
+            all_outputs=all_outputs,
+            metrics=result.metrics,
+        )
+
+    def compare_strategies(
+        self,
+        query: QueryLike,
+        database: Database,
+        strategies: Sequence[str],
+    ) -> Dict[str, GumboResult]:
+        """Run *query* under several strategies and return all results."""
+        return {
+            strategy: self.execute(query, database, strategy)
+            for strategy in strategies
+        }

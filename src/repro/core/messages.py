@@ -1,0 +1,150 @@
+"""Request / assert messages exchanged by the MSJ operator (Algorithm 1).
+
+The repartition-join encoding of a semi-join (Section 4.1) has guard facts
+send *request* messages ("does a conditional fact with this join key exist?
+if so, output this tuple") and conditional facts send *assert* messages
+("a conditional fact with this join key exists").  The MSJ operator of
+Section 4.2 multiplexes the messages of many semi-joins into one job, tagging
+each message with the semi-join / conditional atom it belongs to.
+
+Message objects know their serialised size (``size_bytes``) so the simulator
+can charge communication faithfully, including the two Gumbo optimisations of
+Section 5.1:
+
+* *tuple references* (optimisation 2): a request carries an 8-byte tuple id
+  instead of the output tuple itself;
+* *message packing* (optimisation 1): all messages sharing a key are packed
+  into one list value, so the key is shipped once and duplicate asserts are
+  collapsed — see :class:`PackedMessages` and :func:`pack_messages`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Serialised size of a message tag (semi-join index / conditional-atom id).
+TAG_BYTES = 4
+
+#: Serialised size of a tuple-id reference (optimisation 2).
+TUPLE_REFERENCE_BYTES = 8
+
+#: Serialised size of one field of a shipped tuple.
+FIELD_BYTES = 10
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """``[Req (κ_i, i); Out ā]`` — sent by a guard fact for semi-join *index*.
+
+    ``payload`` is the tuple to output should the semi-join succeed (the
+    projected guard tuple, or the full guard row when the MSJ job runs in
+    pipeline mode).  When *by_reference* is true the payload is accounted as
+    an 8-byte tuple id (Gumbo optimisation 2); the actual values are still
+    carried so the simulation remains executable.
+    """
+
+    index: int
+    payload: Tuple[object, ...]
+    by_reference: bool = False
+
+    def size_bytes(self) -> int:
+        payload = (
+            TUPLE_REFERENCE_BYTES
+            if self.by_reference
+            else max(1, len(self.payload)) * FIELD_BYTES
+        )
+        return TAG_BYTES + payload
+
+    def __str__(self) -> str:
+        return f"Req({self.index}; Out {self.payload!r})"
+
+
+@dataclass(frozen=True)
+class AssertMessage:
+    """``[Assert κ]`` — sent by a conditional fact for conditional tag *tag*."""
+
+    tag: int
+
+    def size_bytes(self) -> int:
+        return TAG_BYTES
+
+    def __str__(self) -> str:
+        return f"Assert({self.tag})"
+
+
+@dataclass(frozen=True)
+class GuardMessage:
+    """EVAL-job marker: "this key is a guard tuple of target *target*"."""
+
+    target: int
+
+    def size_bytes(self) -> int:
+        return TAG_BYTES
+
+    def __str__(self) -> str:
+        return f"Guard({self.target})"
+
+
+@dataclass(frozen=True)
+class MembershipMessage:
+    """EVAL-job marker: "this key belongs to intermediate relation *index*"."""
+
+    target: int
+    index: int
+
+    def size_bytes(self) -> int:
+        return TAG_BYTES
+
+    def __str__(self) -> str:
+        return f"Member({self.target}, {self.index})"
+
+
+class PackedMessages:
+    """A list of messages shipped under a single key (message packing).
+
+    Duplicate assert messages are collapsed; requests are preserved.  The
+    packed value's size is the sum of its members' sizes — the per-message key
+    repetition that unpacked shipping would incur is avoided because the
+    simulator charges the key once per *value* and packing produces exactly
+    one value per key.
+    """
+
+    __slots__ = ("messages",)
+
+    def __init__(self, messages: Sequence[object]) -> None:
+        asserts_seen = set()
+        packed: List[object] = []
+        for message in messages:
+            if isinstance(message, AssertMessage):
+                if message.tag in asserts_seen:
+                    continue
+                asserts_seen.add(message.tag)
+            packed.append(message)
+        self.messages = tuple(packed)
+
+    def size_bytes(self) -> int:
+        return sum(m.size_bytes() for m in self.messages)
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __repr__(self) -> str:
+        return f"PackedMessages({list(self.messages)!r})"
+
+
+def pack_messages(values: Sequence[object]) -> List[object]:
+    """Combine a key's message list into a single packed value."""
+    return [PackedMessages(values)]
+
+
+def unpack_messages(values: Sequence[object]):
+    """Yield the individual messages of a (possibly packed) value list."""
+    for value in values:
+        if isinstance(value, PackedMessages):
+            yield from value
+        else:
+            yield value

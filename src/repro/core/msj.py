@@ -1,0 +1,216 @@
+"""The multi-semi-join operator ``⋉·(S)`` and its MapReduce job ``MSJ(S)``.
+
+This is Algorithm 1 of the paper.  The operator takes a set of semi-join
+equations ``S = {X_1 := π_x̄1(α_1 ⋉ κ_1), ..., X_n := π_x̄n(α_n ⋉ κ_n)}`` and
+evaluates all of them in a single MapReduce job:
+
+* the mapper emits, for every fact conforming to some guard ``α_i``, a request
+  message keyed by the semi-join's join key, and, for every fact conforming to
+  some conditional ``κ_i``, an assert message keyed by the conditional's join
+  key;
+* the reducer outputs a request's payload to ``X_i`` whenever an assert for
+  the matching conditional arrived at the same key.
+
+Two execution modes are supported:
+
+* *standalone* mode (``emit_projection=True``, the literal Algorithm 1): the
+  payload and the output tuples are the projections ``π_x̄i`` of the guard
+  facts;
+* *pipeline* mode (``emit_projection=False``), used inside BSGF query plans:
+  the payload is the full guard row, which plays the role of the guard-tuple
+  id so that the downstream EVAL job can combine semi-join outcomes
+  *per guard fact* (this is what Gumbo's tuple-reference optimisation does,
+  and it is required for correct Boolean combination when the projection is
+  not injective on the guard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mapreduce.job import (
+    Key,
+    MapReduceJob,
+    OutputFact,
+    REDUCERS_BY_INPUT,
+    REDUCERS_BY_INTERMEDIATE,
+)
+from ..model.atoms import Atom
+from ..model.terms import Variable
+from ..query.bsgf import SemiJoinSpec
+from .messages import (
+    AssertMessage,
+    FIELD_BYTES,
+    PackedMessages,
+    RequestMessage,
+    TUPLE_REFERENCE_BYTES,
+    pack_messages,
+    unpack_messages,
+)
+from .options import GumboOptions
+
+#: A conditional tag: (conditional atom, ordered join-key variables).  Assert
+#: messages are emitted once per distinct tag a fact conforms to, so identical
+#: conditionals shared by several semi-joins are asserted only once.
+ConditionalTag = Tuple[Atom, Tuple[Variable, ...]]
+
+
+class MSJJob(MapReduceJob):
+    """The single-job MapReduce implementation of the multi-semi-join operator."""
+
+    def __init__(
+        self,
+        job_id: str,
+        specs: Sequence[SemiJoinSpec],
+        options: Optional[GumboOptions] = None,
+        emit_projection: bool = True,
+    ) -> None:
+        super().__init__(job_id)
+        specs = list(specs)
+        if not specs:
+            raise ValueError("MSJ needs at least one semi-join equation")
+        outputs = [spec.output for spec in specs]
+        if len(set(outputs)) != len(outputs):
+            raise ValueError("semi-join output names must be pairwise distinct")
+        self.specs: List[SemiJoinSpec] = specs
+        self.options = options or GumboOptions()
+        self.emit_projection = emit_projection
+        self.reducer_allocation = (
+            REDUCERS_BY_INTERMEDIATE
+            if self.options.reducers_by_intermediate
+            else REDUCERS_BY_INPUT
+        )
+
+        # Distinct conditional tags and the tag index of every semi-join.
+        self._tags: List[ConditionalTag] = []
+        self._tag_index: Dict[ConditionalTag, int] = {}
+        self._spec_tag: List[int] = []
+        for spec in specs:
+            tag: ConditionalTag = (spec.conditional, spec.join_key)
+            if tag not in self._tag_index:
+                self._tag_index[tag] = len(self._tags)
+                self._tags.append(tag)
+            self._spec_tag.append(self._tag_index[tag])
+
+    # -- structural accessors ----------------------------------------------------
+
+    @property
+    def guard_relations(self) -> List[str]:
+        seen: List[str] = []
+        for spec in self.specs:
+            if spec.guard.relation not in seen:
+                seen.append(spec.guard.relation)
+        return seen
+
+    @property
+    def conditional_relations(self) -> List[str]:
+        seen: List[str] = []
+        for spec in self.specs:
+            if spec.conditional.relation not in seen:
+                seen.append(spec.conditional.relation)
+        return seen
+
+    def input_relations(self) -> Sequence[str]:
+        """Every relation is read exactly once, even when it occurs in several roles."""
+        seen: List[str] = []
+        for name in self.guard_relations + self.conditional_relations:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def output_schema(self) -> Dict[str, int]:
+        schema: Dict[str, int] = {}
+        for spec in self.specs:
+            arity = (
+                max(1, len(spec.projection))
+                if self.emit_projection
+                else spec.guard.arity
+            )
+            schema[spec.output] = arity
+        return schema
+
+    def output_tuple_bytes(self, relation: str) -> Optional[int]:
+        """Intermediate relations are stored as tuple ids under optimisation (2)."""
+        for spec in self.specs:
+            if spec.output == relation:
+                if not self.emit_projection and self.options.tuple_reference:
+                    return TUPLE_REFERENCE_BYTES
+                if not self.emit_projection:
+                    return max(1, len(spec.projection)) * FIELD_BYTES
+                return None
+        return None
+
+    # -- map / combine / reduce ------------------------------------------------------
+
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+        pairs: List[Tuple[Key, object]] = []
+        for index, spec in enumerate(self.specs):
+            if spec.guard.relation != relation:
+                continue
+            binding = spec.guard.match(row)
+            if binding is None:
+                continue
+            key = tuple(binding[v] for v in spec.join_key)
+            if self.emit_projection:
+                payload = tuple(binding[v] for v in spec.projection)
+            else:
+                payload = tuple(row)
+            pairs.append(
+                (
+                    key,
+                    RequestMessage(
+                        index=index,
+                        payload=payload,
+                        by_reference=self.options.tuple_reference,
+                    ),
+                )
+            )
+        for tag_idx, (conditional, join_key) in enumerate(self._tags):
+            if conditional.relation != relation:
+                continue
+            binding = conditional.match(row)
+            if binding is None:
+                continue
+            key = tuple(binding[v] for v in join_key)
+            pairs.append((key, AssertMessage(tag_idx)))
+        return pairs
+
+    def uses_combiner(self) -> bool:
+        return self.options.message_packing
+
+    def combine(self, key: Key, values: List[object]) -> List[object]:
+        return pack_messages(values)
+
+    def reduce(self, key: Key, values: List[object]) -> Iterable[OutputFact]:
+        messages = list(unpack_messages(values))
+        asserted = {m.tag for m in messages if isinstance(m, AssertMessage)}
+        for message in messages:
+            if not isinstance(message, RequestMessage):
+                continue
+            if self._spec_tag[message.index] in asserted:
+                spec = self.specs[message.index]
+                yield (spec.output, message.payload)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(spec.output for spec in self.specs)
+        return f"MSJJob({self.job_id!r}: {inner})"
+
+
+def multi_semi_join(
+    specs: Sequence[SemiJoinSpec],
+    database,
+    engine=None,
+    options: Optional[GumboOptions] = None,
+):
+    """Evaluate the multi-semi-join operator ``⋉·(S)`` and return its relations.
+
+    A convenience wrapper that builds a single :class:`MSJJob`, runs it on the
+    given engine (a default :class:`~repro.mapreduce.engine.MapReduceEngine`
+    when omitted) and returns ``{output name: Relation}``.
+    """
+    from ..mapreduce.engine import MapReduceEngine
+
+    engine = engine or MapReduceEngine()
+    job = MSJJob("msj", specs, options=options, emit_projection=True)
+    result = engine.run_job(job, database)
+    return result.outputs

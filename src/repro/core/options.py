@@ -1,0 +1,56 @@
+"""Evaluation options: the Gumbo optimisations of Section 5.1.
+
+The options bundle is passed to every job builder and plan strategy so that
+individual optimisations can be switched off for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GumboOptions:
+    """Switches for Gumbo's evaluation optimisations.
+
+    Attributes
+    ----------
+    message_packing:
+        Optimisation (1): pack all request/assert messages sharing a key into
+        one list value, deduplicating asserts (reduces communication).
+    tuple_reference:
+        Optimisation (2): ship an 8-byte tuple id instead of the guard tuple
+        in request messages and intermediate relations; the guard relation is
+        re-read by the EVAL job (which it is in any case in this
+        implementation, so only byte accounting changes).
+    reducers_by_intermediate:
+        Optimisation (3): allocate reducers according to the intermediate data
+        size (256 MB per reducer) rather than the input size.
+    fuse_one_round:
+        Optimisation (4): fuse MSJ and EVAL into a single job when all
+        conditional atoms of a query share the same join key.  Only the
+        1-ROUND strategy uses this; it is exposed here so ablations can force
+        it off even there.
+    """
+
+    message_packing: bool = True
+    tuple_reference: bool = True
+    reducers_by_intermediate: bool = True
+    fuse_one_round: bool = True
+
+    def without(self, **flags: bool) -> "GumboOptions":
+        """A copy with the given flags overridden, e.g. ``without(message_packing=False)``."""
+        return replace(self, **flags)
+
+    @classmethod
+    def all_enabled(cls) -> "GumboOptions":
+        return cls()
+
+    @classmethod
+    def all_disabled(cls) -> "GumboOptions":
+        return cls(
+            message_packing=False,
+            tuple_reference=False,
+            reducers_by_intermediate=False,
+            fuse_one_round=False,
+        )

@@ -1,0 +1,245 @@
+"""Query plans: translating (sets of) BSGF queries into MR programs.
+
+A *basic MR program* for a set of BSGF queries (Sections 4.4–4.5) consists of
+one ``MSJ(S_i)`` job per block of a partition of the queries' semi-joins plus
+a single EVAL job combining the semi-join outcomes per query.  This module
+provides :class:`BasicPlan` (the partition plus bookkeeping, with a
+human-readable description used by the plan-exploration example) and the
+builders that turn plans into executable
+:class:`~repro.mapreduce.program.MRProgram` DAGs:
+
+* :func:`build_two_round_program` — the generic MSJ/EVAL two-round shape;
+* :func:`build_one_round_program` — the fused 1-ROUND job (Section 5.1 (4));
+* :func:`build_sequential_program` — the SEQ chain of semi-join reducer steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mapreduce.program import MRProgram
+from ..query.bsgf import BSGFQuery, SemiJoinSpec
+from .chain import Literal, SemiJoinChainJob, UnionProjectJob, to_dnf
+from .eval_job import EvalJob, EvalTarget
+from .fused import FusedOneRoundJob
+from .msj import MSJJob
+from .options import GumboOptions
+
+
+@dataclass
+class BasicPlan:
+    """A basic MR program for a set of BSGF queries, before materialisation.
+
+    ``groups`` is a partition of the union of the queries' semi-join specs;
+    each group becomes one MSJ job and the EVAL job combines everything.
+    """
+
+    queries: List[BSGFQuery]
+    groups: List[List[SemiJoinSpec]]
+    options: GumboOptions = field(default_factory=GumboOptions)
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        expected = {
+            spec.output
+            for query in self.queries
+            for spec in query.semijoin_specs()
+        }
+        actual = [spec.output for group in self.groups for spec in group]
+        if sorted(actual) != sorted(expected):
+            raise ValueError(
+                "the groups do not form a partition of the queries' semi-joins"
+            )
+
+    @property
+    def num_jobs(self) -> int:
+        """MSJ jobs plus the EVAL job."""
+        return len([g for g in self.groups if g]) + 1
+
+    @property
+    def rounds(self) -> int:
+        return 2
+
+    def to_program(self) -> MRProgram:
+        return build_two_round_program(
+            self.queries, self.groups, self.options, name=self.name
+        )
+
+    def describe(self) -> str:
+        """A textual rendering such as ``EVAL(R, Z) <- MSJ(X1, X2) | MSJ(X3)``."""
+        msj_parts = [
+            "MSJ(" + ", ".join(spec.output for spec in group) + ")"
+            for group in self.groups
+            if group
+        ]
+        eval_part = "EVAL(" + ", ".join(q.output for q in self.queries) + ")"
+        return eval_part + " <- " + (" | ".join(msj_parts) if msj_parts else "(no semi-joins)")
+
+
+# -- two-round (MSJ + EVAL) programs -------------------------------------------------
+
+
+def eval_targets_for(queries: Sequence[BSGFQuery]) -> List[EvalTarget]:
+    """The EVAL targets of a query set, using the default intermediate names."""
+    return [
+        EvalTarget(
+            query,
+            tuple(spec.output for spec in query.semijoin_specs()),
+        )
+        for query in queries
+    ]
+
+
+def build_two_round_program(
+    queries: Sequence[BSGFQuery],
+    groups: Sequence[Sequence[SemiJoinSpec]],
+    options: Optional[GumboOptions] = None,
+    name: str = "basic",
+    job_prefix: str = "",
+) -> MRProgram:
+    """Materialise a basic MR program: one MSJ job per group plus one EVAL job."""
+    options = options or GumboOptions()
+    program = MRProgram(name)
+    msj_ids: List[str] = []
+    for index, group in enumerate(g for g in groups if g):
+        job = MSJJob(
+            f"{job_prefix}msj-{index}",
+            list(group),
+            options=options,
+            emit_projection=False,
+        )
+        program.add_job(job)
+        msj_ids.append(job.job_id)
+    eval_job = EvalJob(f"{job_prefix}eval", eval_targets_for(queries), options=options)
+    program.add_job(eval_job, depends_on=msj_ids)
+    return program
+
+
+def build_one_round_program(
+    queries: Sequence[BSGFQuery],
+    options: Optional[GumboOptions] = None,
+    name: str = "one-round",
+    job_prefix: str = "",
+) -> MRProgram:
+    """Materialise the fused single-job program (requires shared join keys)."""
+    options = options or GumboOptions()
+    program = MRProgram(name)
+    program.add_job(
+        FusedOneRoundJob(f"{job_prefix}fused", list(queries), options=options)
+    )
+    return program
+
+
+# -- sequential (SEQ) programs ------------------------------------------------------------
+
+
+def build_sequential_program(
+    query: BSGFQuery,
+    options: Optional[GumboOptions] = None,
+    name: Optional[str] = None,
+    job_prefix: str = "",
+) -> MRProgram:
+    """The SEQ plan of one BSGF query: chains of semi-join reducer steps.
+
+    The condition is rewritten to DNF; each disjunct becomes a chain of
+    filtering jobs over the guard relation (running in parallel with the other
+    disjuncts' chains) and a final union/projection job combines the branches.
+    A single-disjunct query skips the union job by applying the projection in
+    its last chain step.
+    """
+    options = options or GumboOptions()
+    program = MRProgram(name or f"seq-{query.output}")
+    disjuncts = to_dnf(query.condition)
+
+    if not disjuncts:
+        # The condition is unsatisfiable (e.g. NOT TRUE): emit an empty output
+        # by unioning over a relation that does not exist in the database.
+        program.add_job(
+            UnionProjectJob(
+                f"{job_prefix}empty",
+                [f"{query.output}__nothing"],
+                query.guard,
+                query.projection,
+                query.output,
+                options=options,
+            )
+        )
+        return program
+
+    if not query.has_condition or disjuncts == [[]]:
+        # No WHERE clause: a single projection/deduplication job.
+        program.add_job(
+            UnionProjectJob(
+                f"{job_prefix}project",
+                [query.guard.relation],
+                query.guard,
+                query.projection,
+                query.output,
+                options=options,
+            )
+        )
+        return program
+
+    single_branch = len(disjuncts) == 1
+    branch_outputs: List[str] = []
+    for b_index, literals in enumerate(disjuncts):
+        current = query.guard.relation
+        previous_job: Optional[str] = None
+        if not literals:
+            # An always-true disjunct: the full guard survives this branch.
+            branch_outputs.append(current)
+            continue
+        for s_index, literal in enumerate(literals):
+            is_last = s_index == len(literals) - 1
+            output_name = (
+                query.output
+                if (is_last and single_branch)
+                else f"{query.output}__b{b_index}s{s_index}"
+            )
+            projection = query.projection if (is_last and single_branch) else None
+            job = SemiJoinChainJob(
+                f"{job_prefix}chain-b{b_index}-s{s_index}",
+                input_name=current,
+                guard_atom=query.guard,
+                literal=literal,
+                output_name=output_name,
+                projection=projection,
+                options=options,
+            )
+            program.add_job(job, depends_on=[previous_job] if previous_job else None)
+            previous_job = job.job_id
+            current = output_name
+        branch_outputs.append(current)
+
+    if not single_branch:
+        chain_job_ids = [job.job_id for job in program.jobs]
+        union = UnionProjectJob(
+            f"{job_prefix}union",
+            branch_outputs,
+            query.guard,
+            query.projection,
+            query.output,
+            options=options,
+        )
+        program.add_job(union, depends_on=chain_job_ids)
+    return program
+
+
+def build_sequential_program_for_set(
+    queries: Sequence[BSGFQuery],
+    options: Optional[GumboOptions] = None,
+    name: str = "seq",
+) -> MRProgram:
+    """SEQ over a set of BSGF queries: the queries run one after the other."""
+    options = options or GumboOptions()
+    program: Optional[MRProgram] = None
+    for index, query in enumerate(queries):
+        piece = build_sequential_program(
+            query, options, name=f"{name}-{query.output}", job_prefix=f"q{index}-"
+        )
+        program = piece if program is None else program.then(piece, name=name)
+    if program is None:
+        raise ValueError("no queries given")
+    program.name = name
+    return program

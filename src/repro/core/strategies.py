@@ -1,0 +1,309 @@
+"""Plan strategies: SEQ, PAR, GREEDY, 1-ROUND, SEQUNIT, PARUNIT, GREEDY-SGF.
+
+These are the evaluation strategies compared throughout Section 5 of the
+paper.  Each strategy is a function from a query (set) plus a cost estimator
+to an executable :class:`~repro.mapreduce.program.MRProgram`:
+
+BSGF strategies (Sections 5.2 / 5.4)
+    * ``SEQ``     — classic sequential semi-join reducer chains;
+    * ``PAR``     — every semi-join in its own MSJ job, all in parallel, plus
+      one EVAL job (naive parallel plan, no grouping);
+    * ``GREEDY``  — semi-joins grouped by ``Greedy-BSGF``;
+    * ``OPTIMAL`` — semi-joins grouped by brute-force ``BSGF-Opt`` (small
+      queries only);
+    * ``1-ROUND`` — the fused single-job plan (requires a shared join key).
+
+SGF strategies (Section 5.3)
+    * ``SEQUNIT``    — BSGF subqueries one at a time, bottom-up, every
+      semi-join in its own job;
+    * ``PARUNIT``    — dependency levels bottom-up, subqueries of a level in
+      parallel, every semi-join in its own job;
+    * ``GREEDY-SGF`` — the greedy multiway topological sort, each group
+      evaluated with ``Greedy-BSGF`` grouping;
+    * ``OPTIMAL-SGF``— brute-force sort (small queries only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cost.estimates import RelationStats, StatisticsCatalog
+from ..mapreduce.program import MRProgram
+from ..query.bsgf import BSGFQuery
+from ..query.dependency import DependencyGraph
+from ..query.sgf import SGFQuery
+from .costing import PlanCostEstimator
+from .fused import one_round_applicable
+from .greedy_bsgf import (
+    greedy_partition,
+    optimal_partition,
+    single_group_partition,
+    singleton_partition,
+)
+from .greedy_sgf import (
+    greedy_multiway_sort,
+    optimal_multiway_sort,
+    parunit_sort,
+    sequnit_sort,
+)
+from .messages import FIELD_BYTES
+from .options import GumboOptions
+from .plan import (
+    BasicPlan,
+    build_one_round_program,
+    build_sequential_program_for_set,
+    build_two_round_program,
+)
+
+#: Canonical names of the BSGF strategies.
+SEQ = "seq"
+PAR = "par"
+GREEDY = "greedy"
+OPTIMAL = "optimal"
+ONE_ROUND = "1-round"
+
+#: Canonical names of the SGF strategies.
+SEQUNIT = "sequnit"
+PARUNIT = "parunit"
+GREEDY_SGF = "greedy-sgf"
+OPTIMAL_SGF = "optimal-sgf"
+
+BSGF_STRATEGIES = (SEQ, PAR, GREEDY, OPTIMAL, ONE_ROUND)
+SGF_STRATEGIES = (SEQUNIT, PARUNIT, GREEDY_SGF, OPTIMAL_SGF)
+
+_MB = 1024.0 * 1024.0
+
+
+#: Accepted aliases for strategy names.
+_ALIASES = {
+    "one-round": ONE_ROUND,
+    "oneround": ONE_ROUND,
+    "1round": ONE_ROUND,
+    "greedy-bsgf": GREEDY,
+    "greedysgf": GREEDY_SGF,
+    "sgf-greedy": GREEDY_SGF,
+}
+
+
+def _normalise(strategy: str) -> str:
+    name = strategy.strip().lower().replace("_", "-").replace(" ", "-")
+    return _ALIASES.get(name, name)
+
+
+# -- BSGF query sets ---------------------------------------------------------------
+
+
+def all_semijoin_specs(queries: Sequence[BSGFQuery]):
+    specs = []
+    for query in queries:
+        specs.extend(query.semijoin_specs())
+    return specs
+
+
+def build_bsgf_program(
+    queries: Sequence[BSGFQuery],
+    strategy: str,
+    estimator: Optional[PlanCostEstimator] = None,
+    options: Optional[GumboOptions] = None,
+    name: Optional[str] = None,
+) -> MRProgram:
+    """Build the MR program evaluating a set of BSGF queries under *strategy*."""
+    queries = list(queries)
+    if not queries:
+        raise ValueError("no queries given")
+    options = options or GumboOptions()
+    strategy = _normalise(strategy)
+    name = name or f"{strategy}:{'+'.join(q.output for q in queries)}"
+
+    if strategy == SEQ:
+        return build_sequential_program_for_set(queries, options, name=name)
+
+    if strategy == ONE_ROUND:
+        for query in queries:
+            if not one_round_applicable(query):
+                raise ValueError(
+                    f"1-ROUND is not applicable to query {query.output!r} "
+                    f"(conditional atoms use different join keys)"
+                )
+        return build_one_round_program(queries, options, name=name)
+
+    specs = all_semijoin_specs(queries)
+    if strategy == PAR:
+        groups = singleton_partition(specs)
+    elif strategy == GREEDY:
+        if estimator is None:
+            raise ValueError("the GREEDY strategy needs a cost estimator")
+        groups = greedy_partition(specs, estimator)
+    elif strategy == OPTIMAL:
+        if estimator is None:
+            raise ValueError("the OPTIMAL strategy needs a cost estimator")
+        groups, _ = optimal_partition(specs, estimator)
+    else:
+        raise ValueError(
+            f"unknown BSGF strategy {strategy!r}; expected one of {BSGF_STRATEGIES}"
+        )
+    plan = BasicPlan(queries, groups, options, name=name)
+    return plan.to_program()
+
+
+def bsgf_plan(
+    queries: Sequence[BSGFQuery],
+    strategy: str,
+    estimator: Optional[PlanCostEstimator] = None,
+    options: Optional[GumboOptions] = None,
+) -> BasicPlan:
+    """The :class:`BasicPlan` (partition view) for the two-round strategies."""
+    queries = list(queries)
+    options = options or GumboOptions()
+    strategy = _normalise(strategy)
+    specs = all_semijoin_specs(queries)
+    if strategy == PAR:
+        groups = singleton_partition(specs)
+    elif strategy == GREEDY:
+        if estimator is None:
+            raise ValueError("the GREEDY strategy needs a cost estimator")
+        groups = greedy_partition(specs, estimator)
+    elif strategy == OPTIMAL:
+        if estimator is None:
+            raise ValueError("the OPTIMAL strategy needs a cost estimator")
+        groups, _ = optimal_partition(specs, estimator)
+    elif strategy == ONE_ROUND:
+        groups = single_group_partition(specs)
+    else:
+        raise ValueError(f"strategy {strategy!r} has no BasicPlan representation")
+    return BasicPlan(queries, groups, options, name=strategy)
+
+
+# -- SGF queries ---------------------------------------------------------------------------
+
+
+def register_intermediate_estimates(
+    query: SGFQuery, catalog: StatisticsCatalog
+) -> None:
+    """Register upper-bound size estimates for every subquery output.
+
+    Later subqueries of an SGF query reference the outputs of earlier ones
+    before they exist; the planner therefore seeds the statistics catalog with
+    the paper's upper bound (every conforming guard fact survives), computed
+    bottom-up so that estimates may themselves build on estimates.
+    """
+    for subquery in query:
+        if catalog.has_relation(subquery.output):
+            continue
+        guard_count = catalog.atom_count(subquery.guard)
+        arity = max(1, len(subquery.projection))
+        size_mb = guard_count * arity * FIELD_BYTES / _MB
+        catalog.register_estimate(
+            RelationStats(
+                name=subquery.output,
+                tuples=int(guard_count),
+                arity=arity,
+                size_mb=size_mb,
+                bytes_per_field=FIELD_BYTES,
+            )
+        )
+
+
+def build_sgf_program(
+    query: SGFQuery,
+    strategy: str,
+    estimator: Optional[PlanCostEstimator] = None,
+    options: Optional[GumboOptions] = None,
+    name: Optional[str] = None,
+) -> MRProgram:
+    """Build the MR program evaluating an SGF query under *strategy*."""
+    options = options or GumboOptions()
+    strategy = _normalise(strategy)
+    name = name or f"{strategy}:{query.name}"
+    graph = DependencyGraph(query)
+
+    if estimator is not None:
+        register_intermediate_estimates(query, estimator.catalog)
+
+    if strategy == SEQUNIT:
+        groups = sequnit_sort(graph)
+        grouping = PAR
+    elif strategy == PARUNIT:
+        groups = parunit_sort(graph)
+        grouping = PAR
+    elif strategy == GREEDY_SGF:
+        groups = greedy_multiway_sort(graph)
+        grouping = GREEDY
+    elif strategy == OPTIMAL_SGF:
+        if estimator is None:
+            raise ValueError("the OPTIMAL-SGF strategy needs a cost estimator")
+        groups, _ = optimal_multiway_sort(
+            graph,
+            lambda queries: _group_cost(queries, estimator),
+        )
+        grouping = GREEDY
+    else:
+        raise ValueError(
+            f"unknown SGF strategy {strategy!r}; expected one of {SGF_STRATEGIES}"
+        )
+
+    program: Optional[MRProgram] = None
+    for stage_index, group in enumerate(groups):
+        stage_queries = [graph.subquery(q) for q in group]
+        if grouping == PAR:
+            stage_program = _ungrouped_stage_program(
+                stage_queries, options, prefix=f"s{stage_index}-"
+            )
+        else:
+            specs = all_semijoin_specs(stage_queries)
+            if estimator is None:
+                raise ValueError("the GREEDY-SGF strategy needs a cost estimator")
+            stage_groups = greedy_partition(specs, estimator)
+            stage_program = build_two_round_program(
+                stage_queries,
+                stage_groups,
+                options,
+                name=f"{name}-stage{stage_index}",
+                job_prefix=f"s{stage_index}-",
+            )
+        program = (
+            stage_program
+            if program is None
+            else program.then(stage_program, name=name)
+        )
+    assert program is not None
+    program.name = name
+    return program
+
+
+def _ungrouped_stage_program(
+    queries: Sequence[BSGFQuery],
+    options: GumboOptions,
+    prefix: str,
+) -> MRProgram:
+    """One stage of SEQUNIT/PARUNIT: per query, singleton MSJ jobs + its own EVAL."""
+    program = MRProgram(f"{prefix}stage")
+    for q_index, query in enumerate(queries):
+        specs = query.semijoin_specs()
+        groups = singleton_partition(specs)
+        piece = build_two_round_program(
+            [query],
+            groups,
+            options,
+            name=f"{prefix}{query.output}",
+            job_prefix=f"{prefix}q{q_index}-",
+        )
+        for job in piece.jobs:
+            program.add_job(job, piece.dependencies_of(job.job_id))
+    return program
+
+
+def _group_cost(
+    queries: Sequence[BSGFQuery], estimator: PlanCostEstimator
+) -> float:
+    """cost(GOPT(F_i)): greedy grouping cost of one multiway-sort group."""
+    specs = all_semijoin_specs(queries)
+    groups = greedy_partition(specs, estimator)
+    return estimator.basic_program_cost(queries, groups)
+
+
+def sgf_group_cost(
+    queries: Sequence[BSGFQuery], estimator: PlanCostEstimator
+) -> float:
+    """Public alias of the per-group cost used by Greedy-SGF / SGF-Opt."""
+    return _group_cost(queries, estimator)

@@ -1,0 +1,59 @@
+"""The MapReduce cost model of Section 3.3: constants, formulas, models, estimates."""
+
+from .constants import (
+    CostConstants,
+    DEFAULT_JOB_OVERHEAD_SECONDS,
+    DEFAULT_SPLIT_MB,
+    GUMBO_MB_PER_REDUCER,
+    HadoopSettings,
+    MAP_OUTPUT_METADATA_BYTES,
+    PIG_INPUT_MB_PER_REDUCER,
+)
+from .estimates import RelationStats, StatisticsCatalog, catalog_for
+from .formulas import (
+    MapPartition,
+    job_cost,
+    map_cost,
+    map_cost_aggregated,
+    map_cost_per_partition,
+    merge_map_cost,
+    merge_passes,
+    merge_reduce_cost,
+    reduce_cost,
+)
+from .models import (
+    CostModel,
+    GumboCostModel,
+    JobCostBreakdown,
+    JobProfile,
+    WangCostModel,
+    make_cost_model,
+)
+
+__all__ = [
+    "CostConstants",
+    "CostModel",
+    "DEFAULT_JOB_OVERHEAD_SECONDS",
+    "DEFAULT_SPLIT_MB",
+    "GUMBO_MB_PER_REDUCER",
+    "GumboCostModel",
+    "HadoopSettings",
+    "JobCostBreakdown",
+    "JobProfile",
+    "MAP_OUTPUT_METADATA_BYTES",
+    "MapPartition",
+    "PIG_INPUT_MB_PER_REDUCER",
+    "RelationStats",
+    "StatisticsCatalog",
+    "WangCostModel",
+    "catalog_for",
+    "job_cost",
+    "make_cost_model",
+    "map_cost",
+    "map_cost_aggregated",
+    "map_cost_per_partition",
+    "merge_map_cost",
+    "merge_passes",
+    "merge_reduce_cost",
+    "reduce_cost",
+]

@@ -1,0 +1,128 @@
+"""Cost-model constants and Hadoop settings (Appendix B of the paper).
+
+Two tables from the paper are reproduced here:
+
+* Table 5 — the per-MB I/O cost constants measured on the authors' cluster
+  (local/HDFS read and write, network transfer, the external-sort merge
+  factor ``D`` and the map/reduce task buffer limits);
+* Table 4 — the Hadoop settings relevant to the simulator (task memory,
+  node resources, sort buffer, etc.).
+
+The constants are plain dataclasses so that experiments can derive modified
+copies (e.g. the NP-hardness reduction of Appendix A sets every constant to 0
+except ``hr = 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+#: Metadata overhead Hadoop charges per map-output record (paper footnote 2).
+MAP_OUTPUT_METADATA_BYTES = 16
+
+#: Default HDFS block / input split size in MB (Hadoop default of 128 MB).
+DEFAULT_SPLIT_MB = 128.0
+
+#: Intermediate data allocated to one reducer by Gumbo (Section 5.1, opt. 3).
+GUMBO_MB_PER_REDUCER = 256.0
+
+#: Map *input* data allocated to one reducer by Pig (Section 5.2, PPAR discussion).
+PIG_INPUT_MB_PER_REDUCER = 1024.0
+
+#: Default MR job startup overhead in seconds (cost_h).  The paper does not
+#: publish the value; typical Hadoop job latencies are 10-20 s and the paper's
+#: plan-computation overhead comparison mentions ~10 s, so we default to 15 s.
+DEFAULT_JOB_OVERHEAD_SECONDS = 15.0
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """The I/O cost constants of Table 5 (all per MB, in seconds)."""
+
+    local_read: float = 0.03        # l_r
+    local_write: float = 0.085      # l_w
+    hdfs_read: float = 0.15         # h_r
+    hdfs_write: float = 0.25        # h_w
+    transfer: float = 0.017         # t
+    merge_factor: int = 10          # D, external sort merge factor
+    map_buffer_mb: float = 409.0    # buf_map
+    reduce_buffer_mb: float = 512.0  # buf_red
+    job_overhead: float = DEFAULT_JOB_OVERHEAD_SECONDS  # cost_h
+
+    def scaled(self, factor: float) -> "CostConstants":
+        """Return a copy with every per-MB cost scaled by *factor*.
+
+        Useful for sensitivity experiments; the merge factor and buffer sizes
+        are left unchanged.
+        """
+        return replace(
+            self,
+            local_read=self.local_read * factor,
+            local_write=self.local_write * factor,
+            hdfs_read=self.hdfs_read * factor,
+            hdfs_write=self.hdfs_write * factor,
+            transfer=self.transfer * factor,
+        )
+
+    @classmethod
+    def paper_values(cls) -> "CostConstants":
+        """The exact constants of Table 5."""
+        return cls()
+
+    @classmethod
+    def reduction_values(cls, hdfs_read: float = 1.0) -> "CostConstants":
+        """Constants used by the Appendix A NP-hardness reduction.
+
+        All I/O costs are zero except HDFS read, and there is no job overhead,
+        so the cost of a job collapses to ``hr * (input MB)``.
+        """
+        return cls(
+            local_read=0.0,
+            local_write=0.0,
+            hdfs_read=hdfs_read,
+            hdfs_write=0.0,
+            transfer=0.0,
+            job_overhead=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class HadoopSettings:
+    """The cluster/Hadoop configuration of Table 4 that the simulator honours.
+
+    Only the settings with observable effect on the cost model or scheduling
+    are represented; purely operational settings (speculative execution,
+    replication) are retained for documentation purposes.
+    """
+
+    io_file_buffer_kb: int = 128
+    dfs_replication: int = 3
+    map_memory_mb: int = 1280
+    reduce_memory_mb: int = 1280
+    io_sort_mb: int = 512
+    reduce_merge_inmem_threshold: int = 0
+    reduce_input_buffer_percent: float = 0.5
+    slowstart_completed_maps: float = 1.0
+    speculative_execution: bool = False
+    node_memory_mb: int = 49152
+    min_allocation_mb: int = 4096
+    max_allocation_mb: int = 49152
+    node_vcores: int = 10
+    split_mb: float = DEFAULT_SPLIT_MB
+
+    @property
+    def containers_per_node(self) -> int:
+        """Concurrent task containers a node can host.
+
+        Constrained by both memory (node memory / per-task memory, subject to
+        the YARN minimum allocation) and vcores; on the paper's nodes the
+        vcore limit (10) binds.
+        """
+        allocation = max(self.map_memory_mb, self.min_allocation_mb)
+        by_memory = self.node_memory_mb // allocation
+        return int(min(by_memory, self.node_vcores))
+
+    @classmethod
+    def paper_values(cls) -> "HadoopSettings":
+        return cls()

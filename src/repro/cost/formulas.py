@@ -1,0 +1,190 @@
+"""The MapReduce I/O cost formulas of Section 3.3.
+
+The cost of an MR job is decomposed into
+
+* ``cost_map(N_i, M_i)`` for every uniform input part ``I_i`` — reading the
+  input from HDFS, sorting/merging the map output locally and writing it to
+  local disk (Equation before (2));
+* ``cost_red(M, K)`` — transferring the intermediate data, merging it on the
+  reduce side, and writing the output to HDFS;
+* ``cost_h`` — the fixed overhead of starting an MR job.
+
+Two aggregations of the map-side cost are provided:
+
+* :func:`map_cost_per_partition` (Equation (2)) — the paper's *improved*
+  model, summing ``cost_map`` over the individual input parts, which captures
+  inputs whose map input/output ratios differ;
+* :func:`map_cost_aggregated` (Equation (3)) — the original model of
+  Wang & Chan / Nykiel et al., applying ``cost_map`` once to the summed sizes.
+
+All sizes are in MB and all returned costs are in (simulated) seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .constants import CostConstants, MAP_OUTPUT_METADATA_BYTES
+
+
+@dataclass(frozen=True)
+class MapPartition:
+    """One uniform part ``I_i`` of a job's input.
+
+    Attributes
+    ----------
+    input_mb:
+        ``N_i`` — size of the input part read from HDFS.
+    intermediate_mb:
+        ``M_i`` — size of the map output produced from this part.
+    records:
+        Number of map-output records produced from this part; used to charge
+        the 16-byte-per-record metadata ``M̂_i``.
+    mappers:
+        ``m_i`` — number of map tasks processing this part (at least 1).
+    label:
+        Optional name of the originating relation, for reporting.
+    """
+
+    input_mb: float
+    intermediate_mb: float
+    records: int = 0
+    mappers: int = 1
+    label: str = ""
+
+    @property
+    def metadata_mb(self) -> float:
+        """``M̂_i``: 16 bytes of map-output metadata per record, in MB."""
+        return self.records * MAP_OUTPUT_METADATA_BYTES / (1024.0 * 1024.0)
+
+
+def merge_passes(data_mb: float, buffer_mb: float, merge_factor: int) -> float:
+    """Number of external-merge passes: ``log_D(ceil(data / buffer))``.
+
+    Returns 0 when the data fits into the buffer (no on-disk merge needed).
+    This is the ``log_D ceil(...)`` factor appearing in both merge-cost
+    formulas of Section 3.3.
+    """
+    if data_mb <= 0 or buffer_mb <= 0:
+        return 0.0
+    spill_groups = math.ceil(data_mb / buffer_mb)
+    if spill_groups <= 1:
+        return 0.0
+    if merge_factor <= 1:
+        return float(spill_groups)
+    return math.log(spill_groups, merge_factor)
+
+
+def merge_map_cost(
+    intermediate_mb: float,
+    metadata_mb: float,
+    mappers: int,
+    constants: CostConstants,
+) -> float:
+    """``merge_map(M_i)``: cost of sort & merge during the map phase.
+
+    ``(l_r + l_w) * M_i * log_D ceil(((M_i + M̂_i) / m_i) / buf_map)``
+    """
+    mappers = max(1, mappers)
+    per_mapper_mb = (intermediate_mb + metadata_mb) / mappers
+    passes = merge_passes(per_mapper_mb, constants.map_buffer_mb, constants.merge_factor)
+    return (constants.local_read + constants.local_write) * intermediate_mb * passes
+
+
+def merge_reduce_cost(
+    intermediate_mb: float, reducers: int, constants: CostConstants
+) -> float:
+    """``merge_red(M)``: cost of merging on the reduce side.
+
+    ``(l_r + l_w) * M * log_D ceil((M / r) / buf_red)``
+    """
+    reducers = max(1, reducers)
+    per_reducer_mb = intermediate_mb / reducers
+    passes = merge_passes(per_reducer_mb, constants.reduce_buffer_mb, constants.merge_factor)
+    return (constants.local_read + constants.local_write) * intermediate_mb * passes
+
+
+def map_cost(partition: MapPartition, constants: CostConstants) -> float:
+    """``cost_map(N_i, M_i)`` for one uniform input part.
+
+    ``h_r * N_i + merge_map(M_i) + l_w * M_i``
+    """
+    return (
+        constants.hdfs_read * partition.input_mb
+        + merge_map_cost(
+            partition.intermediate_mb,
+            partition.metadata_mb,
+            partition.mappers,
+            constants,
+        )
+        + constants.local_write * partition.intermediate_mb
+    )
+
+
+def map_cost_per_partition(
+    partitions: Sequence[MapPartition], constants: CostConstants
+) -> float:
+    """Equation (2): the paper's per-partition map cost, summed over all parts."""
+    return sum(map_cost(p, constants) for p in partitions)
+
+
+def map_cost_aggregated(
+    partitions: Sequence[MapPartition], constants: CostConstants
+) -> float:
+    """Equation (3): the Wang & Chan aggregate map cost.
+
+    All input parts are lumped together before applying ``cost_map``, which
+    averages the merge behaviour over the whole input — precisely the
+    inaccuracy the paper's adjustment removes.
+    """
+    if not partitions:
+        return 0.0
+    total = MapPartition(
+        input_mb=sum(p.input_mb for p in partitions),
+        intermediate_mb=sum(p.intermediate_mb for p in partitions),
+        records=sum(p.records for p in partitions),
+        mappers=sum(max(1, p.mappers) for p in partitions),
+        label="aggregate",
+    )
+    return map_cost(total, constants)
+
+
+def reduce_cost(
+    intermediate_mb: float,
+    output_mb: float,
+    reducers: int,
+    constants: CostConstants,
+) -> float:
+    """``cost_red(M, K) = t*M + merge_red(M) + h_w*K``."""
+    return (
+        constants.transfer * intermediate_mb
+        + merge_reduce_cost(intermediate_mb, reducers, constants)
+        + constants.hdfs_write * output_mb
+    )
+
+
+def job_cost(
+    partitions: Sequence[MapPartition],
+    output_mb: float,
+    reducers: int,
+    constants: CostConstants,
+    per_partition: bool = True,
+) -> float:
+    """Total cost of one MR job: ``cost_h + map cost + cost_red``.
+
+    *per_partition* selects between Equation (2) (True, the Gumbo model) and
+    Equation (3) (False, the Wang & Chan model).
+    """
+    intermediate_mb = sum(p.intermediate_mb for p in partitions)
+    map_part = (
+        map_cost_per_partition(partitions, constants)
+        if per_partition
+        else map_cost_aggregated(partitions, constants)
+    )
+    return (
+        constants.job_overhead
+        + map_part
+        + reduce_cost(intermediate_mb, output_mb, reducers, constants)
+    )

@@ -1,0 +1,135 @@
+"""Cost-model objects: the Gumbo (per-partition) and Wang (aggregate) models.
+
+The planner and the execution engine both need to turn a *job profile*
+(input partitions, intermediate size, output size, number of reducers) into a
+cost in seconds.  :class:`CostModel` is the small strategy interface for this;
+:class:`GumboCostModel` uses Equation (2) of the paper, :class:`WangCostModel`
+Equation (3).  Experiment E3 (Section 5.2, "Cost Model") compares the two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .constants import (
+    CostConstants,
+    DEFAULT_SPLIT_MB,
+    GUMBO_MB_PER_REDUCER,
+)
+from .formulas import (
+    MapPartition,
+    map_cost,
+    map_cost_aggregated,
+    map_cost_per_partition,
+    reduce_cost,
+)
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Everything the cost model needs to know about one MR job.
+
+    ``partitions`` describes the uniform input parts (one per input relation
+    in all of the paper's jobs); ``output_mb`` is ``K``; ``reducers`` is ``r``.
+    """
+
+    partitions: Sequence[MapPartition]
+    output_mb: float
+    reducers: int
+    label: str = ""
+
+    @property
+    def input_mb(self) -> float:
+        return sum(p.input_mb for p in self.partitions)
+
+    @property
+    def intermediate_mb(self) -> float:
+        return sum(p.intermediate_mb for p in self.partitions)
+
+
+@dataclass(frozen=True)
+class JobCostBreakdown:
+    """Cost of one job split into its phases (all in seconds)."""
+
+    overhead: float
+    map: float
+    reduce: float
+
+    @property
+    def total(self) -> float:
+        return self.overhead + self.map + self.reduce
+
+
+class CostModel:
+    """Strategy interface turning a :class:`JobProfile` into seconds."""
+
+    name = "abstract"
+
+    def __init__(self, constants: Optional[CostConstants] = None) -> None:
+        self.constants = constants or CostConstants.paper_values()
+
+    # -- full-job costing -----------------------------------------------------
+
+    def map_cost(self, partitions: Sequence[MapPartition]) -> float:
+        raise NotImplementedError
+
+    def reduce_cost(self, intermediate_mb: float, output_mb: float, reducers: int) -> float:
+        return reduce_cost(intermediate_mb, output_mb, reducers, self.constants)
+
+    def job_breakdown(self, profile: JobProfile) -> JobCostBreakdown:
+        return JobCostBreakdown(
+            overhead=self.constants.job_overhead,
+            map=self.map_cost(profile.partitions),
+            reduce=self.reduce_cost(
+                profile.intermediate_mb, profile.output_mb, profile.reducers
+            ),
+        )
+
+    def job_cost(self, profile: JobProfile) -> float:
+        return self.job_breakdown(profile).total
+
+    def program_cost(self, profiles: Sequence[JobProfile]) -> float:
+        """Total cost of an MR program: the sum over its jobs."""
+        return sum(self.job_cost(profile) for profile in profiles)
+
+    # -- helpers used when building profiles -----------------------------------
+
+    def default_reducers(self, intermediate_mb: float) -> int:
+        """Gumbo's reducer allocation: 256 MB of intermediate data per reducer."""
+        return max(1, math.ceil(intermediate_mb / GUMBO_MB_PER_REDUCER))
+
+    def default_mappers(self, input_mb: float, split_mb: float = DEFAULT_SPLIT_MB) -> int:
+        """Number of map tasks for an input of *input_mb* MB."""
+        return max(1, math.ceil(input_mb / split_mb))
+
+
+class GumboCostModel(CostModel):
+    """The paper's per-partition cost model (Equation (2))."""
+
+    name = "gumbo"
+
+    def map_cost(self, partitions: Sequence[MapPartition]) -> float:
+        return map_cost_per_partition(partitions, self.constants)
+
+
+class WangCostModel(CostModel):
+    """The aggregate cost model of Wang & Chan / MRShare (Equation (3))."""
+
+    name = "wang"
+
+    def map_cost(self, partitions: Sequence[MapPartition]) -> float:
+        return map_cost_aggregated(partitions, self.constants)
+
+
+def make_cost_model(
+    name: str, constants: Optional[CostConstants] = None
+) -> CostModel:
+    """Factory: ``"gumbo"`` or ``"wang"`` (case-insensitive)."""
+    lowered = name.lower()
+    if lowered == "gumbo":
+        return GumboCostModel(constants)
+    if lowered == "wang":
+        return WangCostModel(constants)
+    raise ValueError(f"unknown cost model {name!r}; expected 'gumbo' or 'wang'")

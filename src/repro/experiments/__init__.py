@@ -1,0 +1,63 @@
+"""Experiment drivers reproducing every table and figure of the paper's evaluation."""
+
+from .ablation import run_ablation
+from .costmodel import (
+    CostModelComparison,
+    ranking_accuracy,
+    run_cost_model_experiment,
+    run_stress_query,
+)
+from .figure3 import FIGURE3_QUERIES, FIGURE3_STRATEGIES, run_figure3
+from .figure4 import FIGURE4_QUERIES, FIGURE4_STRATEGIES, run_figure4
+from .figure5 import FIGURE5_QUERIES, FIGURE5_STRATEGIES, run_figure5
+from .figure7 import (
+    FIGURE7_STRATEGIES,
+    FIGURE7A_DATA_SIZES,
+    FIGURE7B_NODES,
+    FIGURE7C_COMBINED,
+    run_figure7a,
+    run_figure7b,
+    run_figure7c,
+)
+from .figure8 import FIGURE8_ATOM_COUNTS, FIGURE8_STRATEGIES, run_figure8
+from .report import averages_by_strategy, format_table, records_table, relative_table
+from .results import ExperimentResult
+from .runner import ExperimentRunner, RunRecord
+from .table3 import format_table3, run_table3, selectivity_increases
+
+__all__ = [
+    "CostModelComparison",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FIGURE3_QUERIES",
+    "FIGURE3_STRATEGIES",
+    "FIGURE4_QUERIES",
+    "FIGURE4_STRATEGIES",
+    "FIGURE5_QUERIES",
+    "FIGURE5_STRATEGIES",
+    "FIGURE7A_DATA_SIZES",
+    "FIGURE7B_NODES",
+    "FIGURE7C_COMBINED",
+    "FIGURE7_STRATEGIES",
+    "FIGURE8_ATOM_COUNTS",
+    "FIGURE8_STRATEGIES",
+    "RunRecord",
+    "averages_by_strategy",
+    "format_table",
+    "format_table3",
+    "ranking_accuracy",
+    "records_table",
+    "relative_table",
+    "run_ablation",
+    "run_cost_model_experiment",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure7a",
+    "run_figure7b",
+    "run_figure7c",
+    "run_figure8",
+    "run_stress_query",
+    "run_table3",
+    "selectivity_increases",
+]

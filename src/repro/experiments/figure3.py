@@ -1,0 +1,62 @@
+"""Experiment E1 — Figure 3: BSGF queries A1–A5 under all evaluation strategies.
+
+Reproduces both panels of Figure 3: absolute net time, total time, HDFS input
+and communication for the strategies SEQ, PAR, GREEDY, HPAR, HPARS and PPAR
+on queries A1–A5, plus the 1-ROUND strategy on A3 (the only A-query where it
+applies), and the same values relative to SEQ.
+
+Expected shape (paper, Section 5.2): PAR and GREEDY have the lowest net
+times; PAR pays for it with much higher total time; GREEDY recovers most of
+that for the queries with sharing (A1, A2, A3, A5); Hive and Pig are worse
+than Gumbo's parallel strategies on every metric; 1-ROUND dominates on A3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.fused import one_round_applicable
+from ..workloads.queries import bsgf_query_set, database_for
+from ..workloads.scaling import ScaledEnvironment
+from .results import ExperimentResult
+from .runner import ExperimentRunner
+
+#: Strategy line-up of Figure 3.
+FIGURE3_STRATEGIES = ("seq", "par", "greedy", "hpar", "hpars", "ppar")
+
+#: Queries of the experiment.
+FIGURE3_QUERIES = ("A1", "A2", "A3", "A4", "A5")
+
+
+def run_figure3(
+    environment: Optional[ScaledEnvironment] = None,
+    query_ids: Sequence[str] = FIGURE3_QUERIES,
+    strategies: Sequence[str] = FIGURE3_STRATEGIES,
+    include_one_round: bool = True,
+    selectivity: float = 0.5,
+    seed: int = 1,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Run the Figure 3 experiment and return its records."""
+    runner = runner or ExperimentRunner(environment)
+    env = runner.environment
+    result = ExperimentResult(
+        name="Figure 3",
+        description="BSGF queries A1-A5 under SEQ/PAR/GREEDY/HPAR/HPARS/PPAR (+1-ROUND)",
+        baseline_strategy="seq",
+    )
+    for query_id in query_ids:
+        queries = bsgf_query_set(query_id)
+        database = database_for(
+            queries,
+            guard_tuples=env.workload.guard_tuples,
+            conditional_tuples=env.workload.conditional_tuples,
+            selectivity=selectivity,
+            seed=seed,
+        )
+        result.extend(
+            runner.run_matrix(query_id, queries, strategies, database)
+        )
+        if include_one_round and all(one_round_applicable(q) for q in queries):
+            result.add(runner.run_strategy(query_id, queries, "1-round", database))
+    return result

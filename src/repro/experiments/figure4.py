@@ -1,0 +1,54 @@
+"""Experiment E2 — Figure 4: the large BSGF queries B1 and B2.
+
+B1 is a 16-atom conjunctive query whose deep sequential plan makes SEQ very
+slow in net time; B2 is the "uniqueness" query whose disjunctive structure
+lets even SEQ parallelise its four conjunctive branches.  The expected shape
+(Section 5.2, "Large Queries"): PAR slashes B1's net time but multiplies its
+total time; GREEDY keeps PAR's net time at roughly SEQ's total time; for B2
+every parallel strategy wins on both metrics and 1-ROUND wins outright.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.fused import one_round_applicable
+from ..workloads.queries import bsgf_query_set, database_for
+from ..workloads.scaling import ScaledEnvironment
+from .results import ExperimentResult
+from .runner import ExperimentRunner
+
+FIGURE4_STRATEGIES = ("seq", "par", "greedy", "hpar", "hpars", "ppar")
+FIGURE4_QUERIES = ("B1", "B2")
+
+
+def run_figure4(
+    environment: Optional[ScaledEnvironment] = None,
+    query_ids: Sequence[str] = FIGURE4_QUERIES,
+    strategies: Sequence[str] = FIGURE4_STRATEGIES,
+    include_one_round: bool = True,
+    selectivity: float = 0.5,
+    seed: int = 2,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Run the Figure 4 experiment and return its records."""
+    runner = runner or ExperimentRunner(environment)
+    env = runner.environment
+    result = ExperimentResult(
+        name="Figure 4",
+        description="Large BSGF queries B1 and B2",
+        baseline_strategy="seq",
+    )
+    for query_id in query_ids:
+        queries = bsgf_query_set(query_id)
+        database = database_for(
+            queries,
+            guard_tuples=env.workload.guard_tuples,
+            conditional_tuples=env.workload.conditional_tuples,
+            selectivity=selectivity,
+            seed=seed,
+        )
+        result.extend(runner.run_matrix(query_id, queries, strategies, database))
+        if include_one_round and all(one_round_applicable(q) for q in queries):
+            result.add(runner.run_strategy(query_id, queries, "1-round", database))
+    return result

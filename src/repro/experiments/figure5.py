@@ -1,0 +1,49 @@
+"""Experiment E4 — Figure 5: SGF queries C1–C4 under SEQUNIT / PARUNIT / GREEDY-SGF.
+
+Reproduces the relative-to-SEQUNIT comparison of Section 5.3.  Expected shape:
+PARUNIT has the lowest net times but (for C1 and C2, whose levels share
+little) clearly higher total times; GREEDY-SGF sits between the two on net
+time while reducing the total time below both, especially when subqueries
+share atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..workloads.queries import database_for, sgf_query
+from ..workloads.scaling import ScaledEnvironment
+from .results import ExperimentResult
+from .runner import ExperimentRunner
+
+FIGURE5_STRATEGIES = ("sequnit", "parunit", "greedy-sgf")
+FIGURE5_QUERIES = ("C1", "C2", "C3", "C4")
+
+
+def run_figure5(
+    environment: Optional[ScaledEnvironment] = None,
+    query_ids: Sequence[str] = FIGURE5_QUERIES,
+    strategies: Sequence[str] = FIGURE5_STRATEGIES,
+    selectivity: float = 0.5,
+    seed: int = 3,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Run the Figure 5 experiment and return its records."""
+    runner = runner or ExperimentRunner(environment)
+    env = runner.environment
+    result = ExperimentResult(
+        name="Figure 5",
+        description="SGF queries C1-C4 under SEQUNIT/PARUNIT/GREEDY-SGF",
+        baseline_strategy="sequnit",
+    )
+    for query_id in query_ids:
+        query = sgf_query(query_id)
+        database = database_for(
+            query,
+            guard_tuples=env.workload.guard_tuples,
+            conditional_tuples=env.workload.conditional_tuples,
+            selectivity=selectivity,
+            seed=seed,
+        )
+        result.extend(runner.run_matrix(query_id, query, strategies, database))
+    return result

@@ -1,0 +1,129 @@
+"""Experiments E5–E7 — Figure 7: system characteristics of Gumbo.
+
+Three sweeps over the A3-style query (all conditional atoms on one key):
+
+* 7a — growing data size on a fixed 10-node cluster;
+* 7b — growing cluster size on a fixed 800 M-tuple dataset;
+* 7c — growing data and cluster size together.
+
+Expected shape (Section 5.4): 1-ROUND is best everywhere; PAR's lack of
+grouping eventually exceeds the cluster's map capacity and its net time blows
+up as data grows; adding nodes helps the parallel strategies but not SEQ;
+scaling data and nodes together keeps net times flat while total time grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..workloads.queries import a3_family, database_for
+from ..workloads.scaling import ScaledEnvironment
+from .results import ExperimentResult
+from .runner import ExperimentRunner
+
+FIGURE7_STRATEGIES = ("seq", "par", "greedy", "1-round")
+
+#: Paper data sizes, expressed in guard tuples (they are scaled by the environment).
+FIGURE7A_DATA_SIZES = (200_000_000, 400_000_000, 800_000_000, 1_600_000_000)
+FIGURE7B_NODES = (5, 10, 20)
+FIGURE7B_DATA_SIZE = 800_000_000
+FIGURE7C_COMBINED: Tuple[Tuple[int, int], ...] = (
+    (200_000_000, 5),
+    (400_000_000, 10),
+    (800_000_000, 20),
+)
+
+#: Number of conditional atoms of the A3-style query used in the sweeps.
+FIGURE7_ATOMS = 4
+
+
+def _run_point(
+    runner: ExperimentRunner,
+    result: ExperimentResult,
+    label: str,
+    environment: ScaledEnvironment,
+    guard_tuples: int,
+    strategies: Sequence[str],
+    selectivity: float,
+    seed: int,
+) -> None:
+    queries = a3_family(FIGURE7_ATOMS)
+    database = database_for(
+        queries,
+        guard_tuples=max(1, int(round(guard_tuples * environment.scale))),
+        selectivity=selectivity,
+        seed=seed,
+    )
+    for strategy in strategies:
+        record = runner.run_strategy(
+            label, queries, strategy, database, environment=environment
+        )
+        record.extra["nodes"] = float(environment.nodes)
+        record.extra["paper_tuples_millions"] = guard_tuples / 1e6
+        result.add(record)
+
+
+def run_figure7a(
+    environment: Optional[ScaledEnvironment] = None,
+    data_sizes: Sequence[int] = FIGURE7A_DATA_SIZES,
+    strategies: Sequence[str] = FIGURE7_STRATEGIES,
+    selectivity: float = 0.5,
+    seed: int = 7,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Figure 7a: varying data size on a 10-node cluster."""
+    runner = runner or ExperimentRunner(environment)
+    base_env = runner.environment
+    result = ExperimentResult(
+        name="Figure 7a",
+        description="Varying data size (10 nodes), A3-style query",
+    )
+    for size in data_sizes:
+        label = f"{int(size / 1e6)}M"
+        _run_point(runner, result, label, base_env, size, strategies, selectivity, seed)
+    return result
+
+
+def run_figure7b(
+    environment: Optional[ScaledEnvironment] = None,
+    nodes: Sequence[int] = FIGURE7B_NODES,
+    data_size: int = FIGURE7B_DATA_SIZE,
+    strategies: Sequence[str] = FIGURE7_STRATEGIES,
+    selectivity: float = 0.5,
+    seed: int = 7,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Figure 7b: varying cluster size on an 800M-tuple dataset."""
+    runner = runner or ExperimentRunner(environment)
+    base_env = runner.environment
+    result = ExperimentResult(
+        name="Figure 7b",
+        description="Varying cluster size (800M tuples), A3-style query",
+    )
+    for node_count in nodes:
+        env = base_env.with_nodes(node_count)
+        label = f"{node_count}nodes"
+        _run_point(runner, result, label, env, data_size, strategies, selectivity, seed)
+    return result
+
+
+def run_figure7c(
+    environment: Optional[ScaledEnvironment] = None,
+    combined: Sequence[Tuple[int, int]] = FIGURE7C_COMBINED,
+    strategies: Sequence[str] = FIGURE7_STRATEGIES,
+    selectivity: float = 0.5,
+    seed: int = 7,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Figure 7c: scaling data and cluster size together."""
+    runner = runner or ExperimentRunner(environment)
+    base_env = runner.environment
+    result = ExperimentResult(
+        name="Figure 7c",
+        description="Varying data and cluster size together, A3-style query",
+    )
+    for data_size, node_count in combined:
+        env = base_env.with_nodes(node_count)
+        label = f"{int(data_size / 1e6)}M/{node_count}"
+        _run_point(runner, result, label, env, data_size, strategies, selectivity, seed)
+    return result

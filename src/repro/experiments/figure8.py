@@ -1,0 +1,53 @@
+"""Experiment E8 — Figure 8: varying the number of conditional atoms (query size).
+
+The A3-style query is grown from 2 to 16 conditional atoms, all sharing the
+guard's first attribute as join key.  Expected shape (Section 5.4): SEQ's net
+time grows roughly linearly with the number of atoms (one more round per
+atom) while PAR, GREEDY and 1-ROUND stay nearly flat; PAR's total time grows
+fastest because it cannot benefit from message packing the way GREEDY and
+1-ROUND do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..workloads.queries import a3_family, database_for
+from ..workloads.scaling import ScaledEnvironment
+from .results import ExperimentResult
+from .runner import ExperimentRunner
+
+FIGURE8_STRATEGIES = ("seq", "par", "greedy", "1-round")
+FIGURE8_ATOM_COUNTS = (2, 4, 8, 12, 16)
+
+
+def run_figure8(
+    environment: Optional[ScaledEnvironment] = None,
+    atom_counts: Sequence[int] = FIGURE8_ATOM_COUNTS,
+    strategies: Sequence[str] = FIGURE8_STRATEGIES,
+    selectivity: float = 0.5,
+    seed: int = 8,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Run the Figure 8 experiment and return its records."""
+    runner = runner or ExperimentRunner(environment)
+    env = runner.environment
+    result = ExperimentResult(
+        name="Figure 8",
+        description="Varying the number of conditional atoms (2-16), A3-style query",
+    )
+    for atoms in atom_counts:
+        queries = a3_family(atoms)
+        database = database_for(
+            queries,
+            guard_tuples=env.workload.guard_tuples,
+            conditional_tuples=env.workload.conditional_tuples,
+            selectivity=selectivity,
+            seed=seed,
+        )
+        label = f"{atoms}atoms"
+        for strategy in strategies:
+            record = runner.run_strategy(label, queries, strategy, database)
+            record.extra["conditional_atoms"] = float(atoms)
+            result.add(record)
+    return result

@@ -1,0 +1,105 @@
+"""Textual reporting of experiment results.
+
+The benchmark harness prints the same kinds of tables the paper's figures
+show: absolute metrics per (query, strategy) and metrics relative to a
+reference strategy (SEQ in Figures 3/4, SEQUNIT in Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .runner import RunRecord
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dictionaries as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def records_table(records: Sequence[RunRecord], title: str = "") -> str:
+    """Absolute-metrics table (Figure 3a style)."""
+    return format_table([record.as_dict() for record in records], title)
+
+
+def relative_table(
+    records: Sequence[RunRecord],
+    baseline_strategy: str,
+    title: str = "",
+) -> str:
+    """Metrics relative to *baseline_strategy*, per query (Figure 3b style)."""
+    baseline_strategy = baseline_strategy.upper()
+    by_query: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        by_query.setdefault(record.query_id, []).append(record)
+    rows: List[Dict[str, object]] = []
+    for query_id, group in by_query.items():
+        baseline = next(
+            (r for r in group if r.strategy == baseline_strategy), None
+        )
+        if baseline is None:
+            continue
+        for record in group:
+            relative = record.relative_to(baseline)
+            rows.append(
+                {
+                    "query": query_id,
+                    "strategy": record.strategy,
+                    "net_time_%": f"{relative['net_time_pct']:.0f}%",
+                    "total_time_%": f"{relative['total_time_pct']:.0f}%",
+                    "input_%": f"{relative['input_pct']:.0f}%",
+                    "communication_%": f"{relative['communication_pct']:.0f}%",
+                }
+            )
+    return format_table(rows, title)
+
+
+def averages_by_strategy(
+    records: Sequence[RunRecord], baseline_strategy: str
+) -> Dict[str, Dict[str, float]]:
+    """Average relative metrics per strategy (the paper's "on average" claims)."""
+    baseline_strategy = baseline_strategy.upper()
+    by_query: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        by_query.setdefault(record.query_id, []).append(record)
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for group in by_query.values():
+        baseline = next((r for r in group if r.strategy == baseline_strategy), None)
+        if baseline is None:
+            continue
+        for record in group:
+            relative = record.relative_to(baseline)
+            bucket = sums.setdefault(
+                record.strategy,
+                {key: 0.0 for key in relative},
+            )
+            for key, value in relative.items():
+                bucket[key] += value
+            counts[record.strategy] = counts.get(record.strategy, 0) + 1
+    return {
+        strategy: {key: value / counts[strategy] for key, value in bucket.items()}
+        for strategy, bucket in sums.items()
+    }

@@ -1,0 +1,103 @@
+"""Experiment E9 — Table 3: sensitivity of the strategies to selectivity.
+
+For queries A1–A3 the conditional relations' selectivity is varied from 0.1
+(highly selective — few guard tuples survive) to 0.9 (barely selective) and
+the increase of net and total time between the two extremes is reported per
+strategy.  Expected shape (Section 5.4): SEQ's *total* time reacts strongly
+(its per-step pruning disappears at low selectivity) while its net time
+barely moves; PAR's and GREEDY's *net* times react the most; GREEDY is least
+affected on the packable query A3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..workloads.queries import bsgf_query_set, database_for
+from ..workloads.scaling import ScaledEnvironment
+from .report import format_table
+from .results import ExperimentResult
+from .runner import ExperimentRunner, RunRecord
+
+TABLE3_STRATEGIES = ("seq", "par", "greedy")
+TABLE3_QUERIES = ("A1", "A2", "A3")
+TABLE3_SELECTIVITIES = (0.1, 0.9)
+
+
+def run_table3(
+    environment: Optional[ScaledEnvironment] = None,
+    query_ids: Sequence[str] = TABLE3_QUERIES,
+    strategies: Sequence[str] = TABLE3_STRATEGIES,
+    selectivities: Sequence[float] = TABLE3_SELECTIVITIES,
+    seed: int = 9,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Run the Table 3 experiment: every (query, strategy, selectivity) cell."""
+    runner = runner or ExperimentRunner(environment)
+    env = runner.environment
+    result = ExperimentResult(
+        name="Table 3",
+        description="Selectivity sensitivity of SEQ/PAR/GREEDY on A1-A3",
+    )
+    for query_id in query_ids:
+        queries = bsgf_query_set(query_id)
+        for selectivity in selectivities:
+            database = database_for(
+                queries,
+                guard_tuples=env.workload.guard_tuples,
+                conditional_tuples=env.workload.conditional_tuples,
+                selectivity=selectivity,
+                seed=seed,
+            )
+            for strategy in strategies:
+                record = runner.run_strategy(
+                    f"{query_id}@{selectivity:.1f}", queries, strategy, database
+                )
+                record.extra["selectivity"] = selectivity
+                result.add(record)
+    return result
+
+
+def selectivity_increases(
+    result: ExperimentResult,
+    low: float = TABLE3_SELECTIVITIES[0],
+    high: float = TABLE3_SELECTIVITIES[-1],
+) -> List[Dict[str, object]]:
+    """The Table 3 rows: % increase of net and total time from *low* to *high*."""
+    rows: List[Dict[str, object]] = []
+    queries = sorted({r.query_id.split("@")[0] for r in result.records})
+    strategies = sorted({r.strategy for r in result.records})
+    for strategy in strategies:
+        row: Dict[str, object] = {"strategy": strategy}
+        for query in queries:
+            low_rec = _find(result.records, f"{query}@{low:.1f}", strategy)
+            high_rec = _find(result.records, f"{query}@{high:.1f}", strategy)
+            if low_rec is None or high_rec is None:
+                continue
+            row[f"{query}_net_increase_%"] = _increase(low_rec.net_time, high_rec.net_time)
+            row[f"{query}_total_increase_%"] = _increase(
+                low_rec.total_time, high_rec.total_time
+            )
+        rows.append(row)
+    return rows
+
+
+def format_table3(result: ExperimentResult) -> str:
+    """Render the Table 3 summary (increase from selectivity 0.1 to 0.9)."""
+    return format_table(
+        selectivity_increases(result),
+        title="Table 3: increase in net/total time from selectivity 0.1 to 0.9",
+    )
+
+
+def _find(records: Sequence[RunRecord], query_id: str, strategy: str) -> Optional[RunRecord]:
+    for record in records:
+        if record.query_id == query_id and record.strategy == strategy:
+            return record
+    return None
+
+
+def _increase(low: float, high: float) -> str:
+    if low <= 0:
+        return "n/a"
+    return f"{100.0 * (high - low) / low:.0f}%"

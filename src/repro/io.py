@@ -1,0 +1,151 @@
+"""Loading and saving relations as CSV/TSV files.
+
+The simulator operates on in-memory :class:`~repro.model.database.Database`
+objects; this module provides the thin file layer a downstream user needs to
+run Gumbo over their own data from the command line:
+
+* :func:`load_relation` / :func:`save_relation` — one relation per file, one
+  tuple per line;
+* :func:`load_database` / :func:`save_database` — a directory with one
+  ``<RelationName>.csv`` file per relation.
+
+Values are parsed back into ``int`` / ``float`` where possible so that data
+written by :func:`save_database` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .model.database import Database
+from .model.relation import DEFAULT_BYTES_PER_FIELD, Relation
+
+#: File extensions recognised by :func:`load_database`.
+_EXTENSIONS = (".csv", ".tsv", ".txt")
+
+
+class DataFormatError(ValueError):
+    """Raised when a data file cannot be interpreted as a relation."""
+
+
+def _parse_value(text: str) -> object:
+    """Parse a CSV field: int if possible, else float, else the raw string."""
+    stripped = text.strip()
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def _delimiter_for(path: str, delimiter: Optional[str]) -> str:
+    if delimiter is not None:
+        return delimiter
+    return "\t" if path.endswith(".tsv") else ","
+
+
+def load_relation(
+    path: str,
+    name: Optional[str] = None,
+    delimiter: Optional[str] = None,
+    has_header: bool = False,
+    bytes_per_field: int = DEFAULT_BYTES_PER_FIELD,
+) -> Relation:
+    """Load one relation from a CSV/TSV file.
+
+    The relation name defaults to the file's base name without extension; the
+    arity is inferred from the first row and every row must agree with it.
+    """
+    relation_name = name or os.path.splitext(os.path.basename(path))[0]
+    rows: List[Tuple[object, ...]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=_delimiter_for(path, delimiter))
+        for index, raw in enumerate(reader):
+            if not raw or all(not field.strip() for field in raw):
+                continue
+            if index == 0 and has_header:
+                continue
+            rows.append(tuple(_parse_value(field) for field in raw))
+    if not rows:
+        raise DataFormatError(f"{path!r} contains no data rows")
+    arity = len(rows[0])
+    for row in rows:
+        if len(row) != arity:
+            raise DataFormatError(
+                f"{path!r} has rows of differing arity ({len(row)} vs {arity})"
+            )
+    return Relation.from_tuples(
+        relation_name, rows, arity=arity, bytes_per_field=bytes_per_field
+    )
+
+
+def save_relation(
+    relation: Relation, path: str, delimiter: Optional[str] = None
+) -> None:
+    """Write *relation* to *path*, one tuple per line, in a deterministic order."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=_delimiter_for(path, delimiter))
+        for row in relation.sorted_tuples():
+            writer.writerow(row)
+
+
+def load_database(
+    source: Union[str, Dict[str, str]],
+    delimiter: Optional[str] = None,
+    has_header: bool = False,
+    bytes_per_field: int = DEFAULT_BYTES_PER_FIELD,
+) -> Database:
+    """Load a database from a directory of CSV files or a name→path mapping.
+
+    When *source* is a directory, every file with a recognised extension
+    becomes one relation named after the file.
+    """
+    if isinstance(source, str):
+        if not os.path.isdir(source):
+            raise DataFormatError(f"{source!r} is not a directory")
+        mapping = {
+            os.path.splitext(entry)[0]: os.path.join(source, entry)
+            for entry in sorted(os.listdir(source))
+            if entry.endswith(_EXTENSIONS)
+        }
+        if not mapping:
+            raise DataFormatError(f"no data files found in {source!r}")
+    else:
+        mapping = dict(source)
+    database = Database()
+    for name, path in mapping.items():
+        database.add_relation(
+            load_relation(
+                path,
+                name=name,
+                delimiter=delimiter,
+                has_header=has_header,
+                bytes_per_field=bytes_per_field,
+            )
+        )
+    return database
+
+
+def save_database(
+    database: Database,
+    directory: str,
+    extension: str = ".csv",
+    names: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Write every relation of *database* into *directory*; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    selected = list(names) if names is not None else database.relation_names()
+    paths = []
+    for name in selected:
+        path = os.path.join(directory, f"{name}{extension}")
+        save_relation(database[name], path)
+        paths.append(path)
+    return paths

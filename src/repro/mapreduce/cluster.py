@@ -1,0 +1,72 @@
+"""Cluster model: nodes, task slots, and derived capacity.
+
+The paper's experiments run on 10 compute nodes with two 10-core CPUs each,
+but YARN is configured (Table 4) with ``yarn.nodemanager.resource.cpu-vcores
+= 10`` and 1280 MB task containers, so each node runs at most 10 concurrent
+map/reduce containers.  :class:`ClusterConfig` captures exactly the knobs the
+simulator's scheduler needs: the number of nodes and the number of concurrent
+task containers per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..cost.constants import HadoopSettings
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A homogeneous cluster of *nodes* nodes.
+
+    Attributes
+    ----------
+    nodes:
+        Number of worker nodes.
+    containers_per_node:
+        Concurrent task containers per node (limited by vcores / memory).
+    settings:
+        The Hadoop settings in force (Table 4); used for split sizes and to
+        derive the default ``containers_per_node``.
+    """
+
+    nodes: int = 10
+    containers_per_node: Optional[int] = None
+    settings: HadoopSettings = HadoopSettings.paper_values()
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if self.containers_per_node is None:
+            object.__setattr__(
+                self, "containers_per_node", self.settings.containers_per_node
+            )
+        if self.containers_per_node < 1:
+            raise ValueError("containers_per_node must be >= 1")
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of concurrent task containers in the cluster."""
+        return self.nodes * int(self.containers_per_node)
+
+    @property
+    def split_mb(self) -> float:
+        """Input split size (MB) determining the number of map tasks."""
+        return self.settings.split_mb
+
+    def with_nodes(self, nodes: int) -> "ClusterConfig":
+        """A copy of this configuration with a different node count."""
+        return replace(self, nodes=nodes)
+
+    @classmethod
+    def paper_cluster(cls, nodes: int = 10) -> "ClusterConfig":
+        """The 10-node VSC cluster of Section 5.1 (or a resized variant)."""
+        return cls(nodes=nodes, settings=HadoopSettings.paper_values())
+
+    def __str__(self) -> str:
+        return (
+            f"ClusterConfig(nodes={self.nodes}, "
+            f"containers_per_node={self.containers_per_node}, "
+            f"total_slots={self.total_slots})"
+        )

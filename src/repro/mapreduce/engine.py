@@ -1,0 +1,303 @@
+"""The in-process MapReduce execution engine.
+
+This is the substrate substituting for the paper's 10-node Hadoop cluster.
+It *actually executes* the map and reduce functions of every job over the
+in-memory database (so results can be checked against the reference
+semantics), while *charging time* with the cost model of Section 3.3 and a
+wave-based slot scheduler — producing the four metrics the paper reports:
+total time, net time, HDFS input bytes and mapper→reducer communication bytes.
+
+Execution of one job proceeds exactly along Figure 1 of the paper:
+
+1. every input relation forms one uniform part ``I_i`` of the input; its rows
+   are split over ``m_i = ceil(N_i / split)`` map tasks;
+2. the map function is applied per row; when the job uses a combiner (message
+   packing), pairs are combined per map task before being sized;
+3. intermediate pairs are grouped by key (the shuffle);
+4. ``r`` reducers are allocated according to the job's policy;
+5. the reduce function is applied per group and outputs are materialised as
+   new relations.
+
+Timing always uses the per-partition cost model (Equation (2)) because that
+is the more faithful model of the underlying system; which cost model the
+*planner* uses to choose a plan is an independent choice (experiment E3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cost.constants import (
+    CostConstants,
+    GUMBO_MB_PER_REDUCER,
+    PIG_INPUT_MB_PER_REDUCER,
+)
+from ..cost.formulas import MapPartition, map_cost
+from ..cost.models import GumboCostModel, JobProfile
+from ..model.database import Database
+from ..model.relation import Relation
+from .cluster import ClusterConfig
+from .counters import JobMetrics, PartitionMetrics, ProgramMetrics
+from .job import Key, MapReduceJob
+from .program import MRProgram
+from .scheduler import makespan
+
+_MB = 1024.0 * 1024.0
+
+
+def _stable_hash(key: object) -> int:
+    """A deterministic, process-independent hash used to partition keys."""
+    import zlib
+
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+@dataclass
+class JobResult:
+    """Outcome of running one job: its output relations and its metrics."""
+
+    job_id: str
+    outputs: Dict[str, Relation]
+    metrics: JobMetrics
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of running an MR program."""
+
+    program: MRProgram
+    outputs: Dict[str, Relation]
+    metrics: ProgramMetrics
+    database: Database
+
+    def relation(self, name: str) -> Relation:
+        return self.outputs[name]
+
+
+class MapReduceEngine:
+    """Simulated Hadoop: executes jobs/programs and accounts costs.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster configuration (defaults to the paper's 10-node cluster).
+    constants:
+        Cost constants (Table 5) used to charge time.
+    mb_per_reducer_intermediate / mb_per_reducer_input:
+        Reducer-allocation granularity for the two allocation policies.
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterConfig] = None,
+        constants: Optional[CostConstants] = None,
+        mb_per_reducer_intermediate: float = GUMBO_MB_PER_REDUCER,
+        mb_per_reducer_input: float = PIG_INPUT_MB_PER_REDUCER,
+    ) -> None:
+        self.cluster = cluster or ClusterConfig.paper_cluster()
+        self.constants = constants or CostConstants.paper_values()
+        self.cost_model = GumboCostModel(self.constants)
+        self.mb_per_reducer_intermediate = mb_per_reducer_intermediate
+        self.mb_per_reducer_input = mb_per_reducer_input
+
+    # -- single job -------------------------------------------------------------
+
+    def run_job(self, job: MapReduceJob, database: Database) -> JobResult:
+        """Execute one MapReduce job against *database*."""
+        groups: Dict[Key, List[object]] = {}
+        key_bytes: Dict[Key, int] = {}
+        partition_metrics: List[PartitionMetrics] = []
+
+        for relation_name in job.input_relations():
+            partition_metrics.append(
+                self._run_map_partition(job, relation_name, database, groups, key_bytes)
+            )
+
+        input_mb = sum(p.input_mb for p in partition_metrics)
+        intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
+        reducers = job.choose_reducers(
+            input_mb=input_mb,
+            intermediate_mb=intermediate_mb,
+            cluster=self.cluster,
+            mb_per_reducer_intermediate=self.mb_per_reducer_intermediate,
+            mb_per_reducer_input=self.mb_per_reducer_input,
+        )
+
+        outputs = self._run_reduce(job, groups, database)
+        output_mb = sum(rel.size_mb() for rel in outputs.values())
+        output_records = sum(len(rel) for rel in outputs.values())
+
+        metrics = JobMetrics(
+            job_id=job.job_id,
+            partitions=partition_metrics,
+            reducers=reducers,
+            output_mb=output_mb,
+            output_records=output_records,
+        )
+        profile = JobProfile(
+            partitions=metrics.map_partitions(),
+            output_mb=output_mb,
+            reducers=reducers,
+            label=job.job_id,
+        )
+        metrics.breakdown = self.cost_model.job_breakdown(profile)
+        metrics.map_task_durations = self._map_task_durations(metrics)
+        metrics.reduce_task_durations = self._reduce_task_durations(metrics, key_bytes)
+        return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
+
+    def _run_map_partition(
+        self,
+        job: MapReduceJob,
+        relation_name: str,
+        database: Database,
+        groups: Dict[Key, List[object]],
+        key_bytes: Optional[Dict[Key, int]] = None,
+    ) -> PartitionMetrics:
+        """Apply the map function to one input relation and shuffle its output."""
+        relation = database.get(relation_name)
+        rows: List[Tuple[object, ...]] = (
+            relation.sorted_tuples() if relation is not None else []
+        )
+        input_mb = relation.size_mb() if relation is not None else 0.0
+        mappers = max(1, math.ceil(input_mb / self.cluster.split_mb))
+
+        intermediate_bytes = 0
+        output_records = 0
+        chunk_count = min(mappers, len(rows)) or 1
+        for chunk_index in range(chunk_count):
+            chunk_rows = rows[chunk_index::chunk_count]
+            buffer: Dict[Key, List[object]] = {}
+            for row in chunk_rows:
+                for key, value in job.map(relation_name, row):
+                    buffer.setdefault(key, []).append(value)
+            for key, values in buffer.items():
+                if job.uses_combiner():
+                    values = job.combine(key, values)
+                for value in values:
+                    pair_size = job.pair_bytes(key, value)
+                    intermediate_bytes += pair_size
+                    output_records += 1
+                    groups.setdefault(key, []).append(value)
+                    if key_bytes is not None:
+                        key_bytes[key] = key_bytes.get(key, 0) + pair_size
+
+        return PartitionMetrics(
+            relation=relation_name,
+            input_mb=input_mb,
+            input_records=len(rows),
+            intermediate_mb=intermediate_bytes / _MB,
+            output_records=output_records,
+            mappers=mappers,
+        )
+
+    def _run_reduce(
+        self,
+        job: MapReduceJob,
+        groups: Dict[Key, List[object]],
+        database: Database,
+    ) -> Dict[str, Relation]:
+        """Apply the reduce function per key group and materialise the outputs."""
+        schema = job.output_schema()
+        outputs: Dict[str, Relation] = {}
+        for name, arity in schema.items():
+            override = job.output_tuple_bytes(name)
+            bytes_per_field = (
+                max(1, round(override / arity)) if override else Relation(name, arity).bytes_per_field
+            )
+            outputs[name] = Relation(name, arity, bytes_per_field)
+        for key in sorted(groups, key=repr):
+            values = groups[key]
+            for relation_name, row in job.reduce(key, values):
+                if relation_name not in outputs:
+                    raise KeyError(
+                        f"job {job.job_id!r} emitted to undeclared relation "
+                        f"{relation_name!r}"
+                    )
+                outputs[relation_name].add(row)
+        return outputs
+
+    # -- task durations -------------------------------------------------------------
+
+    def _map_task_durations(self, metrics: JobMetrics) -> List[float]:
+        durations: List[float] = []
+        for partition in metrics.partitions:
+            part = partition.as_map_partition()
+            cost = map_cost(part, self.constants)
+            per_task = cost / max(1, partition.mappers)
+            durations.extend([per_task] * max(1, partition.mappers))
+        return durations
+
+    def _reduce_task_durations(
+        self,
+        metrics: JobMetrics,
+        key_bytes: Optional[Dict[Key, int]] = None,
+    ) -> List[float]:
+        """Per-reducer durations, proportional to each reducer's actual key load.
+
+        Keys are assigned to reducers by a stable hash (as Hadoop's default
+        partitioner does), so data skew — a heavy-hitter join key — shows up as
+        one long reduce task and therefore as increased net time, while the
+        total (aggregate) time is unaffected.
+        """
+        reducers = max(1, metrics.reducers)
+        total = self.cost_model.reduce_cost(
+            metrics.intermediate_mb, metrics.output_mb, reducers
+        )
+        if not key_bytes or sum(key_bytes.values()) <= 0:
+            return [total / reducers] * reducers
+        loads = [0.0] * reducers
+        for key, size in key_bytes.items():
+            loads[_stable_hash(key) % reducers] += size
+        total_load = sum(loads)
+        return [total * load / total_load for load in loads]
+
+    # -- programs ---------------------------------------------------------------------
+
+    def run_program(
+        self, program: MRProgram, database: Database
+    ) -> ProgramResult:
+        """Execute an MR program level by level.
+
+        Jobs within a level run concurrently and share the cluster's task
+        slots; the level's net time is one job-startup overhead plus the map
+        makespan plus the reduce makespan.  Outputs become visible to the next
+        level (they are added to a working copy of the database).
+        """
+        program.validate()
+        working = database.copy()
+        all_outputs: Dict[str, Relation] = {}
+        metrics = ProgramMetrics()
+        levels = program.levels()
+        metrics.rounds = len(levels)
+
+        for level_jobs in levels:
+            level_map_tasks: List[float] = []
+            level_reduce_tasks: List[float] = []
+            level_results: List[JobResult] = []
+            for job in level_jobs:
+                result = self.run_job(job, working)
+                level_results.append(result)
+                metrics.add_job(result.metrics)
+                level_map_tasks.extend(result.metrics.map_task_durations)
+                level_reduce_tasks.extend(result.metrics.reduce_task_durations)
+            for result in level_results:
+                for name, relation in result.outputs.items():
+                    working.add_relation(relation)
+                    all_outputs[name] = relation
+            slots = self.cluster.total_slots
+            level_net = (
+                self.constants.job_overhead
+                + makespan(level_map_tasks, slots)
+                + makespan(level_reduce_tasks, slots)
+            )
+            metrics.level_net_times.append(level_net)
+
+        metrics.net_time = sum(metrics.level_net_times)
+        return ProgramResult(
+            program=program,
+            outputs=all_outputs,
+            metrics=metrics,
+            database=working,
+        )

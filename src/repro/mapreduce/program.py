@@ -1,0 +1,129 @@
+"""MR programs: directed acyclic graphs of MapReduce jobs.
+
+An MR program (Section 3.2) is a DAG of MR jobs where an edge indicates that
+one job consumes the output of another.  The *number of rounds* of a program
+is the length of its longest path — rounds execute sequentially, while jobs
+within a round run concurrently and compete for cluster slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .job import MapReduceJob
+
+
+class ProgramValidationError(ValueError):
+    """Raised for duplicate job ids, unknown dependencies or cycles."""
+
+
+class MRProgram:
+    """A DAG of :class:`~repro.mapreduce.job.MapReduceJob` instances."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._jobs: Dict[str, MapReduceJob] = {}
+        self._dependencies: Dict[str, Set[str]] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_job(
+        self, job: MapReduceJob, depends_on: Optional[Iterable[str]] = None
+    ) -> MapReduceJob:
+        """Add *job* to the program with dependencies on earlier job ids."""
+        if job.job_id in self._jobs:
+            raise ProgramValidationError(f"duplicate job id {job.job_id!r}")
+        deps = set(depends_on or ())
+        unknown = deps - set(self._jobs)
+        if unknown:
+            names = ", ".join(sorted(unknown))
+            raise ProgramValidationError(
+                f"job {job.job_id!r} depends on unknown job(s) {names}"
+            )
+        self._jobs[job.job_id] = job
+        self._dependencies[job.job_id] = deps
+        return job
+
+    def add_jobs(
+        self, jobs: Iterable[MapReduceJob], depends_on: Optional[Iterable[str]] = None
+    ) -> List[MapReduceJob]:
+        """Add several jobs sharing the same dependency set."""
+        deps = list(depends_on or ())
+        return [self.add_job(job, deps) for job in jobs]
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def jobs(self) -> List[MapReduceJob]:
+        return list(self._jobs.values())
+
+    @property
+    def job_ids(self) -> List[str]:
+        return list(self._jobs)
+
+    def job(self, job_id: str) -> MapReduceJob:
+        return self._jobs[job_id]
+
+    def dependencies_of(self, job_id: str) -> FrozenSet[str]:
+        return frozenset(self._dependencies[job_id])
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    # -- structure -----------------------------------------------------------------
+
+    def levels(self) -> List[List[MapReduceJob]]:
+        """Jobs grouped by dependency depth; level *k* jobs only depend on levels < k."""
+        level_of: Dict[str, int] = {}
+        remaining = set(self._jobs)
+        while remaining:
+            progressed = False
+            for job_id in sorted(remaining):
+                deps = self._dependencies[job_id]
+                if all(dep in level_of for dep in deps):
+                    level_of[job_id] = (
+                        0 if not deps else 1 + max(level_of[d] for d in deps)
+                    )
+                    remaining.discard(job_id)
+                    progressed = True
+            if not progressed:
+                raise ProgramValidationError(
+                    f"dependency cycle among jobs {sorted(remaining)}"
+                )
+        depth = max(level_of.values()) + 1 if level_of else 0
+        grouped: List[List[MapReduceJob]] = [[] for _ in range(depth)]
+        for job_id, level in level_of.items():
+            grouped[level].append(self._jobs[job_id])
+        for level_jobs in grouped:
+            level_jobs.sort(key=lambda j: j.job_id)
+        return grouped
+
+    def rounds(self) -> int:
+        """Length of the longest path: the number of sequential MR rounds."""
+        return len(self.levels())
+
+    def validate(self) -> None:
+        """Raise :class:`ProgramValidationError` if the program is malformed."""
+        self.levels()
+
+    # -- composition ------------------------------------------------------------------
+
+    def then(self, other: "MRProgram", name: Optional[str] = None) -> "MRProgram":
+        """Sequential composition: every job of *other* waits for all jobs of *self*."""
+        combined = MRProgram(name or f"{self.name}+{other.name}")
+        for job in self.jobs:
+            combined.add_job(job, self._dependencies[job.job_id])
+        barrier = list(self._jobs)
+        for job in other.jobs:
+            deps = set(other._dependencies[job.job_id]) | set(barrier)
+            combined.add_job(job, deps)
+        return combined
+
+    def __repr__(self) -> str:
+        return (
+            f"MRProgram(name={self.name!r}, jobs={len(self._jobs)}, "
+            f"rounds={self.rounds() if self._jobs else 0})"
+        )

@@ -1,0 +1,34 @@
+"""Relational data model substrate.
+
+Provides terms, atoms, facts, relations and databases — the vocabulary of
+Section 3.1 / Section 4 of the paper.
+"""
+
+from .atoms import Atom, Fact, facts_conforming
+from .database import Database, UnknownRelationError
+from .relation import (
+    DEFAULT_BYTES_PER_FIELD,
+    MAP_OUTPUT_METADATA_BYTES,
+    Relation,
+    SchemaError,
+)
+from .terms import Constant, Term, Variable, as_term, is_constant, is_variable, variables_in
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "DEFAULT_BYTES_PER_FIELD",
+    "Fact",
+    "MAP_OUTPUT_METADATA_BYTES",
+    "Relation",
+    "SchemaError",
+    "Term",
+    "UnknownRelationError",
+    "Variable",
+    "as_term",
+    "facts_conforming",
+    "is_constant",
+    "is_variable",
+    "variables_in",
+]

@@ -1,0 +1,154 @@
+"""The database: a named collection of relations.
+
+A database ``DB`` in the paper is a finite set of facts; operationally we
+store it as a mapping from relation symbol to :class:`~repro.model.relation.Relation`.
+The class offers fact-level access (so the MapReduce simulator can iterate
+over "all facts of the input") as well as relation-level access used by the
+planner and cost estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .atoms import Atom, Fact
+from .relation import DEFAULT_BYTES_PER_FIELD, Relation, SchemaError
+
+
+class UnknownRelationError(KeyError):
+    """Raised when a query references a relation not present in the database."""
+
+
+class Database:
+    """An in-memory database mapping relation names to relations."""
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
+        self._relations: Dict[str, Relation] = {}
+        if relations:
+            for relation in relations:
+                self.add_relation(relation)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Dict[str, Iterable[Sequence[object]]],
+        bytes_per_field: int = DEFAULT_BYTES_PER_FIELD,
+    ) -> "Database":
+        """Build a database from ``{"R": [(1, 2), ...], ...}``.
+
+        Empty relations cannot be created this way (their arity would be
+        unknown); use :meth:`ensure_relation` for those.
+        """
+        db = cls()
+        for name, rows in data.items():
+            db.add_relation(
+                Relation.from_tuples(name, rows, bytes_per_field=bytes_per_field)
+            )
+        return db
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register *relation*, replacing any previous one with the same name."""
+        self._relations[relation.name] = relation
+
+    def ensure_relation(
+        self,
+        name: str,
+        arity: int,
+        bytes_per_field: int = DEFAULT_BYTES_PER_FIELD,
+    ) -> Relation:
+        """Return the relation called *name*, creating an empty one if needed.
+
+        Raises :class:`SchemaError` when an existing relation has a different
+        arity.
+        """
+        existing = self._relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise SchemaError(
+                    f"relation {name!r} exists with arity {existing.arity}, "
+                    f"requested {arity}"
+                )
+            return existing
+        relation = Relation(name, arity, bytes_per_field)
+        self._relations[name] = relation
+        return relation
+
+    # -- access --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise UnknownRelationError(name) from exc
+
+    def get(self, name: str) -> Optional[Relation]:
+        return self._relations.get(name)
+
+    def relation_names(self) -> List[str]:
+        """Sorted list of relation names."""
+        return sorted(self._relations)
+
+    def relations(self) -> List[Relation]:
+        """Relations sorted by name."""
+        return [self._relations[name] for name in self.relation_names()]
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # -- fact-level view ------------------------------------------------------
+
+    def facts(self, names: Optional[Iterable[str]] = None) -> Iterator[Fact]:
+        """Iterate over all facts, optionally restricted to relations *names*."""
+        selected = self.relation_names() if names is None else list(names)
+        for name in selected:
+            relation = self[name]
+            for row in relation:
+                yield Fact(name, row)
+
+    def contains_fact(self, fact: Fact) -> bool:
+        relation = self._relations.get(fact.relation)
+        return relation is not None and fact.values in relation
+
+    def matching_facts(self, atom: Atom) -> Iterator[Fact]:
+        """All facts of the database conforming to *atom*."""
+        relation = self._relations.get(atom.relation)
+        if relation is None:
+            return
+        for row in relation:
+            if atom.conforms(row):
+                yield Fact(atom.relation, row)
+
+    # -- size accounting -------------------------------------------------------
+
+    def size_bytes(self, names: Optional[Iterable[str]] = None) -> int:
+        selected = self.relation_names() if names is None else list(names)
+        return sum(self[name].size_bytes() for name in selected)
+
+    def size_mb(self, names: Optional[Iterable[str]] = None) -> float:
+        return self.size_bytes(names) / (1024.0 * 1024.0)
+
+    # -- misc -------------------------------------------------------------------
+
+    def copy(self) -> "Database":
+        """A deep-enough copy (relations are copied, tuples shared immutably)."""
+        return Database(relation.copy() for relation in self.relations())
+
+    def summary(self) -> List[Tuple[str, int, float]]:
+        """(name, cardinality, size MB) triples for reporting."""
+        return [
+            (rel.name, len(rel), rel.size_mb()) for rel in self.relations()
+        ]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{rel.name}[{len(rel)}]" for rel in self.relations()
+        )
+        return f"Database({inner})"

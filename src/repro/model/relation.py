@@ -1,0 +1,154 @@
+"""Relations: named, fixed-arity collections of tuples with byte accounting.
+
+The cost model of the paper operates on data sizes in megabytes.  In the
+paper's experiments, a guard relation of 100M 4-ary tuples occupies 4 GB
+(about 10 bytes per field) and a conditional relation of 100M unary tuples
+occupies 1 GB.  :class:`Relation` therefore carries a ``bytes_per_field``
+parameter (default 10) used by :meth:`Relation.size_bytes` and
+:meth:`Relation.size_mb`, so that the simulator's byte accounting matches the
+paper's data-volume assumptions without materialising on-disk files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Default storage footprint of a single field, in bytes.  Calibrated so that
+#: the paper's relations (4 GB for 100M 4-ary tuples, 1 GB for 100M unary
+#: tuples) are reproduced exactly.
+DEFAULT_BYTES_PER_FIELD = 10
+
+#: Hadoop charges 16 bytes of metadata for every key-value pair output by a
+#: map task (paper, footnote 2).  Exposed here because relation-level size
+#: estimates are reused when predicting map output sizes.
+MAP_OUTPUT_METADATA_BYTES = 16
+
+
+class SchemaError(ValueError):
+    """Raised when tuples do not match a relation's declared arity."""
+
+
+@dataclass
+class Relation:
+    """A named relation holding a set of equal-arity tuples.
+
+    Tuples are stored as a set (bag semantics are not needed for semi-join
+    style queries: the paper's operators are set-based).  The class tracks
+    arity, supports iteration in a deterministic (sorted-by-insertion) order
+    when requested, and provides the size estimates used by the cost model.
+    """
+
+    name: str
+    arity: int
+    bytes_per_field: int = DEFAULT_BYTES_PER_FIELD
+    _tuples: Set[Tuple[object, ...]] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation name must be non-empty")
+        if self.arity < 1:
+            raise ValueError("relation arity must be >= 1")
+        if self.bytes_per_field <= 0:
+            raise ValueError("bytes_per_field must be positive")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        name: str,
+        tuples: Iterable[Sequence[object]],
+        arity: Optional[int] = None,
+        bytes_per_field: int = DEFAULT_BYTES_PER_FIELD,
+    ) -> "Relation":
+        """Build a relation from an iterable of tuples.
+
+        When *arity* is omitted it is inferred from the first tuple; an empty
+        iterable then raises :class:`SchemaError`.
+        """
+        materialised = [tuple(t) for t in tuples]
+        if arity is None:
+            if not materialised:
+                raise SchemaError(
+                    f"cannot infer arity of empty relation {name!r}; pass arity="
+                )
+            arity = len(materialised[0])
+        relation = cls(name, arity, bytes_per_field)
+        for row in materialised:
+            relation.add(row)
+        return relation
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, row: Sequence[object]) -> None:
+        """Insert a tuple, validating its arity."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, relation {self.name!r} "
+                f"expects {self.arity}"
+            )
+        self._tuples.add(row)
+
+    def update(self, rows: Iterable[Sequence[object]]) -> None:
+        """Insert many tuples."""
+        for row in rows:
+            self.add(row)
+
+    def discard(self, row: Sequence[object]) -> None:
+        """Remove a tuple if present."""
+        self._tuples.discard(tuple(row))
+
+    def clear(self) -> None:
+        """Remove all tuples."""
+        self._tuples.clear()
+
+    # -- access --------------------------------------------------------------
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def tuples(self) -> Set[Tuple[object, ...]]:
+        """The underlying tuple set (a live reference, treat as read-only)."""
+        return self._tuples
+
+    def sorted_tuples(self) -> List[Tuple[object, ...]]:
+        """Tuples in a deterministic sorted order (useful for tests/reports)."""
+        return sorted(self._tuples, key=repr)
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """A shallow copy, optionally renamed."""
+        clone = Relation(name or self.name, self.arity, self.bytes_per_field)
+        clone._tuples = set(self._tuples)
+        return clone
+
+    # -- size accounting -----------------------------------------------------
+
+    @property
+    def tuple_size_bytes(self) -> int:
+        """Size of a single tuple in bytes under the linear size model."""
+        return self.arity * self.bytes_per_field
+
+    def size_bytes(self) -> int:
+        """Total size of the relation in bytes."""
+        return len(self._tuples) * self.tuple_size_bytes
+
+    def size_mb(self) -> float:
+        """Total size of the relation in MB (the unit used by the cost model)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(name={self.name!r}, arity={self.arity}, "
+            f"tuples={len(self._tuples)})"
+        )

@@ -1,0 +1,97 @@
+"""Terms of the SGF query language: variables and constants.
+
+The paper (Section 3.1) assumes a fixed infinite set ``D`` of data values and
+a fixed infinite set ``V`` of variables, disjoint from ``D``.  A *term* is
+either a data value (constant) or a variable.  Atoms are built from a relation
+symbol and a vector of terms (see :mod:`repro.model.atoms`).
+
+This module provides small immutable value classes for both kinds of terms,
+plus helpers to coerce plain Python values into terms.  Constants wrap
+arbitrary hashable Python values (ints and strings in practice); variables are
+identified by their name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable such as ``x`` or ``y1``.
+
+    Variables compare and hash by name, so two ``Variable("x")`` instances are
+    interchangeable.  Names must be non-empty strings.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("variable name must be a non-empty string")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A data value appearing in a query, e.g. the ``4`` in ``R(x, y, 4)``.
+
+    The wrapped value may be any hashable Python object; equality is value
+    equality of the wrapped objects.
+    """
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: A term is either a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: object) -> bool:
+    """Return ``True`` if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: object) -> bool:
+    """Return ``True`` if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def as_term(value: object) -> Term:
+    """Coerce *value* into a :class:`Term`.
+
+    Strings are treated as variable names when they are valid Python
+    identifiers starting with a lowercase letter (the convention used
+    throughout the paper, e.g. ``x``, ``y1``, ``aut``); everything else is
+    wrapped as a :class:`Constant`.  Existing terms are returned unchanged.
+
+    This is a convenience used by the programmatic query-construction API;
+    the parser (:mod:`repro.query.parser`) makes the distinction explicitly
+    from the concrete syntax instead.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value.isidentifier() and value[0].islower():
+        return Variable(value)
+    return Constant(value)
+
+
+def variables_in(terms) -> tuple:
+    """Return the tuple of distinct variables occurring in *terms*, in order."""
+    seen = []
+    for term in terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen.append(term)
+    return tuple(seen)

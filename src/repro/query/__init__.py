@@ -1,0 +1,60 @@
+"""SGF query language: ASTs, validation, parsing, dependency analysis, semantics."""
+
+from .bsgf import BSGFQuery, GuardednessError, SemiJoinSpec, select
+from .conditions import (
+    TRUE,
+    And,
+    AtomCondition,
+    Condition,
+    Not,
+    Or,
+    atom,
+    conjunction,
+    disjunction,
+    evaluate_with_index,
+    truth_assignment,
+)
+from .dependency import CycleError, DependencyGraph, MultiwaySort, groups_to_queries
+from .parser import ParseError, parse_atom, parse_bsgf, parse_condition, parse_sgf
+from .reference import (
+    evaluate_bsgf,
+    evaluate_semijoin,
+    evaluate_sgf,
+    relations_equal,
+    result_sets,
+)
+from .sgf import SGFQuery, SGFValidationError
+
+__all__ = [
+    "And",
+    "AtomCondition",
+    "BSGFQuery",
+    "Condition",
+    "CycleError",
+    "DependencyGraph",
+    "GuardednessError",
+    "MultiwaySort",
+    "Not",
+    "Or",
+    "ParseError",
+    "SGFQuery",
+    "SGFValidationError",
+    "SemiJoinSpec",
+    "TRUE",
+    "atom",
+    "conjunction",
+    "disjunction",
+    "evaluate_bsgf",
+    "evaluate_semijoin",
+    "evaluate_sgf",
+    "evaluate_with_index",
+    "groups_to_queries",
+    "parse_atom",
+    "parse_bsgf",
+    "parse_condition",
+    "parse_sgf",
+    "relations_equal",
+    "result_sets",
+    "select",
+    "truth_assignment",
+]

@@ -1,0 +1,262 @@
+"""Boolean condition trees for the WHERE clause of BSGF queries.
+
+A condition ``C`` in a BSGF query (Section 3.1) is a Boolean combination of
+*conditional atoms*.  This module defines an immutable AST for such
+conditions with:
+
+* :class:`AtomCondition` — a leaf referring to a conditional atom;
+* :class:`Not`, :class:`And`, :class:`Or` — the Boolean connectives;
+* :data:`TRUE` — the empty condition (a query without a WHERE clause).
+
+The AST supports
+
+* enumerating conditional atoms (in a stable left-to-right order),
+* evaluation under a truth assignment for the atoms — which is exactly what
+  the EVAL MapReduce job of Section 4.3 does after the MSJ jobs have computed
+  which semi-joins hold for each guard tuple,
+* substitution of atoms by fresh relation names (turning ``C`` into the
+  Boolean formula ``phi_C`` over intermediate relations ``X_i``),
+* rendering back to the paper's SQL-like concrete syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from ..model.atoms import Atom
+from ..model.terms import Variable
+
+
+class Condition:
+    """Base class for condition nodes.  Instances are immutable and hashable."""
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        """Distinct conditional atoms, in order of first (left-to-right) occurrence."""
+        seen: List[Atom] = []
+        for atom in self._iter_atoms():
+            if atom not in seen:
+                seen.append(atom)
+        return tuple(seen)
+
+    def _iter_atoms(self) -> Iterator[Atom]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Callable[[Atom], bool]) -> bool:
+        """Evaluate the condition under a truth *assignment* for atoms."""
+        raise NotImplementedError
+
+    def map_atoms(self, mapping: Callable[[Atom], "Condition"]) -> "Condition":
+        """Rebuild the tree with every atom leaf replaced by ``mapping(atom)``."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the condition's atoms."""
+        result: FrozenSet[Variable] = frozenset()
+        for atom in self.atoms():
+            result |= atom.variable_set()
+        return result
+
+    def uses_negation(self) -> bool:
+        """Whether a NOT occurs anywhere in the tree."""
+        return any(isinstance(node, Not) for node in self.walk())
+
+    def uses_disjunction(self) -> bool:
+        """Whether an OR occurs anywhere in the tree."""
+        return any(isinstance(node, Or) for node in self.walk())
+
+    def is_pure_conjunction(self) -> bool:
+        """True when the condition is a conjunction of positive atoms."""
+        return not self.uses_negation() and not self.uses_disjunction()
+
+    def walk(self) -> Iterator["Condition"]:
+        """Pre-order traversal of the tree."""
+        yield self
+
+    # Operator sugar so conditions compose naturally in programmatic queries.
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The trivially-true condition of a query with no WHERE clause."""
+
+    def _iter_atoms(self) -> Iterator[Atom]:
+        return iter(())
+
+    def evaluate(self, assignment: Callable[[Atom], bool]) -> bool:
+        return True
+
+    def map_atoms(self, mapping: Callable[[Atom], Condition]) -> Condition:
+        return self
+
+    def walk(self) -> Iterator[Condition]:
+        yield self
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+#: Singleton instance used for queries without a WHERE clause.
+TRUE = TrueCondition()
+
+
+@dataclass(frozen=True)
+class AtomCondition(Condition):
+    """A leaf condition: a single conditional atom."""
+
+    atom: Atom
+
+    def _iter_atoms(self) -> Iterator[Atom]:
+        yield self.atom
+
+    def evaluate(self, assignment: Callable[[Atom], bool]) -> bool:
+        return bool(assignment(self.atom))
+
+    def map_atoms(self, mapping: Callable[[Atom], Condition]) -> Condition:
+        return mapping(self.atom)
+
+    def walk(self) -> Iterator[Condition]:
+        yield self
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation of a condition."""
+
+    operand: Condition
+
+    def _iter_atoms(self) -> Iterator[Atom]:
+        yield from self.operand._iter_atoms()
+
+    def evaluate(self, assignment: Callable[[Atom], bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def map_atoms(self, mapping: Callable[[Atom], Condition]) -> Condition:
+        return Not(self.operand.map_atoms(mapping))
+
+    def walk(self) -> Iterator[Condition]:
+        yield self
+        yield from self.operand.walk()
+
+    def __str__(self) -> str:
+        return f"NOT {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def _iter_atoms(self) -> Iterator[Atom]:
+        yield from self.left._iter_atoms()
+        yield from self.right._iter_atoms()
+
+    def evaluate(self, assignment: Callable[[Atom], bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def map_atoms(self, mapping: Callable[[Atom], Condition]) -> Condition:
+        return And(self.left.map_atoms(mapping), self.right.map_atoms(mapping))
+
+    def walk(self) -> Iterator[Condition]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} AND {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def _iter_atoms(self) -> Iterator[Atom]:
+        yield from self.left._iter_atoms()
+        yield from self.right._iter_atoms()
+
+    def evaluate(self, assignment: Callable[[Atom], bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def map_atoms(self, mapping: Callable[[Atom], Condition]) -> Condition:
+        return Or(self.left.map_atoms(mapping), self.right.map_atoms(mapping))
+
+    def walk(self) -> Iterator[Condition]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} OR {_wrap(self.right)}"
+
+
+def _wrap(node: Condition) -> str:
+    """Parenthesise composite children when rendering."""
+    if isinstance(node, (And, Or)):
+        return f"({node})"
+    return str(node)
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def atom(relation: str, *values: object) -> AtomCondition:
+    """Shorthand to build an :class:`AtomCondition` from plain values."""
+    return AtomCondition(Atom.of(relation, *values))
+
+
+def conjunction(conditions: Sequence[Condition]) -> Condition:
+    """Left-deep AND of a sequence of conditions (``TRUE`` when empty)."""
+    conditions = list(conditions)
+    if not conditions:
+        return TRUE
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = And(result, cond)
+    return result
+
+
+def disjunction(conditions: Sequence[Condition]) -> Condition:
+    """Left-deep OR of a sequence of conditions (``TRUE`` when empty)."""
+    conditions = list(conditions)
+    if not conditions:
+        return TRUE
+    result = conditions[0]
+    for cond in conditions[1:]:
+        result = Or(result, cond)
+    return result
+
+
+def truth_assignment(true_atoms: Sequence[Atom]) -> Callable[[Atom], bool]:
+    """Build an assignment function from the set of atoms considered true."""
+    true_set = set(true_atoms)
+    return lambda a: a in true_set
+
+
+def evaluate_with_index(
+    condition: Condition, true_indices: Sequence[int], ordered_atoms: Sequence[Atom]
+) -> bool:
+    """Evaluate *condition* given the indices of atoms that hold.
+
+    This mirrors the EVAL reducer of Section 4.3, which receives the set of
+    indices ``i`` such that the guard tuple belongs to ``X_i`` and evaluates
+    the Boolean formula ``phi_C``.
+    """
+    index_of: Dict[Atom, int] = {a: i for i, a in enumerate(ordered_atoms)}
+    true_set = set(true_indices)
+    return condition.evaluate(lambda a: index_of[a] in true_set)

@@ -1,0 +1,190 @@
+"""Dependency graphs and multiway topological sorts of SGF queries.
+
+Section 4.6 of the paper reduces the evaluation of a (nested) SGF query to the
+evaluation of its BSGF subqueries in an order consistent with the dependency
+graph ``G_Q``: nodes are the BSGF subqueries and there is an edge
+``Q_i -> Q_j`` whenever the output ``Z_i`` is mentioned in ``ξ_j``.
+
+A *multiway topological sort* is a sequence ``(F_1, ..., F_k)`` of disjoint
+groups partitioning the nodes such that edges only go from earlier groups to
+strictly later groups.  Each group is then evaluated with one (grouped) basic
+MR program; groups are evaluated in sequence.
+
+This module provides :class:`DependencyGraph` plus enumeration of all multiway
+topological sorts (used by the brute-force ``SGF-Opt`` solver on small
+queries) and helpers used by ``Greedy-SGF``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from .bsgf import BSGFQuery
+from .sgf import SGFQuery
+
+#: A multiway topological sort: an ordered sequence of groups of subquery names.
+MultiwaySort = Tuple[Tuple[str, ...], ...]
+
+
+class CycleError(ValueError):
+    """Raised when the dependency structure is (unexpectedly) cyclic."""
+
+
+@dataclass
+class DependencyGraph:
+    """The dependency graph ``G_Q`` of an SGF query.
+
+    Nodes are identified by subquery output names.  ``parents[v]`` is the set
+    of nodes with an edge into ``v`` (i.e. the subqueries whose output ``v``'s
+    definition mentions); ``children[v]`` the reverse.
+    """
+
+    query: SGFQuery
+    parents: Dict[str, FrozenSet[str]] = field(init=False)
+    children: Dict[str, Set[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.parents = dict(self.query.dependencies())
+        self.children = {name: set() for name in self.query.output_names}
+        for child, parent_set in self.parents.items():
+            for parent in parent_set:
+                self.children[parent].add(child)
+
+    # -- basic graph accessors -----------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return self.query.output_names
+
+    def subquery(self, name: str) -> BSGFQuery:
+        return self.query.subquery(name)
+
+    def roots(self) -> Tuple[str, ...]:
+        """Nodes with no incoming edges (no dependencies on other subqueries)."""
+        return tuple(n for n in self.nodes if not self.parents[n])
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        for child, parent_set in self.parents.items():
+            for parent in sorted(parent_set):
+                yield (parent, child)
+
+    def edge_count(self) -> int:
+        return sum(len(p) for p in self.parents.values())
+
+    # -- topological structure -----------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """A single-node-per-group topological order (Kahn's algorithm)."""
+        in_degree = {n: len(self.parents[n]) for n in self.nodes}
+        ready = [n for n in self.nodes if in_degree[n] == 0]
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for child in sorted(self.children[node]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self.nodes):
+            raise CycleError("dependency graph contains a cycle")
+        return order
+
+    def levels(self) -> List[List[str]]:
+        """Longest-path-from-root levels (the PARUNIT grouping)."""
+        level_of: Dict[str, int] = {}
+        for node in self.topological_order():
+            parent_levels = [level_of[p] for p in self.parents[node]]
+            level_of[node] = 0 if not parent_levels else 1 + max(parent_levels)
+        depth = max(level_of.values()) + 1 if level_of else 0
+        levels: List[List[str]] = [[] for _ in range(depth)]
+        for node in self.nodes:
+            levels[level_of[node]].append(node)
+        return levels
+
+    def is_valid_multiway_sort(self, groups: Sequence[Sequence[str]]) -> bool:
+        """Check whether *groups* is a valid multiway topological sort of the graph.
+
+        Conditions (Section 4.6): the groups partition the node set, and every
+        edge goes from a strictly earlier group to a strictly later group.
+        """
+        flattened = [n for group in groups for n in group]
+        if sorted(flattened) != sorted(self.nodes):
+            return False
+        if len(set(flattened)) != len(flattened):
+            return False
+        group_of: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                group_of[node] = index
+        for parent, child in self.edges():
+            if group_of[parent] >= group_of[child]:
+                return False
+        return True
+
+    # -- enumeration (for brute-force SGF-Opt on small queries) -----------------
+
+    def all_multiway_sorts(self, max_nodes: int = 12) -> Iterator[MultiwaySort]:
+        """Enumerate the multiway topological sorts of the graph.
+
+        Sorts are enumerated up to permutation of groups: two sequences that
+        contain exactly the same groups (in a different order) have the same
+        evaluation cost (Equation (10) sums over groups), so only one
+        representative is produced — this matches the paper's count of four
+        sorts for Example 5.  The number of sorts grows super-exponentially,
+        so the method refuses graphs with more than *max_nodes* nodes.
+        """
+        if len(self.nodes) > max_nodes:
+            raise ValueError(
+                f"refusing to enumerate multiway sorts of {len(self.nodes)} nodes "
+                f"(limit {max_nodes})"
+            )
+        seen: set = set()
+        for sort in self._extend_sort((), frozenset()):
+            key = frozenset(frozenset(group) for group in sort)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield sort
+
+    def _extend_sort(
+        self, prefix: MultiwaySort, placed: FrozenSet[str]
+    ) -> Iterator[MultiwaySort]:
+        remaining = [n for n in self.nodes if n not in placed]
+        if not remaining:
+            yield prefix
+            return
+        # Nodes eligible for the next group: all parents already placed.
+        eligible = [n for n in remaining if self.parents[n] <= placed]
+        for group in _nonempty_subsets(eligible):
+            new_prefix = prefix + (tuple(group),)
+            yield from self._extend_sort(new_prefix, placed | frozenset(group))
+
+    # -- overlap (used by Greedy-SGF) ---------------------------------------------
+
+    def overlap(self, node: str, group: Iterable[str]) -> int:
+        """Number of relations shared between subquery *node* and the *group*.
+
+        Following Section 4.6: ``overlap(Q, F)`` is the number of relation
+        symbols occurring in ``Q`` that also occur in (some query of) ``F``.
+        """
+        query_relations = self.subquery(node).relation_names
+        group_relations: Set[str] = set()
+        for other in group:
+            group_relations.update(self.subquery(other).relation_names)
+        return len(query_relations & group_relations)
+
+
+def _nonempty_subsets(items: Sequence[str]) -> Iterator[Tuple[str, ...]]:
+    """All non-empty subsets of *items* in a deterministic order."""
+    items = list(items)
+    n = len(items)
+    for mask in range(1, 1 << n):
+        yield tuple(items[i] for i in range(n) if mask & (1 << i))
+
+
+def groups_to_queries(
+    graph: DependencyGraph, groups: Sequence[Sequence[str]]
+) -> List[List[BSGFQuery]]:
+    """Materialise a multiway sort into lists of BSGF query objects."""
+    return [[graph.subquery(name) for name in group] for group in groups]

@@ -1,0 +1,157 @@
+"""Reference (non-MapReduce) evaluator for BSGF and SGF queries.
+
+This module implements the *semantics by definition* of Section 3.1: a BSGF
+query ``Z := SELECT x̄ FROM R(t̄) WHERE C`` returns every tuple ``ā`` for which
+some substitution ``σ`` over the guard's variables satisfies
+
+* ``σ(x̄) = ā``,
+* ``R(σ(t̄)) ∈ DB``, and
+* ``C`` evaluates to true under ``σ``, where an atom ``T(v̄)`` holds iff a
+  ``T``-fact exists in ``DB`` agreeing with the guard fact on the shared
+  variables.
+
+The evaluator is deliberately simple and direct — it exists to define correct
+answers against which every MapReduce evaluation strategy is tested, and to
+power examples on small data.  It indexes conditional relations by join key so
+it stays usable on the scaled-down experiment datasets as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..model.atoms import Atom
+from ..model.database import Database
+from ..model.relation import Relation
+from ..model.terms import Variable
+from .bsgf import BSGFQuery
+from .conditions import Condition
+from .sgf import SGFQuery
+
+
+class _ConditionalIndex:
+    """Index of a conditional atom: the set of join-key values it asserts.
+
+    For a conditional atom κ with join key z̄ (the variables shared with the
+    guard), the semi-join test for a guard fact ``f`` is simply
+    ``pi_{guard; z̄}(f) ∈ {pi_{κ; z̄}(g) | g |= κ}``.  When the atom shares no
+    variables with the guard the test degenerates to "does any conforming fact
+    exist" (a Boolean), which the index represents with an empty key.
+    """
+
+    def __init__(self, database: Database, guard: Atom, conditional: Atom) -> None:
+        shared = guard.shared_variables(conditional)
+        self.join_key: Tuple[Variable, ...] = tuple(
+            v for v in guard.variables if v in shared
+        )
+        self.keys: Set[Tuple[object, ...]] = set()
+        relation = database.get(conditional.relation)
+        if relation is None:
+            return
+        for row in relation:
+            binding = conditional.match(row)
+            if binding is None:
+                continue
+            self.keys.add(tuple(binding[v] for v in self.join_key))
+
+    def holds_for(self, guard_binding: Dict[Variable, object]) -> bool:
+        key = tuple(guard_binding[v] for v in self.join_key)
+        return key in self.keys
+
+
+def evaluate_bsgf(
+    query: BSGFQuery,
+    database: Database,
+    output_bytes_per_field: Optional[int] = None,
+) -> Relation:
+    """Evaluate a single BSGF query directly, returning the output relation."""
+    guard_relation = database.get(query.guard.relation)
+    arity = max(len(query.projection), 1)
+    bytes_per_field = (
+        output_bytes_per_field
+        if output_bytes_per_field is not None
+        else (guard_relation.bytes_per_field if guard_relation is not None else 10)
+    )
+    output = Relation(query.output, arity, bytes_per_field)
+    if guard_relation is None:
+        return output
+
+    indexes: Dict[Atom, _ConditionalIndex] = {
+        atom: _ConditionalIndex(database, query.guard, atom)
+        for atom in query.conditional_atoms
+    }
+
+    for row in guard_relation:
+        binding = query.guard.match(row)
+        if binding is None:
+            continue
+        holds = query.condition.evaluate(
+            lambda atom: indexes[atom].holds_for(binding)
+        )
+        if holds:
+            projected = tuple(binding[v] for v in query.projection)
+            output.add(projected if projected else (row[0],))
+    return output
+
+
+def evaluate_sgf(
+    query: SGFQuery,
+    database: Database,
+    keep_intermediates: bool = True,
+) -> Dict[str, Relation]:
+    """Evaluate an SGF query bottom-up, returning all computed output relations.
+
+    The input database is not modified; intermediate results are added to a
+    working copy so later subqueries can reference earlier outputs.  The
+    returned dictionary maps every subquery output name to its relation (or
+    only the root outputs when *keep_intermediates* is false).
+    """
+    working = database.copy()
+    results: Dict[str, Relation] = {}
+    for subquery in query:
+        relation = evaluate_bsgf(subquery, working)
+        working.add_relation(relation)
+        results[subquery.output] = relation
+    if not keep_intermediates:
+        roots = set(query.root_names)
+        results = {name: rel for name, rel in results.items() if name in roots}
+    return results
+
+
+def evaluate_semijoin(
+    guard: Atom,
+    conditional: Atom,
+    projection: Tuple[Variable, ...],
+    database: Database,
+    output_name: str = "X",
+) -> Relation:
+    """Directly evaluate one semi-join ``pi_projection(guard ⋉ conditional)``.
+
+    Used as the reference for MSJ-operator tests.
+    """
+    query = BSGFQuery(
+        output=output_name,
+        projection=projection,
+        guard=guard,
+        condition=_single_atom_condition(conditional),
+    )
+    return evaluate_bsgf(query, database)
+
+
+def _single_atom_condition(atom: Atom) -> Condition:
+    from .conditions import AtomCondition
+
+    return AtomCondition(atom)
+
+
+def relations_equal(left: Relation, right: Relation) -> bool:
+    """Set equality of two relations' tuples (names and sizes ignored)."""
+    return left.tuples() == right.tuples()
+
+
+def result_sets(
+    results: Dict[str, Relation], names: Optional[Iterable[str]] = None
+) -> Dict[str, FrozenSet[Tuple[object, ...]]]:
+    """Convert evaluation results to plain frozensets for easy comparison."""
+    selected = list(results) if names is None else list(names)
+    return {name: frozenset(results[name].tuples()) for name in selected}

@@ -1,0 +1,171 @@
+"""Synthetic data generation matching the paper's experimental setup.
+
+Section 5.1: guard relations hold 100 M 4-ary tuples (4 GB), conditional
+relations hold the same number of unary tuples (1 GB), and 50 % of the
+conditional tuples match the guard tuples; the selectivity experiments of
+Section 5.4 additionally vary the fraction of guard tuples a conditional
+matches between 0.1 and 0.9.
+
+:func:`generate_guard` and :func:`generate_conditional` produce deterministic
+scaled-down versions of these relations:
+
+* guard values are drawn uniformly from a domain whose size scales with the
+  relation so that duplicate join values appear at realistic rates;
+* a conditional relation with selectivity σ contains (approximately) the first
+  σ·|domain| domain values — so a fraction σ of the guard tuples match — plus
+  non-matching filler values to reach the requested cardinality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.database import Database
+from ..model.relation import Relation
+
+#: Bytes per field reproducing the paper's relation sizes (4 GB / 100 M 4-ary
+#: tuples and 1 GB / 100 M unary tuples).
+PAPER_BYTES_PER_FIELD = 10
+
+#: Default ratio between domain size and relation cardinality.  A smaller
+#: domain produces more duplicate join values; 1.0 makes values mostly unique.
+DEFAULT_DOMAIN_RATIO = 1.0
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """How far the paper's 100 M-tuple workload is scaled down.
+
+    ``factor`` multiplies the paper's tuple counts: 1e-4 gives 10 000-tuple
+    guard relations, which keeps full experiment sweeps in the seconds range
+    while preserving all data-volume *ratios* (see
+    :mod:`repro.workloads.scaling` for how the cost environment is rescaled so
+    that absolute simulated times are preserved too).
+    """
+
+    factor: float = 1e-4
+    paper_guard_tuples: int = 100_000_000
+    paper_conditional_tuples: int = 100_000_000
+
+    @property
+    def guard_tuples(self) -> int:
+        return max(1, int(round(self.paper_guard_tuples * self.factor)))
+
+    @property
+    def conditional_tuples(self) -> int:
+        return max(1, int(round(self.paper_conditional_tuples * self.factor)))
+
+
+def _domain_size(tuples: int, domain_ratio: float) -> int:
+    return max(2, int(round(tuples * domain_ratio)))
+
+
+def generate_guard(
+    name: str,
+    tuples: int,
+    arity: int = 4,
+    domain_ratio: float = DEFAULT_DOMAIN_RATIO,
+    seed: int = 0,
+    bytes_per_field: int = PAPER_BYTES_PER_FIELD,
+) -> Relation:
+    """A guard relation of *tuples* rows with *arity* uniformly-drawn columns."""
+    rng = random.Random((seed, name, "guard").__repr__())
+    domain = _domain_size(tuples, domain_ratio)
+    relation = Relation(name, arity, bytes_per_field)
+    while len(relation) < tuples:
+        relation.add(tuple(rng.randrange(domain) for _ in range(arity)))
+    return relation
+
+
+def generate_conditional(
+    name: str,
+    tuples: int,
+    guard_tuples: int,
+    selectivity: float = 0.5,
+    arity: int = 1,
+    domain_ratio: float = DEFAULT_DOMAIN_RATIO,
+    seed: int = 0,
+    bytes_per_field: int = PAPER_BYTES_PER_FIELD,
+    constant_columns: Optional[Dict[int, object]] = None,
+) -> Relation:
+    """A conditional relation matching a fraction *selectivity* of guard tuples.
+
+    The matching column (column 0) contains the first ``selectivity·domain``
+    values of the guard domain; remaining rows are filled with values outside
+    the guard domain so the relation reaches the requested cardinality without
+    increasing the match rate.  ``constant_columns`` can pin specific columns
+    to fixed values (used by the cost-model stress query, whose conditionals
+    are filtered away entirely by a constant that never occurs).
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must lie in [0, 1]")
+    rng = random.Random((seed, name, "conditional").__repr__())
+    domain = _domain_size(guard_tuples, domain_ratio)
+    matching_values = int(round(domain * selectivity))
+    relation = Relation(name, arity, bytes_per_field)
+    constant_columns = constant_columns or {}
+
+    def build_row(first: object) -> Tuple[object, ...]:
+        row: List[object] = [first]
+        for column in range(1, arity):
+            if column in constant_columns:
+                row.append(constant_columns[column])
+            else:
+                row.append(rng.randrange(domain))
+        if 0 in constant_columns:
+            row[0] = constant_columns[0]
+        return tuple(row)
+
+    for value in range(matching_values):
+        if len(relation) >= tuples:
+            break
+        relation.add(build_row(value))
+    filler = domain
+    while len(relation) < tuples:
+        relation.add(build_row(filler))
+        filler += 1
+    return relation
+
+
+def generate_database(
+    guards: Dict[str, int],
+    conditionals: Dict[str, int],
+    guard_tuples: int,
+    conditional_tuples: Optional[int] = None,
+    selectivity: float = 0.5,
+    seed: int = 0,
+    domain_ratio: float = DEFAULT_DOMAIN_RATIO,
+    conditional_constants: Optional[Dict[str, Dict[int, object]]] = None,
+) -> Database:
+    """Build a database with the given guard and conditional relations.
+
+    *guards* and *conditionals* map relation names to arities.  All guards
+    share the same cardinality (*guard_tuples*) and all conditionals share
+    *conditional_tuples* (defaults to the guard cardinality, as in the paper).
+    """
+    conditional_tuples = (
+        guard_tuples if conditional_tuples is None else conditional_tuples
+    )
+    conditional_constants = conditional_constants or {}
+    database = Database()
+    for name, arity in sorted(guards.items()):
+        database.add_relation(
+            generate_guard(name, guard_tuples, arity=arity, seed=seed,
+                           domain_ratio=domain_ratio)
+        )
+    for name, arity in sorted(conditionals.items()):
+        database.add_relation(
+            generate_conditional(
+                name,
+                conditional_tuples,
+                guard_tuples,
+                selectivity=selectivity,
+                arity=arity,
+                seed=seed,
+                domain_ratio=domain_ratio,
+                constant_columns=conditional_constants.get(name),
+            )
+        )
+    return database

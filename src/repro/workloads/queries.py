@@ -1,0 +1,311 @@
+"""The experiment queries of the paper: A1–A5, B1–B2 (Table 2), C1–C4 (Figure 6),
+the A3-like scaling family of Figures 7/8 and the cost-model stress query of
+Section 5.2.
+
+Every query family comes with the schema information needed to generate its
+input database (:func:`schema_for` / :func:`database_for`).  The C-query
+definitions follow Figure 6 of the paper; where the figure's rendering is
+ambiguous (duplicated output names, unary references to 4-ary outputs) we use
+the evident intent — unary intermediate outputs referenced by unary atoms —
+and note it here, since the experiments only depend on the queries' sharing
+structure, not on the exact attribute choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.atoms import Atom
+from ..model.database import Database
+from ..model.terms import Constant, Variable
+from ..query.bsgf import BSGFQuery
+from ..query.conditions import (
+    AtomCondition,
+    Condition,
+    Not,
+    conjunction,
+    disjunction,
+)
+from ..query.sgf import SGFQuery
+from .generator import generate_database
+
+# Common variables.
+_X, _Y, _Z, _W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+_XBAR = (_X, _Y, _Z, _W)
+
+#: Identifiers of the BSGF experiment queries (Table 2).
+BSGF_QUERY_IDS = ("A1", "A2", "A3", "A4", "A5", "B1", "B2")
+
+#: Identifiers of the SGF experiment queries (Figure 6).
+SGF_QUERY_IDS = ("C1", "C2", "C3", "C4")
+
+
+def _atom(name: str, *variables: Variable) -> AtomCondition:
+    return AtomCondition(Atom(name, tuple(variables)))
+
+
+def _guard(name: str) -> Atom:
+    return Atom(name, _XBAR)
+
+
+def _star_condition(relations: Sequence[str], variables: Sequence[Variable]) -> Condition:
+    return conjunction([_atom(rel, var) for rel, var in zip(relations, variables)])
+
+
+# -- Table 2: BSGF queries -------------------------------------------------------------
+
+
+def query_a1() -> List[BSGFQuery]:
+    """A1 — guard sharing: ``R(x̄) ⋉ S(x) ∧ T(y) ∧ U(z) ∧ V(w)``."""
+    condition = _star_condition(["S", "T", "U", "V"], _XBAR)
+    return [BSGFQuery("A1", _XBAR, _guard("R"), condition)]
+
+
+def query_a2() -> List[BSGFQuery]:
+    """A2 — guard & conditional *name* sharing: ``R(x̄) ⋉ S(x) ∧ S(y) ∧ S(z) ∧ S(w)``."""
+    condition = _star_condition(["S", "S", "S", "S"], _XBAR)
+    return [BSGFQuery("A2", _XBAR, _guard("R"), condition)]
+
+
+def query_a3() -> List[BSGFQuery]:
+    """A3 — guard & conditional *key* sharing: ``R(x̄) ⋉ S(x) ∧ T(x) ∧ U(x) ∧ V(x)``."""
+    condition = _star_condition(["S", "T", "U", "V"], [_X, _X, _X, _X])
+    return [BSGFQuery("A3", _XBAR, _guard("R"), condition)]
+
+
+def query_a4() -> List[BSGFQuery]:
+    """A4 — no sharing: two queries over disjoint guards and conditionals."""
+    first = BSGFQuery(
+        "A4R", _XBAR, _guard("R"), _star_condition(["S", "T", "U", "V"], _XBAR)
+    )
+    second = BSGFQuery(
+        "A4G", _XBAR, _guard("G"), _star_condition(["W", "X", "Y", "V2"], _XBAR)
+    )
+    return [first, second]
+
+
+def query_a5() -> List[BSGFQuery]:
+    """A5 — conditional name sharing: two guards sharing all conditional relations."""
+    condition = _star_condition(["S", "T", "U", "V"], _XBAR)
+    return [
+        BSGFQuery("A5R", _XBAR, _guard("R"), condition),
+        BSGFQuery("A5G", _XBAR, _guard("G"), condition),
+    ]
+
+
+def query_b1() -> List[BSGFQuery]:
+    """B1 — large conjunctive query: S, T, U, V each applied to x, y, z and w."""
+    atoms = [
+        _atom(rel, var) for var in _XBAR for rel in ("S", "T", "U", "V")
+    ]
+    return [BSGFQuery("B1", _XBAR, _guard("R"), conjunction(atoms))]
+
+
+def query_b2() -> List[BSGFQuery]:
+    """B2 — the uniqueness query: a large Boolean combination on a single key."""
+    s, t, u, v = _atom("S", _X), _atom("T", _X), _atom("U", _X), _atom("V", _X)
+    condition = disjunction(
+        [
+            conjunction([s, Not(t), Not(u), Not(v)]),
+            conjunction([Not(s), t, Not(u), Not(v)]),
+            conjunction([s, Not(t), u, Not(v)]),
+            conjunction([Not(s), Not(t), Not(u), v]),
+        ]
+    )
+    return [BSGFQuery("B2", _XBAR, _guard("R"), condition)]
+
+
+def a3_family(num_atoms: int, output: str = "A3N") -> List[BSGFQuery]:
+    """The A3-like scaling family of Figures 7/8: *num_atoms* conditionals on key x.
+
+    Conditional relations are named ``C1 ... Cn``.
+    """
+    if num_atoms < 1:
+        raise ValueError("need at least one conditional atom")
+    atoms = [_atom(f"C{i + 1}", _X) for i in range(num_atoms)]
+    return [BSGFQuery(output, _XBAR, _guard("R"), conjunction(atoms))]
+
+
+def cost_model_stress_query(groups: int = 4, keys: int = 12) -> List[BSGFQuery]:
+    """The Section 5.2 cost-model query: ``R(x̄') ⋉ ⋀_{g, k} S_g(x_k, c)``.
+
+    The guard has *keys* distinct variables; every conditional relation
+    ``S_1..S_groups`` is probed on each of them with a constant in the second
+    column that matches no stored tuple, so the conditionals contribute almost
+    nothing to the map output while the guard contributes a lot — exactly the
+    asymmetry that separates the Gumbo and Wang cost models.
+    """
+    variables = tuple(Variable(f"x{i + 1}") for i in range(keys))
+    guard = Atom("R", variables)
+    constant = Constant("c#never")
+    atoms = [
+        AtomCondition(Atom(f"S{g + 1}", (variables[k], constant)))
+        for g in range(groups)
+        for k in range(keys)
+    ]
+    return [BSGFQuery("CM", variables, guard, conjunction(atoms))]
+
+
+# -- Figure 6: SGF queries ---------------------------------------------------------------
+
+
+def query_c1() -> SGFQuery:
+    """C1 — two independent two-level chains whose leaves share conditionals."""
+    return SGFQuery(
+        (
+            BSGFQuery("Z1", (_X,), _guard("R"), conjunction([_atom("S", _X), _atom("S", _Y)])),
+            BSGFQuery("Z2", (_X,), _guard("G"), conjunction([_atom("T", _X), _atom("T", _Y)])),
+            BSGFQuery("Z3", (_X,), _guard("H"), conjunction([_atom("U", _X), _atom("U", _Y)])),
+            BSGFQuery("Z4", (_X,), _guard("G"), disjunction([_atom("Z1", _Z), _atom("Z1", _W)])),
+            BSGFQuery("Z5", (_X,), _guard("H"), disjunction([_atom("Z3", _Z), _atom("Z3", _W)])),
+        ),
+        name="C1",
+    )
+
+
+def query_c2() -> SGFQuery:
+    """C2 — three base subqueries feeding three second-level subqueries."""
+    return SGFQuery(
+        (
+            BSGFQuery("Z1", (_X,), _guard("R"), conjunction([_atom("S", _X), _atom("S", _Y)])),
+            BSGFQuery("Z2", (_X,), _guard("G"), conjunction([_atom("T", _X), _atom("T", _Y)])),
+            BSGFQuery("Z3", (_X,), _guard("H"), conjunction([_atom("U", _X), _atom("U", _Y)])),
+            BSGFQuery("Z4", (_X,), _guard("G"), conjunction([_atom("Z1", _X), _atom("Z1", _Y)])),
+            BSGFQuery("Z5", (_X,), _guard("H"), conjunction([_atom("Z2", _X), _atom("Z2", _Y)])),
+            BSGFQuery("Z6", (_X,), _guard("R"), conjunction([_atom("Z3", _X), _atom("Z3", _Y)])),
+        ),
+        name="C2",
+    )
+
+
+def query_c3() -> SGFQuery:
+    """C3 — a complex three-level query with many distinct atoms."""
+    return SGFQuery(
+        (
+            BSGFQuery("Z11", (_Z,), _guard("R"), conjunction([_atom("S", _X), _atom("T", _Y)])),
+            BSGFQuery("Z12", (_Z,), _guard("R"), _atom("T", _Y)),
+            BSGFQuery("Z13", (_Z,), _guard("I"), Not(_atom("S", _W))),
+            BSGFQuery("Z21", (_Z,), _guard("G"), conjunction([_atom("Z11", _X), _atom("U", _Y)])),
+            BSGFQuery(
+                "Z22",
+                (_Z,),
+                _guard("H"),
+                conjunction([disjunction([_atom("U", _Y), _atom("V", _Y)]), _atom("Z12", _X)]),
+            ),
+            BSGFQuery(
+                "Z23",
+                (_Z,),
+                _guard("R"),
+                conjunction([_atom("U", _X), _atom("T", _Y), _atom("V", _Z), _atom("Z13", _W)]),
+            ),
+            BSGFQuery(
+                "Z31",
+                (_Z,),
+                _guard("I"),
+                conjunction([_atom("Z22", _X), _atom("T", _X), _atom("V", _Y)]),
+            ),
+        ),
+        name="C3",
+    )
+
+
+def query_c4() -> SGFQuery:
+    """C4 — two levels with many overlapping atoms across the first level."""
+    return SGFQuery(
+        (
+            BSGFQuery("Z11", (_Y,), _guard("R"), disjunction([_atom("S", _X), _atom("T", _Y)])),
+            BSGFQuery("Z12", (_Y,), _guard("R"), disjunction([_atom("U", _Z), _atom("S", _X)])),
+            BSGFQuery("Z13", (_Y,), _guard("G"), disjunction([_atom("U", _X), _atom("V", _Y)])),
+            BSGFQuery("Z14", (_Y,), _guard("G"), disjunction([_atom("S", _Z), _atom("U", _X)])),
+            BSGFQuery(
+                "Z21",
+                (_Y,),
+                _guard("H"),
+                disjunction(
+                    [_atom("Z11", _X), _atom("Z12", _Y), _atom("Z13", _Z), _atom("Z14", _W)]
+                ),
+            ),
+        ),
+        name="C4",
+    )
+
+
+# -- lookup & schema helpers --------------------------------------------------------------------
+
+
+def bsgf_query_set(query_id: str) -> List[BSGFQuery]:
+    """The list of BSGF queries for an experiment identifier (A1–A5, B1, B2)."""
+    builders = {
+        "A1": query_a1,
+        "A2": query_a2,
+        "A3": query_a3,
+        "A4": query_a4,
+        "A5": query_a5,
+        "B1": query_b1,
+        "B2": query_b2,
+    }
+    key = query_id.upper()
+    if key not in builders:
+        raise KeyError(f"unknown BSGF query id {query_id!r}")
+    return builders[key]()
+
+
+def sgf_query(query_id: str) -> SGFQuery:
+    """The SGF query for an experiment identifier (C1–C4)."""
+    builders = {"C1": query_c1, "C2": query_c2, "C3": query_c3, "C4": query_c4}
+    key = query_id.upper()
+    if key not in builders:
+        raise KeyError(f"unknown SGF query id {query_id!r}")
+    return builders[key]()
+
+
+def schema_for(
+    queries: Sequence[BSGFQuery],
+    produced: Optional[Sequence[str]] = None,
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Split the relations of *queries* into (guards, conditionals) name → arity.
+
+    Relations listed in *produced* (outputs of earlier subqueries of an SGF
+    query) are excluded — they are computed, not generated.
+    """
+    produced_set = set(produced or ())
+    guards: Dict[str, int] = {}
+    conditionals: Dict[str, int] = {}
+    for query in queries:
+        guard = query.guard
+        if guard.relation not in produced_set:
+            guards[guard.relation] = guard.arity
+        for atom in query.conditional_atoms:
+            if atom.relation in produced_set:
+                continue
+            if atom.relation in guards:
+                continue
+            conditionals[atom.relation] = atom.arity
+    return guards, conditionals
+
+
+def database_for(
+    queries,
+    guard_tuples: int,
+    conditional_tuples: Optional[int] = None,
+    selectivity: float = 0.5,
+    seed: int = 0,
+    conditional_constants: Optional[Dict[str, Dict[int, object]]] = None,
+) -> Database:
+    """Generate the input database for a query set or SGF query."""
+    if isinstance(queries, SGFQuery):
+        produced = list(queries.output_names)
+        query_list = list(queries.subqueries)
+    else:
+        query_list = list(queries)
+        produced = [q.output for q in query_list]
+    guards, conditionals = schema_for(query_list, produced=produced)
+    return generate_database(
+        guards,
+        conditionals,
+        guard_tuples=guard_tuples,
+        conditional_tuples=conditional_tuples,
+        selectivity=selectivity,
+        seed=seed,
+        conditional_constants=conditional_constants,
+    )

@@ -1,0 +1,127 @@
+"""Tests for the simulated Hive/Pig baselines (HPAR, HPARS, PPAR)."""
+
+import pytest
+
+from repro.baselines.jobs import BaselineCombineJob, BaselineSemiJoinJob, HiveOuterJoinJob
+from repro.baselines.plans import (
+    BASELINE_STRATEGIES,
+    HIVE_INPUT_MB_PER_REDUCER,
+    build_baseline_program,
+    build_hpar_program,
+    build_hpars_program,
+    build_ppar_program,
+    reducer_mb_for,
+)
+from repro.core.strategies import build_bsgf_program
+from repro.core.costing import PlanCostEstimator
+from repro.core.options import GumboOptions
+from repro.cost.constants import PIG_INPUT_MB_PER_REDUCER
+from repro.cost.estimates import StatisticsCatalog
+from repro.mapreduce.engine import MapReduceEngine
+from repro.query.bsgf import SemiJoinSpec
+from repro.query.reference import evaluate_bsgf
+from repro.workloads.queries import bsgf_query_set, database_for
+
+from helpers import as_set, shared_key_query, star_database, star_query
+
+
+@pytest.fixture
+def engine():
+    return MapReduceEngine()
+
+
+class TestBaselineJobs:
+    def test_outer_join_keeps_all_guard_rows(self, engine):
+        query = star_query()
+        spec = query.semijoin_specs()[0]
+        renamed = SemiJoinSpec("X", spec.guard, spec.conditional, spec.projection)
+        result = engine.run_job(HiveOuterJoinJob("join", renamed), star_database())
+        output = result.outputs["X"]
+        assert len(output) == len(star_database()["R"])
+        flags = {row[-1] for row in output}
+        assert flags <= {0, 1}
+
+    def test_semi_join_keeps_only_matches(self, engine):
+        query = star_query()
+        spec = query.semijoin_specs()[0]
+        renamed = SemiJoinSpec("X", spec.guard, spec.conditional, spec.projection)
+        result = engine.run_job(BaselineSemiJoinJob("join", renamed), star_database())
+        matching = {
+            row for row in star_database()["R"] if any(row[0] == s[0] for s in star_database()["S"])
+        }
+        assert as_set(result.outputs["X"]) == frozenset(matching)
+
+    def test_baseline_jobs_ship_full_tuples(self):
+        query = star_query()
+        spec = query.semijoin_specs()[0]
+        job = BaselineSemiJoinJob("join", spec)
+        pairs = list(job.map("R", (1, 2, 3, 4)))
+        assert len(pairs) == 1
+        _, value = pairs[0]
+        assert job.value_bytes(value) == 4 * 10
+
+    def test_combine_job_validates_intermediates(self):
+        query = star_query()
+        with pytest.raises(ValueError):
+            BaselineCombineJob("combine", [query], {"OUT": ["only-one"]}, flagged=False)
+
+
+class TestBaselinePlans:
+    def test_hpar_is_sequential(self):
+        queries = bsgf_query_set("A1")
+        program = build_hpar_program(queries)
+        # 4 outer joins run sequentially + 1 combine job = 5 rounds.
+        assert len(program) == 5
+        assert program.rounds() == 5
+
+    def test_hpar_groups_shared_key_queries(self):
+        queries = bsgf_query_set("A3")
+        program = build_hpar_program(queries)
+        # Hive groups joins sharing the key: 2 rounds as the paper observes.
+        assert program.rounds() == 2
+
+    def test_hpars_and_ppar_are_parallel(self):
+        queries = bsgf_query_set("A1")
+        assert build_hpars_program(queries).rounds() == 2
+        assert build_ppar_program(queries).rounds() == 2
+
+    def test_build_baseline_program_dispatch(self):
+        queries = bsgf_query_set("A1")
+        for strategy in BASELINE_STRATEGIES:
+            program = build_baseline_program(queries, strategy)
+            assert len(program) >= 2
+        with pytest.raises(ValueError):
+            build_baseline_program(queries, "unknown")
+
+    def test_reducer_mb_for(self):
+        assert reducer_mb_for("hpar") == HIVE_INPUT_MB_PER_REDUCER
+        assert reducer_mb_for("hpars") == HIVE_INPUT_MB_PER_REDUCER
+        assert reducer_mb_for("ppar") == PIG_INPUT_MB_PER_REDUCER
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("strategy", ["hpar", "hpars", "ppar"])
+    @pytest.mark.parametrize("query_id", ["A1", "A3", "B2"])
+    def test_baselines_compute_correct_answers(self, engine, strategy, query_id):
+        queries = bsgf_query_set(query_id)
+        db = database_for(queries, guard_tuples=150, selectivity=0.5, seed=6)
+        program = build_baseline_program(queries, strategy)
+        result = engine.run_program(program, db)
+        for query in queries:
+            assert as_set(result.outputs[query.output]) == as_set(
+                evaluate_bsgf(query, db)
+            ), (strategy, query.output)
+
+    def test_baselines_shuffle_more_than_gumbo(self, engine):
+        """The baselines lack packing/tuple references: more communication than GREEDY."""
+        queries = bsgf_query_set("A1")
+        db = database_for(queries, guard_tuples=300, selectivity=0.5, seed=6)
+        estimator = PlanCostEstimator(
+            StatisticsCatalog(db, sample_size=200), options=GumboOptions()
+        )
+        gumbo_program = build_bsgf_program(queries, "greedy", estimator)
+        gumbo_comm = engine.run_program(gumbo_program, db).metrics.communication_mb
+        for strategy in BASELINE_STRATEGIES:
+            program = build_baseline_program(queries, strategy)
+            baseline_comm = engine.run_program(program, db).metrics.communication_mb
+            assert baseline_comm > gumbo_comm, strategy

@@ -1,0 +1,167 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_database, save_database
+from repro.model.database import Database
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    db = Database.from_dict(
+        {
+            "R": [(1, 2), (3, 4), (5, 6)],
+            "S": [(1,), (5,)],
+            "T": [(4,)],
+        }
+    )
+    directory = str(tmp_path / "data")
+    save_database(db, directory)
+    return directory
+
+
+QUERY = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR T(y);"
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_data(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--query", QUERY])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "figure3", "--scale", "1e-6"])
+        assert args.name == "figure3"
+        assert args.scale == 1e-6
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestQueryCommand:
+    def test_query_inline(self, data_dir, capsys):
+        code = main(["query", "--query", QUERY, "--data", data_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy: greedy" in out
+        assert "Z: 3 tuples" in out
+        assert "net_time_s" in out
+
+    def test_query_from_file_with_plan_and_output(self, data_dir, tmp_path, capsys):
+        query_file = tmp_path / "query.sgf"
+        query_file.write_text(QUERY)
+        out_dir = str(tmp_path / "out")
+        code = main(
+            [
+                "query",
+                "--query-file",
+                str(query_file),
+                "--data",
+                data_dir,
+                "--strategy",
+                "par",
+                "--show-plan",
+                "--output-dir",
+                out_dir,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MR program" in out
+        assert "EvalJob" in out
+        loaded = load_database(out_dir)
+        assert loaded["Z"].tuples() == {(1, 2), (3, 4), (5, 6)}
+
+    def test_query_with_options_disabled(self, data_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--query",
+                QUERY,
+                "--data",
+                data_dir,
+                "--no-packing",
+                "--no-tuple-reference",
+                "--cost-model",
+                "wang",
+            ]
+        )
+        assert code == 0
+        assert "Z: 3 tuples" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_describes_jobs(self, data_dir, capsys):
+        code = main(
+            ["plan", "--query", QUERY, "--data", data_dir, "--strategy", "par"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MSJJob" in out
+        assert "EvalJob" in out
+        assert "rounds" in out
+
+
+class TestGenerateCommand:
+    def test_generate_bsgf_workload(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "a3")
+        code = main(
+            [
+                "generate",
+                "A3",
+                out_dir,
+                "--guard-tuples",
+                "50",
+                "--selectivity",
+                "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "generated 5 relations" in out
+        db = load_database(out_dir)
+        assert len(db["R"]) == 50
+
+    def test_generate_sgf_workload(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "c4")
+        code = main(["generate", "C4", out_dir, "--guard-tuples", "30"])
+        assert code == 0
+        db = load_database(out_dir)
+        assert "R" in db and "G" in db and "H" in db
+
+    def test_generate_then_query_round_trip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "a3data")
+        main(["generate", "A3", out_dir, "--guard-tuples", "40"])
+        capsys.readouterr()
+        query = (
+            "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) "
+            "WHERE S(x) AND T(x) AND U(x) AND V(x);"
+        )
+        code = main(
+            ["query", "--query", query, "--data", out_dir, "--strategy", "1-round"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy: 1-round" in out
+
+
+class TestExperimentCommand:
+    def test_experiment_figure3(self, capsys):
+        code = main(
+            ["experiment", "figure3", "--scale", "5e-7", "--nodes", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+        assert "GREEDY" in out
+
+    def test_experiment_table3(self, capsys):
+        code = main(["experiment", "table3", "--scale", "5e-7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selectivity" in out

@@ -1,0 +1,264 @@
+"""Unit tests for DNF rewriting, sequential chain jobs and plan builders."""
+
+import pytest
+
+from repro.core.chain import Literal, SemiJoinChainJob, UnionProjectJob, to_dnf
+from repro.core.options import GumboOptions
+from repro.core.plan import (
+    BasicPlan,
+    build_one_round_program,
+    build_sequential_program,
+    build_sequential_program_for_set,
+    build_two_round_program,
+    eval_targets_for,
+)
+from repro.mapreduce.engine import MapReduceEngine
+from repro.model.atoms import Atom
+from repro.model.database import Database
+from repro.model.terms import Variable
+from repro.query.conditions import TRUE, And, AtomCondition, Not, Or, atom
+from repro.query.parser import parse_bsgf
+from repro.query.reference import evaluate_bsgf
+
+from helpers import (
+    as_set,
+    disjunctive_query,
+    shared_key_query,
+    simple_query,
+    small_database,
+    star_database,
+    star_query,
+)
+
+X, Y = Variable("x"), Variable("y")
+S_X, T_Y, U_Z = atom("S", "x"), atom("T", "y"), atom("U", "z")
+
+
+def _dnf_sets(condition):
+    return {
+        frozenset((lit.atom, lit.positive) for lit in disjunct)
+        for disjunct in to_dnf(condition)
+    }
+
+
+class TestDNF:
+    def test_atom(self):
+        assert to_dnf(S_X) == [[Literal(S_X.atom, True)]]
+
+    def test_negated_atom(self):
+        assert to_dnf(Not(S_X)) == [[Literal(S_X.atom, False)]]
+
+    def test_true_condition(self):
+        assert to_dnf(TRUE) == [[]]
+
+    def test_negated_true_is_unsatisfiable(self):
+        assert to_dnf(Not(TRUE)) == []
+
+    def test_conjunction_stays_single_disjunct(self):
+        disjuncts = to_dnf(And(S_X, T_Y))
+        assert len(disjuncts) == 1
+        assert len(disjuncts[0]) == 2
+
+    def test_disjunction_splits(self):
+        assert len(to_dnf(Or(S_X, T_Y))) == 2
+
+    def test_distribution(self):
+        # S AND (T OR U) -> (S AND T) OR (S AND U)
+        condition = And(S_X, Or(T_Y, U_Z))
+        assert _dnf_sets(condition) == {
+            frozenset({(S_X.atom, True), (T_Y.atom, True)}),
+            frozenset({(S_X.atom, True), (U_Z.atom, True)}),
+        }
+
+    def test_de_morgan(self):
+        condition = Not(And(S_X, T_Y))
+        assert _dnf_sets(condition) == {
+            frozenset({(S_X.atom, False)}),
+            frozenset({(T_Y.atom, False)}),
+        }
+
+    def test_double_negation(self):
+        assert _dnf_sets(Not(Not(S_X))) == {frozenset({(S_X.atom, True)})}
+
+    def test_dnf_preserves_semantics_on_all_assignments(self):
+        condition = Or(And(S_X, Not(T_Y)), And(Not(S_X), U_Z))
+        atoms = condition.atoms()
+        disjuncts = to_dnf(condition)
+        for mask in range(2 ** len(atoms)):
+            true_atoms = {a for i, a in enumerate(atoms) if mask & (1 << i)}
+            direct = condition.evaluate(lambda a: a in true_atoms)
+            via_dnf = any(
+                all(
+                    (lit.atom in true_atoms) == lit.positive
+                    for lit in disjunct
+                )
+                for disjunct in disjuncts
+            )
+            assert direct == via_dnf
+
+
+class TestChainJobs:
+    def test_semijoin_step_filters(self):
+        db = small_database()
+        job = SemiJoinChainJob(
+            "step",
+            input_name="R",
+            guard_atom=Atom.of("R", "x", "y"),
+            literal=Literal(Atom.of("S", "x"), True),
+            output_name="Out",
+        )
+        result = MapReduceEngine().run_job(job, db)
+        assert as_set(result.outputs["Out"]) == {(1, 2), (5, 6)}
+
+    def test_antijoin_step(self):
+        db = small_database()
+        job = SemiJoinChainJob(
+            "step",
+            input_name="R",
+            guard_atom=Atom.of("R", "x", "y"),
+            literal=Literal(Atom.of("S", "x"), False),
+            output_name="Out",
+        )
+        result = MapReduceEngine().run_job(job, db)
+        assert as_set(result.outputs["Out"]) == {(3, 4), (7, 8)}
+
+    def test_projection_applied_when_requested(self):
+        db = small_database()
+        job = SemiJoinChainJob(
+            "step",
+            input_name="R",
+            guard_atom=Atom.of("R", "x", "y"),
+            literal=Literal(Atom.of("S", "x"), True),
+            output_name="Out",
+            projection=(X,),
+        )
+        result = MapReduceEngine().run_job(job, db)
+        assert as_set(result.outputs["Out"]) == {(1,), (5,)}
+
+    def test_union_project_job_dedups(self):
+        db = Database.from_dict({"A": [(1, 2), (3, 4)], "B": [(1, 2), (5, 6)]})
+        job = UnionProjectJob(
+            "union", ["A", "B"], Atom.of("R", "x", "y"), (X, Y), "Out"
+        )
+        result = MapReduceEngine().run_job(job, db)
+        assert as_set(result.outputs["Out"]) == {(1, 2), (3, 4), (5, 6)}
+
+    def test_union_needs_inputs(self):
+        with pytest.raises(ValueError):
+            UnionProjectJob("union", [], Atom.of("R", "x"), (X,), "Out")
+
+
+class TestSequentialPrograms:
+    @pytest.mark.parametrize(
+        "query_factory, db_factory",
+        [
+            (simple_query, small_database),
+            (disjunctive_query, small_database),
+            (star_query, star_database),
+            (shared_key_query, star_database),
+        ],
+    )
+    def test_matches_reference(self, query_factory, db_factory):
+        query, db = query_factory(), db_factory()
+        program = build_sequential_program(query)
+        result = MapReduceEngine().run_program(program, db)
+        assert as_set(result.outputs[query.output]) == as_set(evaluate_bsgf(query, db))
+
+    def test_conjunctive_query_has_one_round_per_atom(self):
+        program = build_sequential_program(star_query())
+        assert program.rounds() == 4
+        assert len(program) == 4
+
+    def test_disjunctive_query_gets_union_round(self):
+        program = build_sequential_program(disjunctive_query())
+        # Two one-step branches plus the union round.
+        assert program.rounds() == 2
+        assert len(program) == 3
+
+    def test_no_condition_single_job(self):
+        query = parse_bsgf("Z := SELECT x FROM R(x, y);")
+        program = build_sequential_program(query)
+        assert len(program) == 1
+        db = small_database()
+        result = MapReduceEngine().run_program(program, db)
+        assert as_set(result.outputs["Z"]) == as_set(evaluate_bsgf(query, db))
+
+    def test_unsatisfiable_condition_gives_empty_output(self):
+        query = parse_bsgf("Z := SELECT x FROM R(x, y) WHERE S(x) AND NOT S(x);")
+        program = build_sequential_program(query)
+        result = MapReduceEngine().run_program(program, small_database())
+        assert as_set(result.outputs["Z"]) == frozenset()
+
+    def test_sequential_set_runs_queries_one_after_the_other(self):
+        q1 = parse_bsgf("Z1 := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        q2 = parse_bsgf("Z2 := SELECT (x, y) FROM R(x, y) WHERE T(y);")
+        program = build_sequential_program_for_set([q1, q2])
+        assert program.rounds() == 2
+        db = small_database()
+        result = MapReduceEngine().run_program(program, db)
+        assert as_set(result.outputs["Z1"]) == as_set(evaluate_bsgf(q1, db))
+        assert as_set(result.outputs["Z2"]) == as_set(evaluate_bsgf(q2, db))
+
+    def test_sequential_set_needs_queries(self):
+        with pytest.raises(ValueError):
+            build_sequential_program_for_set([])
+
+
+class TestBasicPlan:
+    def test_partition_must_cover_all_specs(self):
+        query = star_query()
+        specs = query.semijoin_specs()
+        with pytest.raises(ValueError):
+            BasicPlan([query], [[specs[0]]])
+
+    def test_num_jobs_and_describe(self):
+        query = star_query()
+        specs = query.semijoin_specs()
+        plan = BasicPlan([query], [specs[:2], specs[2:]])
+        assert plan.num_jobs == 3
+        assert plan.rounds == 2
+        description = plan.describe()
+        assert description.startswith("EVAL(OUT)")
+        assert description.count("MSJ(") == 2
+
+    def test_to_program_structure(self):
+        query = star_query()
+        specs = query.semijoin_specs()
+        program = BasicPlan([query], [specs[:2], specs[2:]]).to_program()
+        assert program.rounds() == 2
+        assert len(program) == 3
+
+    def test_figure2_alternative_plans_agree(self):
+        """The three alternative plans of Figure 2 produce the same answer."""
+        db = Database.from_dict(
+            {
+                "R": [(1, 2), (3, 4), (5, 6)],
+                "S": [(1, 9), (5, 9)],
+                "T": [(2,), (4,)],
+                "U": [(5,), (7,)],
+            }
+        )
+        query = parse_bsgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));"
+        )
+        specs = query.semijoin_specs()
+        partitions = [
+            [[specs[0]], [specs[1]], [specs[2]]],      # Figure 2 (a)
+            [[specs[0], specs[2]], [specs[1]]],        # Figure 2 (b)
+            [[specs[0], specs[1], specs[2]]],          # Figure 2 (c)
+        ]
+        reference = as_set(evaluate_bsgf(query, db))
+        for partition in partitions:
+            program = build_two_round_program([query], partition)
+            result = MapReduceEngine().run_program(program, db)
+            assert as_set(result.outputs["Z"]) == reference
+
+    def test_eval_targets_for(self):
+        query = star_query()
+        (target,) = eval_targets_for([query])
+        assert target.intermediates == tuple(s.output for s in query.semijoin_specs())
+
+    def test_one_round_program_single_job(self):
+        program = build_one_round_program([shared_key_query()])
+        assert len(program) == 1
+        assert program.rounds() == 1

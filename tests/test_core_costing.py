@@ -1,0 +1,132 @@
+"""Unit tests for the planner-side cost estimator (Equations 5-7, 9)."""
+
+import pytest
+
+from repro.core.costing import PlanCostEstimator
+from repro.core.eval_job import EvalTarget
+from repro.core.options import GumboOptions
+from repro.cost.estimates import StatisticsCatalog
+from repro.cost.models import GumboCostModel, WangCostModel
+
+from helpers import shared_key_query, star_database, star_query
+
+
+@pytest.fixture
+def catalog():
+    return StatisticsCatalog(star_database(), sample_size=100)
+
+
+@pytest.fixture
+def estimator(catalog):
+    return PlanCostEstimator(catalog, GumboCostModel(), GumboOptions())
+
+
+class TestMSJEstimates:
+    def test_one_partition_per_distinct_relation(self, estimator):
+        specs = star_query().semijoin_specs()
+        partitions = estimator.msj_partitions(specs)
+        labels = {p.label for p in partitions}
+        assert labels == {"R", "S", "T", "U", "V"}
+
+    def test_shared_relation_read_once(self, estimator):
+        specs = shared_key_query().semijoin_specs()
+        partitions = estimator.msj_partitions(specs)
+        assert len(partitions) == 5
+        input_total = sum(p.input_mb for p in partitions)
+        db = star_database()
+        assert input_total == pytest.approx(db.size_mb())
+
+    def test_grouped_cost_below_separate_cost_with_shared_guard(self, estimator):
+        """Equation (5) vs (6): grouping shares the guard scan."""
+        specs = star_query().semijoin_specs()
+        assert estimator.msj_cost(specs) < estimator.separate_cost(specs)
+
+    def test_gain_positive_for_shared_guard(self, estimator):
+        specs = star_query().semijoin_specs()
+        assert estimator.gain([specs[0]], [specs[1]]) > 0
+
+    def test_gain_is_symmetric(self, estimator):
+        specs = star_query().semijoin_specs()
+        assert estimator.gain([specs[0]], [specs[1]]) == pytest.approx(
+            estimator.gain([specs[1]], [specs[0]])
+        )
+
+    def test_packing_lowers_estimated_intermediate_for_shared_keys(self, catalog):
+        specs = shared_key_query().semijoin_specs()
+        packed = PlanCostEstimator(catalog, options=GumboOptions(message_packing=True))
+        plain = PlanCostEstimator(catalog, options=GumboOptions(message_packing=False))
+        packed_mb = sum(p.intermediate_mb for p in packed.msj_partitions(specs))
+        plain_mb = sum(p.intermediate_mb for p in plain.msj_partitions(specs))
+        assert packed_mb < plain_mb
+
+    def test_tuple_reference_lowers_estimated_output(self, catalog):
+        spec = star_query().semijoin_specs()[0]
+        with_ref = PlanCostEstimator(catalog, options=GumboOptions(tuple_reference=True))
+        without_ref = PlanCostEstimator(catalog, options=GumboOptions(tuple_reference=False))
+        assert with_ref.semijoin_output_mb(spec) < without_ref.semijoin_output_mb(spec)
+
+    def test_estimated_intermediate_tracks_execution(self):
+        """The estimate should be close to the engine's measured intermediate.
+
+        A generated A1 workload is used (rather than the 5-tuple toy database)
+        so that coincidental value collisions, which the estimator cannot
+        foresee, do not dominate.
+        """
+        from repro.core.msj import MSJJob
+        from repro.mapreduce.engine import MapReduceEngine
+        from repro.workloads.queries import database_for, query_a1
+
+        queries = query_a1()
+        db = database_for(queries, guard_tuples=400, selectivity=0.5, seed=2)
+        estimator = PlanCostEstimator(
+            StatisticsCatalog(db, sample_size=400), options=GumboOptions()
+        )
+        specs = queries[0].semijoin_specs()
+        estimate = sum(p.intermediate_mb for p in estimator.msj_partitions(specs))
+        job = MSJJob("msj", specs, GumboOptions(), emit_projection=False)
+        measured = MapReduceEngine().run_job(job, db).metrics.intermediate_mb
+        # The estimator cannot foresee same-key packing across different guard
+        # tuples inside one map task, so it over-approximates slightly.
+        assert measured <= estimate <= 1.5 * measured
+
+
+class TestEvalAndProgramEstimates:
+    def test_eval_cost_positive(self, estimator):
+        query = star_query()
+        targets = [EvalTarget(query, tuple(s.output for s in query.semijoin_specs()))]
+        assert estimator.eval_cost(targets) > 0
+
+    def test_eval_cost_for_queries_matches_targets(self, estimator):
+        query = star_query()
+        targets = [EvalTarget(query, tuple(s.output for s in query.semijoin_specs()))]
+        assert estimator.eval_cost_for_queries([query]) == pytest.approx(
+            estimator.eval_cost(targets)
+        )
+
+    def test_basic_program_cost_adds_eval(self, estimator):
+        query = star_query()
+        specs = query.semijoin_specs()
+        groups = [[s] for s in specs]
+        assert estimator.basic_program_cost([query], groups) > estimator.separate_cost(specs)
+
+    def test_one_round_estimate_cheaper_than_two_round(self, estimator):
+        query = shared_key_query()
+        specs = query.semijoin_specs()
+        one_round = estimator.one_round_estimate([query]).cost
+        two_round = estimator.basic_program_cost([query], [specs])
+        assert one_round < two_round
+
+    def test_selectivity_outputs_smaller_than_upper_bound(self, catalog):
+        query = star_query()
+        upper = PlanCostEstimator(catalog, use_selectivity_for_outputs=False)
+        selective = PlanCostEstimator(catalog, use_selectivity_for_outputs=True)
+        assert selective.bsgf_output_mb(query) <= upper.bsgf_output_mb(query)
+
+
+class TestModelChoice:
+    def test_wang_estimate_not_above_gumbo(self, catalog):
+        """Aggregating can only hide merge cost, never add it."""
+        specs = star_query().semijoin_specs()
+        gumbo = PlanCostEstimator(catalog, GumboCostModel())
+        wang = PlanCostEstimator(catalog, WangCostModel())
+        assert wang.msj_cost(specs) <= gumbo.msj_cost(specs) + 1e-9

@@ -1,0 +1,120 @@
+"""Tests for the Appendix A NP-hardness constructions."""
+
+import pytest
+
+from repro.core.costing import PlanCostEstimator
+from repro.core.greedy_bsgf import greedy_partition
+from repro.core.greedy_sgf import greedy_multiway_sort, optimal_multiway_sort, sort_cost
+from repro.core.hardness import (
+    SPECIAL,
+    SubsetCostInstance,
+    build_sgf_reduction,
+)
+from repro.core.options import GumboOptions
+from repro.core.strategies import sgf_group_cost
+from repro.cost.estimates import StatisticsCatalog
+from repro.cost.models import GumboCostModel
+from repro.query.dependency import DependencyGraph
+
+
+class TestSubsetCost:
+    def test_cost_function(self):
+        instance = SubsetCostInstance(items=(3, 5, 7), gamma=15)
+        assert instance.cost([3, 5]) == 8
+        assert instance.cost([3, SPECIAL]) == 15
+        assert instance.cost([]) == 0
+
+    def test_achievable_costs_match_theorem3(self):
+        """Achievable partition costs are exactly {gamma + sum(B) : B subset of A}."""
+        items = (2, 3, 7)
+        instance = SubsetCostInstance(items=items, gamma=sum(items))
+        expected = {instance.gamma + s for s in instance.subset_sums()}
+        assert instance.achievable_costs() == expected
+
+    def test_subset_sums(self):
+        instance = SubsetCostInstance(items=(1, 2), gamma=3)
+        assert instance.subset_sums() == {0, 1, 2, 3}
+
+    def test_partition_cost(self):
+        instance = SubsetCostInstance(items=(4, 6), gamma=10)
+        assert instance.partition_cost([[4], [6, SPECIAL]]) == 4 + 10
+
+
+class TestSGFReduction:
+    @pytest.fixture(scope="class")
+    def reduction(self):
+        return build_sgf_reduction([2, 3])
+
+    def _estimator(self, reduction):
+        catalog = StatisticsCatalog(reduction.database, sample_size=50)
+        return PlanCostEstimator(
+            catalog,
+            GumboCostModel(reduction.constants),
+            GumboOptions(),
+        )
+
+    def test_construction_shapes(self, reduction):
+        assert reduction.gamma == 5
+        assert reduction.query.output_names == ("f1", "f2", "fcirc")
+        assert len(reduction.database["S1"]) == 2
+        assert len(reduction.database["S2"]) == 3
+        assert len(reduction.database["R1"]) == 0
+
+    def test_relation_sizes_are_item_megabytes(self, reduction):
+        assert reduction.database["S1"].size_mb() == pytest.approx(2.0, rel=0.01)
+        assert reduction.database["S2"].size_mb() == pytest.approx(3.0, rel=0.01)
+
+    def test_individual_query_cost_equals_item(self, reduction):
+        """cost(GOPT({f_i})) = a_i under the degenerate constants."""
+        estimator = self._estimator(reduction)
+        graph = DependencyGraph(reduction.query)
+        for index, item in enumerate(reduction.items, start=1):
+            cost = sgf_group_cost([graph.subquery(f"f{index}")], estimator)
+            assert cost == pytest.approx(item, rel=0.02)
+
+    def test_pair_cost_is_additive(self, reduction):
+        estimator = self._estimator(reduction)
+        graph = DependencyGraph(reduction.query)
+        cost = sgf_group_cost(
+            [graph.subquery("f1"), graph.subquery("f2")], estimator
+        )
+        assert cost == pytest.approx(sum(reduction.items), rel=0.02)
+
+    def test_grouping_with_fcirc_costs_gamma(self, reduction):
+        """cost(GOPT({f_i, f°})) = gamma: the relations of f_i are already read."""
+        estimator = self._estimator(reduction)
+        graph = DependencyGraph(reduction.query)
+        cost = sgf_group_cost(
+            [graph.subquery("f1"), graph.subquery("fcirc")], estimator
+        )
+        assert cost == pytest.approx(reduction.gamma, rel=0.02)
+
+    def test_achievable_sort_costs_mirror_subset_sums(self, reduction):
+        """Costs of multiway sorts are gamma plus subset sums of the items."""
+        estimator = self._estimator(reduction)
+        graph = DependencyGraph(reduction.query)
+
+        def group_cost(queries):
+            return sgf_group_cost(queries, estimator)
+
+        costs = set()
+        for sort in graph.all_multiway_sorts(max_nodes=4):
+            costs.add(round(sort_cost(graph, [list(g) for g in sort], group_cost), 2))
+        instance = SubsetCostInstance(reduction.items, reduction.gamma)
+        expected = {float(reduction.gamma + s) for s in instance.subset_sums()}
+        assert costs == expected
+
+    def test_optimal_sort_cost_is_gamma(self, reduction):
+        """The cheapest sort groups every f_i with f°, costing exactly gamma."""
+        estimator = self._estimator(reduction)
+        graph = DependencyGraph(reduction.query)
+        _, best = optimal_multiway_sort(
+            graph, lambda queries: sgf_group_cost(queries, estimator), max_nodes=4
+        )
+        assert best == pytest.approx(reduction.gamma, rel=0.02)
+
+    def test_invalid_items_rejected(self):
+        with pytest.raises(ValueError):
+            build_sgf_reduction([])
+        with pytest.raises(ValueError):
+            build_sgf_reduction([0, 3])

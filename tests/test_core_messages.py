@@ -1,0 +1,87 @@
+"""Unit tests for MSJ/EVAL messages and message packing."""
+
+from repro.core.messages import (
+    AssertMessage,
+    FIELD_BYTES,
+    GuardMessage,
+    MembershipMessage,
+    PackedMessages,
+    RequestMessage,
+    TAG_BYTES,
+    TUPLE_REFERENCE_BYTES,
+    pack_messages,
+    unpack_messages,
+)
+
+
+class TestMessageSizes:
+    def test_request_full_tuple(self):
+        message = RequestMessage(0, (1, 2, 3), by_reference=False)
+        assert message.size_bytes() == TAG_BYTES + 3 * FIELD_BYTES
+
+    def test_request_by_reference(self):
+        message = RequestMessage(0, (1, 2, 3), by_reference=True)
+        assert message.size_bytes() == TAG_BYTES + TUPLE_REFERENCE_BYTES
+
+    def test_reference_smaller_than_tuple_for_wide_rows(self):
+        wide = tuple(range(4))
+        assert (
+            RequestMessage(0, wide, True).size_bytes()
+            < RequestMessage(0, wide, False).size_bytes()
+        )
+
+    def test_empty_payload_still_charged(self):
+        assert RequestMessage(0, (), False).size_bytes() == TAG_BYTES + FIELD_BYTES
+
+    def test_assert_guard_membership_sizes(self):
+        assert AssertMessage(3).size_bytes() == TAG_BYTES
+        assert GuardMessage(1).size_bytes() == TAG_BYTES
+        assert MembershipMessage(1, 2).size_bytes() == TAG_BYTES
+
+    def test_str_representations(self):
+        assert "Req" in str(RequestMessage(1, (5,)))
+        assert "Assert" in str(AssertMessage(2))
+        assert "Guard" in str(GuardMessage(0))
+        assert "Member" in str(MembershipMessage(0, 1))
+
+
+class TestPacking:
+    def test_pack_returns_single_value(self):
+        values = [AssertMessage(0), RequestMessage(0, (1,))]
+        packed = pack_messages(values)
+        assert len(packed) == 1
+        assert isinstance(packed[0], PackedMessages)
+
+    def test_duplicate_asserts_are_collapsed(self):
+        values = [AssertMessage(0), AssertMessage(0), AssertMessage(1)]
+        packed = PackedMessages(values)
+        assert len(packed) == 2
+
+    def test_requests_are_preserved(self):
+        values = [RequestMessage(0, (1,)), RequestMessage(0, (1,))]
+        packed = PackedMessages(values)
+        assert len(packed) == 2
+
+    def test_packed_size_is_sum_of_members(self):
+        values = [AssertMessage(0), RequestMessage(1, (1, 2))]
+        packed = PackedMessages(values)
+        assert packed.size_bytes() == sum(v.size_bytes() for v in values)
+
+    def test_packing_reduces_size_with_duplicates(self):
+        values = [AssertMessage(0)] * 5
+        assert PackedMessages(values).size_bytes() < sum(v.size_bytes() for v in values)
+
+    def test_unpack_flattens(self):
+        values = [AssertMessage(0), RequestMessage(0, (1,))]
+        packed = pack_messages(values)
+        unpacked = list(unpack_messages(packed))
+        assert unpacked == list(PackedMessages(values))
+
+    def test_unpack_passes_plain_values_through(self):
+        values = [AssertMessage(0), RequestMessage(0, (1,))]
+        assert list(unpack_messages(values)) == values
+
+    def test_iteration_and_repr(self):
+        packed = PackedMessages([AssertMessage(0)])
+        assert list(iter(packed)) == [AssertMessage(0)]
+        assert "PackedMessages" in repr(packed)

@@ -1,0 +1,220 @@
+"""Unit tests for the MSJ operator (Algorithm 1)."""
+
+import pytest
+
+from repro.core.messages import AssertMessage, PackedMessages, RequestMessage
+from repro.core.msj import MSJJob, multi_semi_join
+from repro.core.options import GumboOptions
+from repro.mapreduce.engine import MapReduceEngine
+from repro.model.atoms import Atom
+from repro.model.database import Database
+from repro.model.terms import Variable
+from repro.query.bsgf import SemiJoinSpec
+from repro.query.reference import evaluate_semijoin
+
+from helpers import star_database
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def spec(output, guard, conditional, projection):
+    return SemiJoinSpec(output, guard, conditional, tuple(projection))
+
+
+@pytest.fixture
+def engine():
+    return MapReduceEngine()
+
+
+class TestExample3:
+    """Example 3 of the paper: Z := pi_x(R(x, z) ⋉ S(z, y))."""
+
+    def test_single_semijoin(self, engine):
+        db = Database.from_dict({"R": [(1, 2), (4, 5)], "S": [(2, 3)]})
+        job = MSJJob(
+            "msj",
+            [spec("Z", Atom.of("R", "x", "z"), Atom.of("S", "z", "y"), (X,))],
+        )
+        result = engine.run_job(job, db)
+        assert set(result.outputs["Z"]) == {(1,)}
+
+    def test_mapper_messages(self):
+        job = MSJJob(
+            "msj",
+            [spec("Z", Atom.of("R", "x", "z"), Atom.of("S", "z", "y"), (X,))],
+            options=GumboOptions(tuple_reference=False),
+        )
+        guard_pairs = list(job.map("R", (1, 2)))
+        assert guard_pairs == [((2,), RequestMessage(0, (1,), False))]
+        cond_pairs = list(job.map("S", (2, 3)))
+        assert cond_pairs == [((2,), AssertMessage(0))]
+
+
+class TestMultiSemiJoin:
+    def test_matches_reference_for_every_output(self, engine):
+        db = star_database()
+        guard = Atom.of("R", "x", "y", "z", "w")
+        specs = [
+            spec("X1", guard, Atom.of("S", "x"), (X, Y, Z, W)),
+            spec("X2", guard, Atom.of("T", "y"), (X, Y, Z, W)),
+            spec("X3", guard, Atom.of("U", "x"), (X, Y, Z, W)),
+        ]
+        outputs = multi_semi_join(specs, db, engine)
+        for s in specs:
+            reference = evaluate_semijoin(
+                s.guard, s.conditional, s.projection, db, s.output
+            )
+            assert set(outputs[s.output]) == set(reference), s.output
+
+    def test_different_guards_in_one_job(self, engine):
+        db = Database.from_dict(
+            {"R": [(1, 2)], "G": [(2, 9)], "S": [(1,)], "T": [(9,)]}
+        )
+        specs = [
+            spec("X1", Atom.of("R", "x", "y"), Atom.of("S", "x"), (X, Y)),
+            spec("X2", Atom.of("G", "x", "y"), Atom.of("T", "y"), (X, Y)),
+        ]
+        outputs = multi_semi_join(specs, db, engine)
+        assert set(outputs["X1"]) == {(1, 2)}
+        assert set(outputs["X2"]) == {(2, 9)}
+
+    def test_same_relation_as_guard_and_conditional(self, engine):
+        # Self semi-join: R(x, y) ⋉ R(y, z) keeps tuples whose y starts some tuple.
+        db = Database.from_dict({"R": [(1, 2), (2, 3), (5, 9)]})
+        specs = [spec("X", Atom.of("R", "x", "y"), Atom.of("R", "y", "z"), (X, Y))]
+        outputs = multi_semi_join(specs, db, engine)
+        reference = evaluate_semijoin(
+            Atom.of("R", "x", "y"), Atom.of("R", "y", "z"), (X, Y), db
+        )
+        assert set(outputs["X"]) == set(reference) == {(1, 2)}
+
+    def test_projection_applied_in_standalone_mode(self, engine):
+        db = Database.from_dict({"R": [(1, 2), (1, 3)], "S": [(1,)]})
+        specs = [spec("X", Atom.of("R", "x", "y"), Atom.of("S", "x"), (X,))]
+        outputs = multi_semi_join(specs, db, engine)
+        assert set(outputs["X"]) == {(1,)}
+
+    def test_empty_conditional_relation(self, engine):
+        db = Database.from_dict({"R": [(1, 2)]})
+        specs = [spec("X", Atom.of("R", "x", "y"), Atom.of("S", "x"), (X, Y))]
+        outputs = multi_semi_join(specs, db, engine)
+        assert len(outputs["X"]) == 0
+
+    def test_disjoint_join_key_behaves_existentially(self, engine):
+        # Conditional shares no variable with the guard: any S fact suffices.
+        db = Database.from_dict({"R": [(1, 2)], "S": [(99,)]})
+        specs = [spec("X", Atom.of("R", "x", "y"), Atom.of("S", "q"), (X, Y))]
+        outputs = multi_semi_join(specs, db, engine)
+        assert set(outputs["X"]) == {(1, 2)}
+
+
+class TestJobStructure:
+    def test_input_relations_deduplicated(self):
+        guard = Atom.of("R", "x", "y", "z", "w")
+        specs = [
+            spec("X1", guard, Atom.of("S", "x"), (X,)),
+            spec("X2", guard, Atom.of("S", "y"), (X,)),
+        ]
+        job = MSJJob("msj", specs)
+        assert list(job.input_relations()) == ["R", "S"]
+
+    def test_duplicate_outputs_rejected(self):
+        guard = Atom.of("R", "x")
+        with pytest.raises(ValueError):
+            MSJJob(
+                "msj",
+                [
+                    spec("X", guard, Atom.of("S", "x"), (X,)),
+                    spec("X", guard, Atom.of("T", "x"), (X,)),
+                ],
+            )
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            MSJJob("msj", [])
+
+    def test_output_schema_standalone_vs_pipeline(self):
+        guard = Atom.of("R", "x", "y", "z", "w")
+        s = spec("X", guard, Atom.of("S", "x"), (X, Y))
+        standalone = MSJJob("a", [s], emit_projection=True)
+        pipeline = MSJJob("b", [s], emit_projection=False)
+        assert standalone.output_schema() == {"X": 2}
+        assert pipeline.output_schema() == {"X": 4}
+
+    def test_shared_conditional_atom_asserted_once(self):
+        guard1 = Atom.of("R", "x", "y")
+        guard2 = Atom.of("G", "x", "y")
+        shared = Atom.of("S", "x")
+        specs = [
+            spec("X1", guard1, shared, (X, Y)),
+            spec("X2", guard2, shared, (X, Y)),
+        ]
+        job = MSJJob("msj", specs, options=GumboOptions(message_packing=False))
+        pairs = list(job.map("S", (7,)))
+        asserts = [v for _, v in pairs if isinstance(v, AssertMessage)]
+        assert len(asserts) == 1
+
+    def test_combiner_enabled_by_packing_option(self):
+        guard = Atom.of("R", "x")
+        s = spec("X", guard, Atom.of("S", "x"), (X,))
+        assert MSJJob("a", [s], GumboOptions(message_packing=True)).uses_combiner()
+        assert not MSJJob("a", [s], GumboOptions(message_packing=False)).uses_combiner()
+
+    def test_combine_packs(self):
+        guard = Atom.of("R", "x")
+        s = spec("X", guard, Atom.of("S", "x"), (X,))
+        job = MSJJob("a", [s])
+        combined = job.combine((1,), [AssertMessage(0), AssertMessage(0)])
+        assert len(combined) == 1
+        assert isinstance(combined[0], PackedMessages)
+
+    def test_output_tuple_bytes_with_reference(self):
+        guard = Atom.of("R", "x", "y", "z", "w")
+        s = spec("X", guard, Atom.of("S", "x"), (X, Y, Z, W))
+        pipeline_ref = MSJJob("a", [s], GumboOptions(tuple_reference=True), False)
+        pipeline_full = MSJJob("b", [s], GumboOptions(tuple_reference=False), False)
+        standalone = MSJJob("c", [s], emit_projection=True)
+        assert pipeline_ref.output_tuple_bytes("X") == 8
+        assert pipeline_full.output_tuple_bytes("X") == 40
+        assert standalone.output_tuple_bytes("X") is None
+        assert pipeline_ref.output_tuple_bytes("unknown") is None
+
+
+class TestOptimisationEffects:
+    def test_packing_reduces_communication(self):
+        db = star_database()
+        guard = Atom.of("R", "x", "y", "z", "w")
+        specs = [
+            spec(f"X{i}", guard, Atom.of(rel, "x"), (X, Y, Z, W))
+            for i, rel in enumerate(["S", "T", "U", "V"])
+        ]
+        engine = MapReduceEngine()
+        packed_job = MSJJob("packed", specs, GumboOptions(message_packing=True))
+        plain_job = MSJJob("plain", specs, GumboOptions(message_packing=False))
+        packed = engine.run_job(packed_job, db).metrics.intermediate_mb
+        plain = engine.run_job(plain_job, db).metrics.intermediate_mb
+        assert packed < plain
+
+    def test_tuple_reference_reduces_communication(self):
+        db = star_database()
+        guard = Atom.of("R", "x", "y", "z", "w")
+        specs = [spec("X", guard, Atom.of("S", "x"), (X, Y, Z, W))]
+        engine = MapReduceEngine()
+        ref_job = MSJJob("ref", specs, GumboOptions(tuple_reference=True), False)
+        full_job = MSJJob("full", specs, GumboOptions(tuple_reference=False), False)
+        ref = engine.run_job(ref_job, db).metrics.intermediate_mb
+        full = engine.run_job(full_job, db).metrics.intermediate_mb
+        assert ref < full
+
+    def test_packing_does_not_change_results(self):
+        db = star_database()
+        guard = Atom.of("R", "x", "y", "z", "w")
+        specs = [
+            spec(f"X{i}", guard, Atom.of(rel, "x"), (X, Y, Z, W))
+            for i, rel in enumerate(["S", "T", "U", "V"])
+        ]
+        engine = MapReduceEngine()
+        packed = engine.run_job(MSJJob("p", specs, GumboOptions(message_packing=True)), db)
+        plain = engine.run_job(MSJJob("q", specs, GumboOptions(message_packing=False)), db)
+        for name in packed.outputs:
+            assert set(packed.outputs[name]) == set(plain.outputs[name])

@@ -1,0 +1,195 @@
+"""Unit and integration tests for the plan strategies (SEQ/PAR/GREEDY/1-ROUND/SGF)."""
+
+import pytest
+
+from repro.core.costing import PlanCostEstimator
+from repro.core.options import GumboOptions
+from repro.core.strategies import (
+    BSGF_STRATEGIES,
+    SGF_STRATEGIES,
+    all_semijoin_specs,
+    bsgf_plan,
+    build_bsgf_program,
+    build_sgf_program,
+    register_intermediate_estimates,
+)
+from repro.cost.estimates import StatisticsCatalog
+from repro.mapreduce.engine import MapReduceEngine
+from repro.query.dependency import DependencyGraph
+from repro.query.parser import parse_sgf
+from repro.query.reference import evaluate_bsgf, evaluate_sgf
+from repro.workloads.queries import bsgf_query_set, database_for, sgf_query
+
+from helpers import (
+    as_set,
+    disjunctive_query,
+    nested_sgf,
+    shared_key_query,
+    simple_query,
+    small_database,
+    star_database,
+    star_query,
+)
+
+
+def estimator_for(db):
+    return PlanCostEstimator(StatisticsCatalog(db, sample_size=200), options=GumboOptions())
+
+
+class TestBSGFStrategies:
+    @pytest.mark.parametrize("strategy", ["seq", "par", "greedy", "optimal"])
+    @pytest.mark.parametrize(
+        "query_factory, db_factory",
+        [
+            (simple_query, small_database),
+            (disjunctive_query, small_database),
+            (star_query, star_database),
+            (shared_key_query, star_database),
+        ],
+    )
+    def test_all_strategies_match_reference(self, strategy, query_factory, db_factory):
+        query, db = query_factory(), db_factory()
+        program = build_bsgf_program([query], strategy, estimator_for(db))
+        result = MapReduceEngine().run_program(program, db)
+        assert as_set(result.outputs[query.output]) == as_set(evaluate_bsgf(query, db))
+
+    def test_one_round_matches_reference_when_applicable(self):
+        query, db = shared_key_query(), star_database()
+        program = build_bsgf_program([query], "1-round", estimator_for(db))
+        result = MapReduceEngine().run_program(program, db)
+        assert as_set(result.outputs[query.output]) == as_set(evaluate_bsgf(query, db))
+
+    def test_one_round_rejected_when_not_applicable(self):
+        query, db = star_query(), star_database()
+        with pytest.raises(ValueError):
+            build_bsgf_program([query], "1-round", estimator_for(db))
+
+    def test_greedy_requires_estimator(self):
+        with pytest.raises(ValueError):
+            build_bsgf_program([star_query()], "greedy")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            build_bsgf_program([star_query()], "magic", estimator_for(star_database()))
+
+    def test_no_queries_rejected(self):
+        with pytest.raises(ValueError):
+            build_bsgf_program([], "par")
+
+    def test_par_builds_one_msj_job_per_semijoin(self):
+        query, db = star_query(), star_database()
+        program = build_bsgf_program([query], "par", estimator_for(db))
+        assert len(program) == len(query.semijoin_specs()) + 1
+        assert program.rounds() == 2
+
+    def test_greedy_on_shared_guard_builds_fewer_jobs(self):
+        query, db = star_query(), star_database()
+        par = build_bsgf_program([query], "par", estimator_for(db))
+        greedy = build_bsgf_program([query], "greedy", estimator_for(db))
+        assert len(greedy) < len(par)
+
+    def test_seq_rounds_grow_with_conjunction_size(self):
+        db = star_database()
+        program = build_bsgf_program([star_query()], "seq", estimator_for(db))
+        assert program.rounds() == 4
+
+    def test_multiple_queries_evaluated_together(self):
+        queries = bsgf_query_set("A5")
+        db = database_for(queries, guard_tuples=200, selectivity=0.5, seed=1)
+        program = build_bsgf_program(queries, "greedy", estimator_for(db))
+        result = MapReduceEngine().run_program(program, db)
+        for query in queries:
+            assert as_set(result.outputs[query.output]) == as_set(
+                evaluate_bsgf(query, db)
+            )
+
+    def test_strategy_name_normalisation(self):
+        query, db = shared_key_query(), star_database()
+        program = build_bsgf_program([query], "GREEDY", estimator_for(db))
+        assert len(program) >= 2
+        # "ONE_ROUND" is accepted as an alias of the canonical "1-round".
+        aliased = build_bsgf_program([query], "ONE_ROUND", estimator_for(db))
+        assert len(aliased) == 1
+
+    def test_bsgf_plan_views(self):
+        query, db = star_query(), star_database()
+        est = estimator_for(db)
+        par = bsgf_plan([query], "par", est)
+        greedy = bsgf_plan([query], "greedy", est)
+        one_round = bsgf_plan([query], "1-round", est)
+        assert len(par.groups) == 4
+        assert len(greedy.groups) <= len(par.groups)
+        assert len(one_round.groups) == 1
+        with pytest.raises(ValueError):
+            bsgf_plan([query], "seq", est)
+
+
+class TestSGFStrategies:
+    @pytest.mark.parametrize("strategy", ["sequnit", "parunit", "greedy-sgf"])
+    def test_nested_query_matches_reference(self, strategy):
+        query = nested_sgf()
+        db = small_database()
+        estimator = estimator_for(db)
+        program = build_sgf_program(query, strategy, estimator)
+        result = MapReduceEngine().run_program(program, db)
+        reference = evaluate_sgf(query, db)
+        for name in query.output_names:
+            assert as_set(result.outputs[name]) == as_set(reference[name]), name
+
+    @pytest.mark.parametrize("query_id", ["C1", "C4"])
+    @pytest.mark.parametrize("strategy", ["sequnit", "parunit", "greedy-sgf"])
+    def test_experiment_queries_match_reference(self, query_id, strategy):
+        query = sgf_query(query_id)
+        db = database_for(query, guard_tuples=150, selectivity=0.5, seed=3)
+        program = build_sgf_program(query, strategy, estimator_for(db))
+        result = MapReduceEngine().run_program(program, db)
+        reference = evaluate_sgf(query, db)
+        for name in query.output_names:
+            assert as_set(result.outputs[name]) == as_set(reference[name]), name
+
+    def test_optimal_sgf_matches_reference_on_small_query(self):
+        query = nested_sgf()
+        db = small_database()
+        program = build_sgf_program(query, "optimal-sgf", estimator_for(db))
+        result = MapReduceEngine().run_program(program, db)
+        reference = evaluate_sgf(query, db)
+        assert as_set(result.outputs[query.output]) == as_set(reference[query.output])
+
+    def test_sequnit_has_more_rounds_than_parunit(self):
+        query = sgf_query("C1")
+        db = database_for(query, guard_tuples=100, selectivity=0.5, seed=3)
+        estimator = estimator_for(db)
+        sequnit = build_sgf_program(query, "sequnit", estimator)
+        parunit = build_sgf_program(query, "parunit", estimator)
+        assert sequnit.rounds() > parunit.rounds()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            build_sgf_program(nested_sgf(), "magic", estimator_for(small_database()))
+
+    def test_greedy_sgf_requires_estimator(self):
+        with pytest.raises(ValueError):
+            build_sgf_program(nested_sgf(), "greedy-sgf", None)
+
+    def test_register_intermediate_estimates(self):
+        query = nested_sgf()
+        db = small_database()
+        catalog = StatisticsCatalog(db)
+        register_intermediate_estimates(query, catalog)
+        for name in query.output_names:
+            assert catalog.has_relation(name)
+
+    def test_all_semijoin_specs_flattens(self):
+        queries = bsgf_query_set("A5")
+        specs = all_semijoin_specs(queries)
+        assert len(specs) == 8
+        assert len({s.output for s in specs}) == 8
+
+    def test_strategy_constants(self):
+        assert set(BSGF_STRATEGIES) == {"seq", "par", "greedy", "optimal", "1-round"}
+        assert set(SGF_STRATEGIES) == {
+            "sequnit",
+            "parunit",
+            "greedy-sgf",
+            "optimal-sgf",
+        }

@@ -1,0 +1,120 @@
+"""Unit tests for cost constants (Table 5), Hadoop settings (Table 4) and cost models."""
+
+import pytest
+
+from repro.cost.constants import CostConstants, HadoopSettings
+from repro.cost.formulas import MapPartition
+from repro.cost.models import (
+    GumboCostModel,
+    JobProfile,
+    WangCostModel,
+    make_cost_model,
+)
+
+
+class TestCostConstants:
+    def test_paper_values_match_table5(self):
+        c = CostConstants.paper_values()
+        assert c.local_read == 0.03
+        assert c.local_write == 0.085
+        assert c.hdfs_read == 0.15
+        assert c.hdfs_write == 0.25
+        assert c.transfer == 0.017
+        assert c.merge_factor == 10
+        assert c.map_buffer_mb == 409.0
+        assert c.reduce_buffer_mb == 512.0
+
+    def test_scaled(self):
+        c = CostConstants.paper_values().scaled(2.0)
+        assert c.hdfs_read == pytest.approx(0.30)
+        assert c.merge_factor == 10
+
+    def test_reduction_values(self):
+        c = CostConstants.reduction_values()
+        assert c.hdfs_read == 1.0
+        assert c.local_read == c.local_write == c.hdfs_write == c.transfer == 0.0
+        assert c.job_overhead == 0.0
+
+    def test_immutable(self):
+        c = CostConstants.paper_values()
+        with pytest.raises(AttributeError):
+            c.hdfs_read = 1.0  # type: ignore[misc]
+
+
+class TestHadoopSettings:
+    def test_paper_values_match_table4(self):
+        s = HadoopSettings.paper_values()
+        assert s.map_memory_mb == 1280
+        assert s.reduce_memory_mb == 1280
+        assert s.io_sort_mb == 512
+        assert s.node_memory_mb == 49152
+        assert s.node_vcores == 10
+        assert s.speculative_execution is False
+
+    def test_containers_per_node_limited_by_vcores(self):
+        s = HadoopSettings.paper_values()
+        # memory would allow 49152/4096 = 12 containers; vcores cap at 10.
+        assert s.containers_per_node == 10
+
+    def test_containers_per_node_limited_by_memory(self):
+        s = HadoopSettings(node_memory_mb=8192, min_allocation_mb=4096, node_vcores=10)
+        assert s.containers_per_node == 2
+
+
+def _profile():
+    fanning = MapPartition(input_mb=500, intermediate_mb=4000, records=1000, mappers=4)
+    filtered = MapPartition(input_mb=4000, intermediate_mb=1, records=10, mappers=32)
+    return JobProfile([fanning, filtered], output_mb=100, reducers=4, label="test")
+
+
+class TestCostModels:
+    def test_factory(self):
+        assert isinstance(make_cost_model("gumbo"), GumboCostModel)
+        assert isinstance(make_cost_model("WANG"), WangCostModel)
+        with pytest.raises(ValueError):
+            make_cost_model("unknown")
+
+    def test_breakdown_total_is_sum_of_phases(self):
+        model = GumboCostModel()
+        breakdown = model.job_breakdown(_profile())
+        assert breakdown.total == pytest.approx(
+            breakdown.overhead + breakdown.map + breakdown.reduce
+        )
+
+    def test_gumbo_exceeds_wang_on_asymmetric_profile(self):
+        profile = _profile()
+        assert GumboCostModel().job_cost(profile) > WangCostModel().job_cost(profile)
+
+    def test_models_agree_on_single_partition(self):
+        profile = JobProfile(
+            [MapPartition(input_mb=100, intermediate_mb=120, records=10, mappers=1)],
+            output_mb=10,
+            reducers=1,
+        )
+        assert GumboCostModel().job_cost(profile) == pytest.approx(
+            WangCostModel().job_cost(profile)
+        )
+
+    def test_program_cost_sums_jobs(self):
+        model = GumboCostModel()
+        profile = _profile()
+        assert model.program_cost([profile, profile]) == pytest.approx(
+            2 * model.job_cost(profile)
+        )
+
+    def test_default_reducers(self):
+        model = GumboCostModel()
+        assert model.default_reducers(0) == 1
+        assert model.default_reducers(256) == 1
+        assert model.default_reducers(257) == 2
+
+    def test_default_mappers(self):
+        model = GumboCostModel()
+        assert model.default_mappers(0) == 1
+        assert model.default_mappers(128) == 1
+        assert model.default_mappers(129) == 2
+
+    def test_profile_totals(self):
+        profile = _profile()
+        assert profile.input_mb == pytest.approx(4500)
+        assert profile.intermediate_mb == pytest.approx(4001)

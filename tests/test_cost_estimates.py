@@ -1,0 +1,134 @@
+"""Unit tests for the sampling-based statistics catalog."""
+
+import pytest
+
+from repro.cost.estimates import RelationStats, StatisticsCatalog
+from repro.model.atoms import Atom
+from repro.model.database import Database
+from repro.model.terms import Constant, Variable
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "R": [(i, i % 4) for i in range(100)],
+            "S": [(i,) for i in range(50)],        # matches x in 0..49
+            "Empty": [(999, 999)],
+        }
+    )
+
+
+class TestRelationStats:
+    def test_scaled(self):
+        stats = RelationStats("R", 100, 2, 10.0, 10)
+        half = stats.scaled(0.5)
+        assert half.tuples == 50
+        assert half.size_mb == pytest.approx(5.0)
+
+    def test_scaled_clamps(self):
+        stats = RelationStats("R", 100, 2, 10.0, 10)
+        assert stats.scaled(2.0).tuples == 100
+        assert stats.scaled(-1.0).tuples == 0
+
+    def test_tuple_size(self):
+        assert RelationStats("R", 1, 3, 0.1, 10).tuple_size_bytes == 30
+
+
+class TestCatalogRelations:
+    def test_relation_stats_collected(self, db):
+        catalog = StatisticsCatalog(db)
+        stats = catalog.relation_stats("R")
+        assert stats.tuples == 100
+        assert stats.arity == 2
+        assert stats.size_mb == pytest.approx(db["R"].size_mb())
+
+    def test_missing_relation(self, db):
+        catalog = StatisticsCatalog(db)
+        assert catalog.relation_stats("missing") is None
+        assert not catalog.has_relation("missing")
+
+    def test_register_estimate(self, db):
+        catalog = StatisticsCatalog(db)
+        catalog.register_estimate(RelationStats("Z", 42, 1, 0.001, 10))
+        assert catalog.has_relation("Z")
+        assert catalog.atom_count(Atom.of("Z", "x")) == 42
+
+    def test_sample_is_deterministic(self, db):
+        a = StatisticsCatalog(db, sample_size=10, seed=7)
+        b = StatisticsCatalog(db, sample_size=10, seed=7)
+        assert a.sample("R") == b.sample("R")
+
+    def test_sample_of_small_relation_is_everything(self, db):
+        catalog = StatisticsCatalog(db, sample_size=1000)
+        assert len(catalog.sample("S")) == 50
+
+    def test_sample_of_missing_relation_empty(self, db):
+        assert StatisticsCatalog(db).sample("missing") == []
+
+
+class TestAtomEstimates:
+    def test_unrestricted_atom_fraction_is_one(self, db):
+        catalog = StatisticsCatalog(db)
+        assert catalog.atom_fraction(Atom.of("R", "x", "y")) == 1.0
+
+    def test_constant_atom_fraction_estimated(self, db):
+        catalog = StatisticsCatalog(db, sample_size=1000)
+        fraction = catalog.atom_fraction(Atom("R", (X, Constant(0))))
+        assert fraction == pytest.approx(0.25, abs=0.05)
+
+    def test_never_matching_constant(self, db):
+        catalog = StatisticsCatalog(db)
+        assert catalog.atom_fraction(Atom("R", (X, Constant("nope")))) == 0.0
+
+    def test_atom_count_and_size(self, db):
+        catalog = StatisticsCatalog(db)
+        atom = Atom.of("S", "x")
+        assert catalog.atom_count(atom) == 50
+        assert catalog.atom_size_mb(atom) == pytest.approx(db["S"].size_mb())
+
+    def test_atom_count_missing_relation(self, db):
+        assert StatisticsCatalog(db).atom_count(Atom.of("Q", "x")) == 0.0
+
+    def test_atom_tuple_bytes(self, db):
+        catalog = StatisticsCatalog(db)
+        assert catalog.atom_tuple_bytes(Atom.of("R", "x", "y")) == 20
+        assert catalog.atom_tuple_bytes(Atom.of("Missing", "x", "y", "z")) == 30
+
+
+class TestSelectivity:
+    def test_semijoin_selectivity_estimate(self, db):
+        catalog = StatisticsCatalog(db, sample_size=1000)
+        sel = catalog.semijoin_selectivity(Atom.of("R", "x", "y"), Atom.of("S", "x"))
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_selectivity_zero_when_nothing_conforms(self, db):
+        catalog = StatisticsCatalog(db)
+        conditional = Atom("S", (Constant("never"),))
+        assert catalog.semijoin_selectivity(Atom.of("R", "x", "y"), conditional) in (0.0, 1.0)
+
+    def test_selectivity_disjoint_variables_upper_bound(self, db):
+        catalog = StatisticsCatalog(db)
+        sel = catalog.semijoin_selectivity(Atom.of("R", "x", "y"), Atom.of("S", "q"))
+        assert sel == 1.0
+
+    def test_semijoin_output_upper_bound(self, db):
+        catalog = StatisticsCatalog(db)
+        guard = Atom.of("R", "x", "y")
+        conditional = Atom.of("S", "x")
+        upper = catalog.semijoin_output_mb(guard, conditional, (X, Y))
+        with_sel = catalog.semijoin_output_mb(
+            guard, conditional, (X, Y), use_selectivity=True
+        )
+        assert upper == pytest.approx(db["R"].size_mb())
+        assert with_sel < upper
+
+    def test_projection_width_scales_output(self, db):
+        catalog = StatisticsCatalog(db)
+        guard = Atom.of("R", "x", "y")
+        conditional = Atom.of("S", "x")
+        narrow = catalog.semijoin_output_mb(guard, conditional, (X,))
+        wide = catalog.semijoin_output_mb(guard, conditional, (X, Y))
+        assert narrow == pytest.approx(wide / 2)

@@ -1,0 +1,130 @@
+"""Unit tests for the cost formulas of Section 3.3."""
+
+import math
+
+import pytest
+
+from repro.cost.constants import CostConstants
+from repro.cost.formulas import (
+    MapPartition,
+    job_cost,
+    map_cost,
+    map_cost_aggregated,
+    map_cost_per_partition,
+    merge_map_cost,
+    merge_passes,
+    merge_reduce_cost,
+    reduce_cost,
+)
+
+C = CostConstants.paper_values()
+
+
+class TestMergePasses:
+    def test_zero_when_data_fits_in_buffer(self):
+        assert merge_passes(100, 409, 10) == 0.0
+
+    def test_zero_for_empty_data(self):
+        assert merge_passes(0, 409, 10) == 0.0
+        assert merge_passes(-5, 409, 10) == 0.0
+
+    def test_log_of_spill_groups(self):
+        # 1000 MB over a 409 MB buffer -> ceil = 3 spill groups -> log_10(3).
+        assert merge_passes(1000, 409, 10) == pytest.approx(math.log(3, 10))
+
+    def test_merge_factor_one_degenerates_to_group_count(self):
+        assert merge_passes(1000, 409, 1) == 3.0
+
+    def test_zero_buffer(self):
+        assert merge_passes(100, 0, 10) == 0.0
+
+
+class TestMapCost:
+    def test_small_partition_has_no_merge_cost(self):
+        partition = MapPartition(input_mb=100, intermediate_mb=100, records=10, mappers=1)
+        expected = C.hdfs_read * 100 + C.local_write * 100
+        assert map_cost(partition, C) == pytest.approx(expected)
+
+    def test_metadata_is_16_bytes_per_record(self):
+        partition = MapPartition(input_mb=0, intermediate_mb=0, records=1024 * 1024, mappers=1)
+        assert partition.metadata_mb == pytest.approx(16.0)
+
+    def test_large_partition_pays_merge_cost(self):
+        partition = MapPartition(input_mb=128, intermediate_mb=1000, records=0, mappers=1)
+        base = C.hdfs_read * 128 + C.local_write * 1000
+        assert map_cost(partition, C) > base
+
+    def test_more_mappers_reduce_merge_cost(self):
+        big = MapPartition(input_mb=1280, intermediate_mb=5000, records=0, mappers=1)
+        split = MapPartition(input_mb=1280, intermediate_mb=5000, records=0, mappers=10)
+        assert map_cost(split, C) <= map_cost(big, C)
+
+    def test_cost_increases_with_input(self):
+        small = MapPartition(input_mb=10, intermediate_mb=10)
+        large = MapPartition(input_mb=100, intermediate_mb=10)
+        assert map_cost(large, C) > map_cost(small, C)
+
+
+class TestAggregationModes:
+    def test_equal_for_single_partition(self):
+        partitions = [MapPartition(input_mb=50, intermediate_mb=70, records=5, mappers=1)]
+        assert map_cost_per_partition(partitions, C) == pytest.approx(
+            map_cost_aggregated(partitions, C)
+        )
+
+    def test_paper_scenario_per_partition_exceeds_aggregate(self):
+        """The motivating example of Section 3.3.
+
+        One input fans out heavily (many pairs per tuple) while the other is
+        filtered; averaging them hides the first one's merge cost, so the
+        aggregate (Wang) cost is lower than the per-partition (Gumbo) cost.
+        """
+        fanning = MapPartition(input_mb=500, intermediate_mb=4000, records=0, mappers=4)
+        filtered = MapPartition(input_mb=4000, intermediate_mb=1, records=0, mappers=32)
+        per_partition = map_cost_per_partition([fanning, filtered], C)
+        aggregated = map_cost_aggregated([fanning, filtered], C)
+        assert per_partition > aggregated
+
+    def test_empty_partitions(self):
+        assert map_cost_per_partition([], C) == 0.0
+        assert map_cost_aggregated([], C) == 0.0
+
+
+class TestReduceCost:
+    def test_formula_components(self):
+        # Small data: no reduce-side merge.
+        cost = reduce_cost(100, 10, reducers=4, constants=C)
+        assert cost == pytest.approx(C.transfer * 100 + C.hdfs_write * 10)
+
+    def test_merge_cost_added_for_large_groups(self):
+        big = reduce_cost(10_000, 10, reducers=1, constants=C)
+        small = reduce_cost(10_000, 10, reducers=100, constants=C)
+        assert big > small
+
+    def test_merge_reduce_cost_zero_when_fits(self):
+        assert merge_reduce_cost(100, 1, C) == 0.0
+
+    def test_merge_map_cost_uses_metadata(self):
+        with_meta = merge_map_cost(400, 50, 1, C)
+        without_meta = merge_map_cost(400, 0, 1, C)
+        assert with_meta >= without_meta
+
+
+class TestJobCost:
+    def test_includes_overhead(self):
+        partitions = [MapPartition(input_mb=10, intermediate_mb=10)]
+        cost = job_cost(partitions, output_mb=1, reducers=1, constants=C)
+        assert cost >= C.job_overhead
+
+    def test_per_partition_flag(self):
+        fanning = MapPartition(input_mb=500, intermediate_mb=4000, records=0, mappers=4)
+        filtered = MapPartition(input_mb=4000, intermediate_mb=1, records=0, mappers=32)
+        gumbo = job_cost([fanning, filtered], 10, 4, C, per_partition=True)
+        wang = job_cost([fanning, filtered], 10, 4, C, per_partition=False)
+        assert gumbo > wang
+
+    def test_reduction_constants_collapse_to_hdfs_read(self):
+        constants = CostConstants.reduction_values()
+        partitions = [MapPartition(input_mb=7, intermediate_mb=3, records=10)]
+        cost = job_cost(partitions, output_mb=100, reducers=1, constants=constants)
+        assert cost == pytest.approx(7.0)

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end to end and prints what it promises."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+SRC_DIR = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
+
+
+def run_example(name, *args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        check=False,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Answer (upcoming books of never-flagged authors):" in proc.stdout
+        assert "('Dune II', 'Herbert')" in proc.stdout
+        assert "('Titanium Noir', 'Harkaway')" in proc.stdout
+        assert "('More Sandworms', 'Anderson')" not in proc.stdout
+        assert "Reference evaluator agrees" in proc.stdout
+
+    def test_plan_exploration(self):
+        proc = run_example("plan_exploration.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Estimated cost of every partition" in proc.stdout
+        assert "Greedy-BSGF chooses" in proc.stdout
+        assert "BSGF-Opt (brute force)" in proc.stdout
+        assert "MSJ(" in proc.stdout
+
+    def test_strategy_comparison(self):
+        proc = run_example("strategy_comparison.py", "1e-6")
+        assert proc.returncode == 0, proc.stderr
+        assert "Relative to SEQ" in proc.stdout
+        for strategy in ("SEQ", "PAR", "GREEDY", "1-ROUND", "HPAR", "HPARS", "PPAR"):
+            assert strategy in proc.stdout
+
+    def test_nested_sgf_pipeline(self):
+        proc = run_example("nested_sgf_pipeline.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Multiway topological sorts" in proc.stdout
+        assert "Greedy-SGF" in proc.stdout
+        assert "all strategies agree with the reference evaluator" in proc.stdout
+
+    def test_skew_and_replanning(self):
+        proc = run_example("skew_and_replanning.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Detected heavy join keys: [(7,)]" in proc.stdout
+        assert "Answers are identical with and without salting." in proc.stdout
+        assert "Dynamic and static evaluations agree" in proc.stdout

@@ -1,0 +1,257 @@
+"""Tests for the experiment harness (runner, reporting, per-figure drivers).
+
+The drivers run at a very small workload scale here so the whole file stays
+fast; the benchmark suite runs them at the default scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    RunRecord,
+    averages_by_strategy,
+    format_table,
+    format_table3,
+    records_table,
+    relative_table,
+    run_ablation,
+    run_cost_model_experiment,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure7a,
+    run_figure7b,
+    run_figure7c,
+    run_figure8,
+    run_table3,
+    selectivity_increases,
+)
+from repro.workloads.queries import bsgf_query_set, database_for
+from repro.workloads.scaling import ScaledEnvironment
+
+TINY = ScaledEnvironment(scale=5e-7)   # 50-tuple guard relations
+SMALL = ScaledEnvironment(scale=2e-6)  # 200-tuple guard relations
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+class TestRunRecord:
+    def test_as_dict_and_relative(self):
+        a = RunRecord("Q", "SEQ", 100.0, 1000.0, 10.0, 20.0, 4, 4)
+        b = RunRecord("Q", "PAR", 50.0, 2000.0, 20.0, 30.0, 5, 2)
+        data = b.as_dict()
+        assert data["strategy"] == "PAR"
+        relative = b.relative_to(a)
+        assert relative["net_time_pct"] == pytest.approx(50.0)
+        assert relative["total_time_pct"] == pytest.approx(200.0)
+
+    def test_relative_to_handles_zero_baseline(self):
+        a = RunRecord("Q", "SEQ", 0.0, 0.0, 0.0, 0.0, 1, 1)
+        b = RunRecord("Q", "PAR", 5.0, 5.0, 5.0, 5.0, 1, 1)
+        assert b.relative_to(a)["net_time_pct"] == 0.0
+
+
+class TestRunner:
+    def test_run_gumbo_strategy(self, runner):
+        queries = bsgf_query_set("A3")
+        db = database_for(queries, guard_tuples=50, seed=1)
+        record = runner.run_gumbo("A3", queries, "greedy", db)
+        assert record.strategy == "GREEDY"
+        assert record.net_time > 0
+        assert record.total_time >= record.net_time
+
+    def test_run_baseline_strategy(self, runner):
+        queries = bsgf_query_set("A3")
+        db = database_for(queries, guard_tuples=50, seed=1)
+        record = runner.run_baseline("A3", queries, "hpars", db)
+        assert record.strategy == "HPARS"
+        assert record.jobs == 5
+
+    def test_run_strategy_dispatches(self, runner):
+        queries = bsgf_query_set("A3")
+        db = database_for(queries, guard_tuples=50, seed=1)
+        assert runner.run_strategy("A3", queries, "ppar", db).strategy == "PPAR"
+        assert runner.run_strategy("A3", queries, "seq", db).strategy == "SEQ"
+
+    def test_run_matrix(self, runner):
+        queries = bsgf_query_set("A3")
+        db = database_for(queries, guard_tuples=50, seed=1)
+        records = runner.run_matrix("A3", queries, ["seq", "par"], db)
+        assert [r.strategy for r in records] == ["SEQ", "PAR"]
+
+    def test_gb_metrics_reported_at_paper_scale(self, runner):
+        queries = bsgf_query_set("A1")
+        db = database_for(queries, guard_tuples=50, seed=1)
+        record = runner.run_gumbo("A1", queries, "par", db)
+        # 50-tuple relations are a few KB; scaled up they must land in the
+        # paper's gigabyte range (Figure 3 reports 12-100 GB).
+        assert 1.0 < record.input_gb < 500.0
+
+
+class TestReporting:
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5
+
+    def test_records_and_relative_tables(self):
+        records = [
+            RunRecord("Q", "SEQ", 100.0, 1000.0, 10.0, 20.0, 4, 4),
+            RunRecord("Q", "PAR", 50.0, 2000.0, 20.0, 30.0, 5, 2),
+        ]
+        absolute = records_table(records, title="abs")
+        relative = relative_table(records, "seq", title="rel")
+        assert "SEQ" in absolute and "PAR" in absolute
+        assert "200%" in relative
+
+    def test_averages_by_strategy(self):
+        records = [
+            RunRecord("Q1", "SEQ", 100.0, 100.0, 1.0, 1.0, 1, 1),
+            RunRecord("Q1", "PAR", 50.0, 200.0, 2.0, 2.0, 1, 1),
+            RunRecord("Q2", "SEQ", 10.0, 10.0, 1.0, 1.0, 1, 1),
+            RunRecord("Q2", "PAR", 2.5, 20.0, 2.0, 2.0, 1, 1),
+        ]
+        averages = averages_by_strategy(records, "seq")
+        assert averages["PAR"]["net_time_pct"] == pytest.approx((50 + 25) / 2)
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult("X", "desc", baseline_strategy="seq")
+        result.add(RunRecord("Q", "SEQ", 10.0, 10.0, 1.0, 1.0, 1, 1))
+        result.add(RunRecord("Q", "PAR", 5.0, 20.0, 2.0, 2.0, 1, 1))
+        assert result.record("Q", "par").net_time == 5.0
+        assert len(result.by_query("Q")) == 2
+        assert len(result.by_strategy("seq")) == 1
+        assert "values relative to SEQ" in result.format()
+        with pytest.raises(KeyError):
+            result.record("Q", "missing")
+
+
+class TestFigureDrivers:
+    """Each driver runs on a tiny workload and must exhibit the paper's shape."""
+
+    def test_figure3_shape(self):
+        result = run_figure3(
+            TINY, query_ids=("A1",), strategies=("seq", "par", "greedy"),
+            include_one_round=False,
+        )
+        seq = result.record("A1", "seq")
+        par = result.record("A1", "par")
+        greedy = result.record("A1", "greedy")
+        assert par.net_time < seq.net_time
+        assert par.total_time > seq.total_time
+        assert greedy.total_time <= par.total_time
+        assert seq.rounds > par.rounds
+
+    def test_figure3_includes_one_round_only_when_applicable(self):
+        result = run_figure3(
+            TINY, query_ids=("A1", "A3"), strategies=("seq",), include_one_round=True
+        )
+        strategies_a1 = {r.strategy for r in result.by_query("A1")}
+        strategies_a3 = {r.strategy for r in result.by_query("A3")}
+        assert "1-ROUND" not in strategies_a1
+        assert "1-ROUND" in strategies_a3
+
+    def test_figure4_shape(self):
+        result = run_figure4(
+            TINY, query_ids=("B1",), strategies=("seq", "par", "greedy"),
+            include_one_round=False,
+        )
+        seq = result.record("B1", "seq")
+        par = result.record("B1", "par")
+        greedy = result.record("B1", "greedy")
+        # B1's deep sequential plan: parallel strategies slash the net time.
+        assert par.net_time < 0.6 * seq.net_time
+        assert greedy.net_time < 0.6 * seq.net_time
+        assert greedy.total_time < par.total_time
+
+    def test_figure5_shape(self):
+        result = run_figure5(TINY, query_ids=("C1",))
+        sequnit = result.record("C1", "sequnit")
+        parunit = result.record("C1", "parunit")
+        greedy = result.record("C1", "greedy-sgf")
+        assert parunit.net_time < sequnit.net_time
+        assert greedy.total_time <= sequnit.total_time
+
+    def test_figure7a_scaling_shape(self):
+        result = run_figure7a(
+            TINY,
+            data_sizes=(200_000_000, 800_000_000),
+            strategies=("seq", "1-round"),
+        )
+        small_seq = result.record("200M", "seq")
+        large_seq = result.record("800M", "seq")
+        assert large_seq.total_time > small_seq.total_time
+        one_round_large = result.record("800M", "1-round")
+        assert one_round_large.net_time < large_seq.net_time
+
+    def test_figure7b_more_nodes_do_not_hurt(self):
+        result = run_figure7b(
+            TINY, nodes=(5, 20), data_size=400_000_000, strategies=("par",)
+        )
+        five = result.record("5nodes", "par")
+        twenty = result.record("20nodes", "par")
+        assert twenty.net_time <= five.net_time + 1e-6
+
+    def test_figure7c_combined_scaling(self):
+        result = run_figure7c(
+            TINY,
+            combined=((200_000_000, 5), (400_000_000, 10)),
+            strategies=("greedy",),
+        )
+        assert len(result.records) == 2
+        small = result.record("200M/5", "greedy")
+        large = result.record("400M/10", "greedy")
+        # Total work grows with the data...
+        assert large.total_time > small.total_time
+        # ...but scaling nodes along keeps the net time roughly flat (within 2x).
+        assert large.net_time < 2.0 * small.net_time
+
+    def test_figure8_query_size_shape(self):
+        result = run_figure8(TINY, atom_counts=(2, 8), strategies=("seq", "greedy"))
+        seq_growth = (
+            result.record("8atoms", "seq").net_time
+            / result.record("2atoms", "seq").net_time
+        )
+        greedy_growth = (
+            result.record("8atoms", "greedy").net_time
+            / result.record("2atoms", "greedy").net_time
+        )
+        assert seq_growth > greedy_growth
+
+    def test_table3_selectivity(self):
+        result = run_table3(
+            TINY, query_ids=("A3",), strategies=("seq", "greedy"),
+            selectivities=(0.1, 0.9),
+        )
+        rows = selectivity_increases(result)
+        assert {row["strategy"] for row in rows} == {"SEQ", "GREEDY"}
+        text = format_table3(result)
+        assert "selectivity" in text
+
+    def test_cost_model_experiment(self):
+        comparison = run_cost_model_experiment(
+            SMALL, include_ranking=False, include_estimation_error=True,
+            groups=2, keys=4,
+        )
+        errors = comparison.estimation_error
+        assert set(errors) == {"gumbo", "wang"}
+        # The per-partition model must estimate the stress job at least as
+        # accurately as the aggregate model.
+        assert abs(errors["gumbo"]) <= abs(errors["wang"]) + 1e-9
+        assert "Cost model" in comparison.format()
+
+    def test_ablation_packing_reduces_communication(self):
+        result = run_ablation(TINY, query_ids=("A3",))
+        packed = result.record("A3", "GREEDY[ALL-ON]")
+        unpacked = result.record("A3", "GREEDY[NO-PACKING]")
+        assert packed.communication_gb < unpacked.communication_gb
+        no_ref = result.record("A3", "GREEDY[NO-TUPLE-REF]")
+        assert packed.communication_gb <= no_ref.communication_gb

@@ -1,0 +1,113 @@
+"""Tests for CSV/TSV loading and saving of relations and databases."""
+
+import os
+
+import pytest
+
+from repro.io import (
+    DataFormatError,
+    load_database,
+    load_relation,
+    save_database,
+    save_relation,
+)
+from repro.model.database import Database
+from repro.model.relation import Relation
+
+
+class TestRelationIO:
+    def test_round_trip(self, tmp_path):
+        relation = Relation.from_tuples("R", [(1, "a"), (2, "b"), (3, 1.5)])
+        path = str(tmp_path / "R.csv")
+        save_relation(relation, path)
+        loaded = load_relation(path)
+        assert loaded.name == "R"
+        assert loaded.arity == 2
+        assert loaded.tuples() == relation.tuples()
+
+    def test_values_parsed_as_numbers(self, tmp_path):
+        path = tmp_path / "S.csv"
+        path.write_text("1,2.5,hello\n")
+        loaded = load_relation(str(path))
+        assert loaded.tuples() == {(1, 2.5, "hello")}
+
+    def test_tsv_delimiter_inferred(self, tmp_path):
+        path = tmp_path / "S.tsv"
+        path.write_text("1\t2\n3\t4\n")
+        loaded = load_relation(str(path))
+        assert loaded.tuples() == {(1, 2), (3, 4)}
+
+    def test_header_skipped_when_requested(self, tmp_path):
+        path = tmp_path / "S.csv"
+        path.write_text("x,y\n1,2\n")
+        loaded = load_relation(str(path), has_header=True)
+        assert loaded.tuples() == {(1, 2)}
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "S.csv"
+        path.write_text("1,2\n\n3,4\n")
+        assert len(load_relation(str(path))) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "S.csv"
+        path.write_text("\n")
+        with pytest.raises(DataFormatError):
+            load_relation(str(path))
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "S.csv"
+        path.write_text("1,2\n3\n")
+        with pytest.raises(DataFormatError):
+            load_relation(str(path))
+
+    def test_explicit_name_overrides_filename(self, tmp_path):
+        path = tmp_path / "whatever.csv"
+        path.write_text("1\n")
+        assert load_relation(str(path), name="S").name == "S"
+
+
+class TestDatabaseIO:
+    def test_directory_round_trip(self, tmp_path):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(3,)]})
+        directory = str(tmp_path / "data")
+        paths = save_database(db, directory)
+        assert len(paths) == 2
+        loaded = load_database(directory)
+        assert set(loaded.relation_names()) == {"R", "S"}
+        assert loaded["R"].tuples() == {(1, 2)}
+        assert loaded["S"].tuples() == {(3,)}
+
+    def test_mapping_source(self, tmp_path):
+        path = tmp_path / "file.csv"
+        path.write_text("1,2\n")
+        db = load_database({"Renamed": str(path)})
+        assert "Renamed" in db
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_database(str(tmp_path / "missing"))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        directory = tmp_path / "empty"
+        directory.mkdir()
+        with pytest.raises(DataFormatError):
+            load_database(str(directory))
+
+    def test_save_selected_relations(self, tmp_path):
+        db = Database.from_dict({"R": [(1,)], "S": [(2,)]})
+        paths = save_database(db, str(tmp_path), names=["S"])
+        assert len(paths) == 1
+        assert os.path.basename(paths[0]) == "S.csv"
+
+    def test_query_over_loaded_database(self, tmp_path):
+        """End to end: save, load, and run Gumbo on the loaded data."""
+        from repro import Gumbo
+
+        db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)]})
+        directory = str(tmp_path / "db")
+        save_database(db, directory)
+        loaded = load_database(directory)
+        result = Gumbo().execute(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x);", loaded
+        )
+        assert set(result.output().tuples()) == {(1, 2)}

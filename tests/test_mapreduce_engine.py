@@ -1,0 +1,187 @@
+"""Unit tests for the MapReduce execution engine."""
+
+import pytest
+
+from repro.cost.constants import CostConstants
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import MapReduceJob, REDUCERS_BY_INPUT
+from repro.mapreduce.program import MRProgram
+from repro.model.database import Database
+
+
+class WordCountJob(MapReduceJob):
+    """Counts occurrences of each value in a unary relation."""
+
+    def __init__(self, job_id="wordcount", source="Words"):
+        super().__init__(job_id)
+        self.source = source
+
+    def input_relations(self):
+        return [self.source]
+
+    def map(self, relation, row):
+        return [((row[0],), 1)]
+
+    def reduce(self, key, values):
+        yield ("Counts", (key[0], sum(values)))
+
+    def output_schema(self):
+        return {"Counts": 2}
+
+
+class FilterJob(MapReduceJob):
+    """Keeps rows of 'Counts' with count >= threshold (tests chaining)."""
+
+    def __init__(self, job_id="filter", threshold=2):
+        super().__init__(job_id)
+        self.threshold = threshold
+
+    def input_relations(self):
+        return ["Counts"]
+
+    def map(self, relation, row):
+        return [(tuple(row), None)]
+
+    def reduce(self, key, values):
+        if key[1] >= self.threshold:
+            yield ("Frequent", tuple(key))
+
+    def output_schema(self):
+        return {"Frequent": 2}
+
+
+@pytest.fixture
+def words_db():
+    return Database.from_dict(
+        {"Words": [("a", 1), ("a", 2), ("b", 3), ("c", 4), ("a", 5)]}
+    )
+
+
+@pytest.fixture
+def engine():
+    return MapReduceEngine()
+
+
+class TestRunJob:
+    def test_wordcount_results(self, engine):
+        db = Database.from_dict({"Words": [(w, i) for i, w in enumerate("aabca")]})
+        job = WordCountJob()
+        job_for_unary = WordCountJob()
+        result = engine.run_job(job_for_unary, db)
+        counts = dict(result.outputs["Counts"].tuples())
+        assert counts == {"a": 3, "b": 1, "c": 1}
+
+    def test_metrics_partitions(self, engine, words_db):
+        result = engine.run_job(WordCountJob(), words_db)
+        metrics = result.metrics
+        assert len(metrics.partitions) == 1
+        partition = metrics.partitions[0]
+        assert partition.relation == "Words"
+        assert partition.input_records == 5
+        assert partition.output_records == 5
+        assert partition.input_mb == pytest.approx(words_db["Words"].size_mb())
+
+    def test_output_metrics(self, engine, words_db):
+        result = engine.run_job(WordCountJob(), words_db)
+        assert result.metrics.output_records == 3
+        assert result.metrics.output_mb == pytest.approx(
+            result.outputs["Counts"].size_mb()
+        )
+
+    def test_total_time_includes_overhead(self, engine, words_db):
+        result = engine.run_job(WordCountJob(), words_db)
+        assert result.metrics.total_time >= engine.constants.job_overhead
+
+    def test_missing_input_relation_treated_as_empty(self, engine):
+        result = engine.run_job(WordCountJob(source="Missing"), Database())
+        assert len(result.outputs["Counts"]) == 0
+        assert result.metrics.input_mb == 0.0
+
+    def test_task_durations_cover_cost(self, engine, words_db):
+        result = engine.run_job(WordCountJob(), words_db)
+        metrics = result.metrics
+        assert len(metrics.map_task_durations) == metrics.mappers
+        assert len(metrics.reduce_task_durations) == metrics.reducers
+        assert sum(metrics.map_task_durations) == pytest.approx(
+            metrics.breakdown.map, rel=1e-6
+        )
+
+    def test_undeclared_output_relation_rejected(self, engine, words_db):
+        class BadJob(WordCountJob):
+            def reduce(self, key, values):
+                yield ("Other", (key[0],))
+
+        with pytest.raises(KeyError):
+            engine.run_job(BadJob(), words_db)
+
+    def test_reducer_allocation_by_input(self, words_db):
+        engine = MapReduceEngine(mb_per_reducer_input=words_db["Words"].size_mb() / 2)
+        job = WordCountJob()
+        job.reducer_allocation = REDUCERS_BY_INPUT
+        result = engine.run_job(job, words_db)
+        assert result.metrics.reducers == 2
+
+    def test_fixed_reducers(self, engine, words_db):
+        job = WordCountJob()
+        job.fixed_reducers = 7
+        result = engine.run_job(job, words_db)
+        assert result.metrics.reducers == 7
+
+
+class TestRunProgram:
+    def test_two_round_program_chains_outputs(self, engine, words_db):
+        program = MRProgram("chain")
+        program.add_job(WordCountJob())
+        program.add_job(FilterJob(threshold=2), depends_on=["wordcount"])
+        result = engine.run_program(program, words_db)
+        assert set(result.outputs["Frequent"]) == {("a", 3)}
+        assert result.metrics.rounds == 2
+        assert len(result.metrics.level_net_times) == 2
+
+    def test_program_metrics_aggregate_jobs(self, engine, words_db):
+        program = MRProgram("chain")
+        program.add_job(WordCountJob())
+        program.add_job(FilterJob(), depends_on=["wordcount"])
+        result = engine.run_program(program, words_db)
+        job_total = sum(
+            m.total_time for m in result.metrics.job_metrics.values()
+        )
+        assert result.metrics.total_time == pytest.approx(job_total)
+        assert result.metrics.net_time == pytest.approx(
+            sum(result.metrics.level_net_times)
+        )
+
+    def test_net_time_counts_overhead_once_per_level(self, words_db):
+        constants = CostConstants.paper_values()
+        engine = MapReduceEngine(constants=constants)
+        program = MRProgram("parallel")
+        program.add_job(WordCountJob("wc1"))
+        program.add_job(WordCountJob("wc2"))
+        result = engine.run_program(program, words_db)
+        # Two jobs in one round: net time includes a single job overhead.
+        assert result.metrics.rounds == 1
+        assert result.metrics.net_time < 2 * constants.job_overhead + 1.0
+
+    def test_input_database_is_not_modified(self, engine, words_db):
+        program = MRProgram("p")
+        program.add_job(WordCountJob())
+        engine.run_program(program, words_db)
+        assert "Counts" not in words_db
+
+    def test_outputs_visible_in_result_database(self, engine, words_db):
+        program = MRProgram("p")
+        program.add_job(WordCountJob())
+        result = engine.run_program(program, words_db)
+        assert "Counts" in result.database
+
+    def test_smaller_cluster_never_faster(self, words_db):
+        big = MapReduceEngine(cluster=ClusterConfig(nodes=10))
+        small = MapReduceEngine(cluster=ClusterConfig(nodes=1))
+        program_big = MRProgram("p")
+        program_big.add_job(WordCountJob())
+        program_small = MRProgram("p")
+        program_small.add_job(WordCountJob())
+        net_big = big.run_program(program_big, words_db).metrics.net_time
+        net_small = small.run_program(program_small, words_db).metrics.net_time
+        assert net_small >= net_big - 1e-9

@@ -1,0 +1,119 @@
+"""Unit tests for MR program DAGs."""
+
+import pytest
+
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.program import MRProgram, ProgramValidationError
+
+
+class DummyJob(MapReduceJob):
+    """A minimal identity job used to test program structure."""
+
+    def __init__(self, job_id, inputs=("R",), output="Out"):
+        super().__init__(job_id)
+        self._inputs = list(inputs)
+        self._output = output
+
+    def input_relations(self):
+        return self._inputs
+
+    def map(self, relation, row):
+        return [(row, row)]
+
+    def reduce(self, key, values):
+        return [(self._output, key)]
+
+    def output_schema(self):
+        return {self._output: len(self._inputs[0]) if False else 2}
+
+
+class TestProgramConstruction:
+    def test_add_job(self):
+        program = MRProgram()
+        program.add_job(DummyJob("a"))
+        assert "a" in program
+        assert len(program) == 1
+
+    def test_duplicate_job_id_rejected(self):
+        program = MRProgram()
+        program.add_job(DummyJob("a"))
+        with pytest.raises(ProgramValidationError):
+            program.add_job(DummyJob("a"))
+
+    def test_unknown_dependency_rejected(self):
+        program = MRProgram()
+        with pytest.raises(ProgramValidationError):
+            program.add_job(DummyJob("a"), depends_on=["missing"])
+
+    def test_add_jobs_shares_dependencies(self):
+        program = MRProgram()
+        program.add_job(DummyJob("root"))
+        program.add_jobs([DummyJob("a"), DummyJob("b")], depends_on=["root"])
+        assert program.dependencies_of("a") == frozenset({"root"})
+        assert program.dependencies_of("b") == frozenset({"root"})
+
+    def test_job_lookup(self):
+        program = MRProgram()
+        job = program.add_job(DummyJob("a"))
+        assert program.job("a") is job
+
+
+class TestLevelsAndRounds:
+    def test_single_level(self):
+        program = MRProgram()
+        program.add_jobs([DummyJob("a"), DummyJob("b")])
+        assert program.rounds() == 1
+        assert [j.job_id for j in program.levels()[0]] == ["a", "b"]
+
+    def test_two_levels(self):
+        program = MRProgram()
+        program.add_jobs([DummyJob("m1"), DummyJob("m2")])
+        program.add_job(DummyJob("eval"), depends_on=["m1", "m2"])
+        assert program.rounds() == 2
+        assert [j.job_id for j in program.levels()[1]] == ["eval"]
+
+    def test_chain_levels(self):
+        program = MRProgram()
+        program.add_job(DummyJob("a"))
+        program.add_job(DummyJob("b"), depends_on=["a"])
+        program.add_job(DummyJob("c"), depends_on=["b"])
+        assert program.rounds() == 3
+
+    def test_diamond(self):
+        program = MRProgram()
+        program.add_job(DummyJob("a"))
+        program.add_jobs([DummyJob("b"), DummyJob("c")], depends_on=["a"])
+        program.add_job(DummyJob("d"), depends_on=["b", "c"])
+        assert program.rounds() == 3
+        assert [j.job_id for j in program.levels()[1]] == ["b", "c"]
+
+    def test_validate_passes(self):
+        program = MRProgram()
+        program.add_job(DummyJob("a"))
+        program.validate()
+
+
+class TestComposition:
+    def test_then_sequential_composition(self):
+        first = MRProgram("first")
+        first.add_jobs([DummyJob("a"), DummyJob("b")])
+        second = MRProgram("second")
+        second.add_job(DummyJob("c"))
+        combined = first.then(second)
+        assert combined.rounds() == 2
+        assert combined.dependencies_of("c") == frozenset({"a", "b"})
+
+    def test_then_preserves_internal_dependencies(self):
+        first = MRProgram("first")
+        first.add_job(DummyJob("a"))
+        second = MRProgram("second")
+        second.add_job(DummyJob("b"))
+        second.add_job(DummyJob("c"), depends_on=["b"])
+        combined = first.then(second)
+        assert combined.dependencies_of("c") == frozenset({"a", "b"})
+        assert combined.rounds() == 3
+
+    def test_repr(self):
+        program = MRProgram("p")
+        program.add_job(DummyJob("a"))
+        assert "jobs=1" in repr(program)

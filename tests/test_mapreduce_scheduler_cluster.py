@@ -1,0 +1,90 @@
+"""Unit tests for the wave scheduler and the cluster model."""
+
+import pytest
+
+from repro.cost.constants import HadoopSettings
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.scheduler import makespan, schedule_report, wave_count
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 10) == 0.0
+
+    def test_single_slot_sums(self):
+        assert makespan([1, 2, 3], 1) == 6.0
+
+    def test_enough_slots_gives_longest_task(self):
+        assert makespan([5, 1, 1, 1], 10) == 5.0
+
+    def test_two_slots(self):
+        # LPT: 3 -> slot A, 2 -> slot B, 2 -> slot B(4) vs A(3): to A -> 5? LPT puts to min load.
+        assert makespan([3, 2, 2], 2) == 4.0
+
+    def test_never_below_work_over_slots(self):
+        durations = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        slots = 3
+        span = makespan(durations, slots)
+        assert span >= sum(durations) / slots - 1e-9
+        assert span >= max(durations)
+
+    def test_zero_durations_ignored(self):
+        assert makespan([0.0, 0.0, 2.0], 4) == 2.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+
+class TestWaves:
+    def test_wave_count(self):
+        assert wave_count(0, 10) == 0
+        assert wave_count(10, 10) == 1
+        assert wave_count(11, 10) == 2
+
+    def test_wave_count_invalid_slots(self):
+        with pytest.raises(ValueError):
+            wave_count(5, 0)
+
+    def test_schedule_report(self):
+        span, work, utilisation = schedule_report([2.0, 2.0], 2)
+        assert span == 2.0
+        assert work == 4.0
+        assert utilisation == pytest.approx(1.0)
+
+    def test_schedule_report_empty(self):
+        span, work, utilisation = schedule_report([], 2)
+        assert span == 0.0 and work == 0.0 and utilisation == 0.0
+
+
+class TestClusterConfig:
+    def test_paper_cluster(self):
+        cluster = ClusterConfig.paper_cluster()
+        assert cluster.nodes == 10
+        assert cluster.containers_per_node == 10
+        assert cluster.total_slots == 100
+        assert cluster.split_mb == 128.0
+
+    def test_with_nodes(self):
+        cluster = ClusterConfig.paper_cluster().with_nodes(20)
+        assert cluster.total_slots == 200
+
+    def test_explicit_containers(self):
+        cluster = ClusterConfig(nodes=4, containers_per_node=3)
+        assert cluster.total_slots == 12
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=0)
+
+    def test_invalid_containers(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=1, containers_per_node=0)
+
+    def test_settings_drive_container_count(self):
+        settings = HadoopSettings(node_memory_mb=8192, min_allocation_mb=4096)
+        cluster = ClusterConfig(nodes=2, settings=settings)
+        assert cluster.containers_per_node == 2
+
+    def test_str(self):
+        assert "total_slots=100" in str(ClusterConfig.paper_cluster())

@@ -1,0 +1,141 @@
+"""Unit tests for repro.model.atoms: conformance, matching, projection."""
+
+import pytest
+
+from repro.model.atoms import Atom, Fact, facts_conforming
+from repro.model.terms import Constant, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAtomBasics:
+    def test_of_constructor_coerces_terms(self):
+        atom = Atom.of("R", "x", "y", 4)
+        assert atom.terms == (X, Y, Constant(4))
+
+    def test_arity(self):
+        assert Atom.of("R", "x", "y").arity == 2
+
+    def test_variables_in_order(self):
+        atom = Atom("R", (Y, X, Y, Constant(1)))
+        assert atom.variables == (Y, X)
+
+    def test_constants(self):
+        atom = Atom("R", (X, Constant(1), Constant(2), Constant(1)))
+        assert atom.constants == (Constant(1), Constant(2))
+
+    def test_variable_set_and_shared(self):
+        a = Atom.of("R", "x", "y")
+        b = Atom.of("S", "y", "z")
+        assert a.variable_set() == frozenset({X, Y})
+        assert a.shared_variables(b) == frozenset({Y})
+
+    def test_positions_of(self):
+        atom = Atom("R", (X, Y, X, Z))
+        assert atom.positions_of(X) == (0, 2)
+        assert atom.positions_of(Variable("missing")) == ()
+
+    def test_rename(self):
+        atom = Atom.of("R", "x", "y")
+        renamed = atom.rename({X: Z})
+        assert renamed == Atom("R", (Z, Y))
+
+    def test_str(self):
+        assert str(Atom.of("R", "x", 4)) == "R(x, 4)"
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", (X,))
+
+    def test_hashable_and_equal(self):
+        assert Atom.of("R", "x") == Atom.of("R", "x")
+        assert len({Atom.of("R", "x"), Atom.of("R", "x")}) == 1
+
+
+class TestConformance:
+    def test_example_from_paper(self):
+        # (1, 2, 1, 3) conforms to (x, 2, x, y)
+        atom = Atom("R", (X, Constant(2), X, Y))
+        assert atom.conforms((1, 2, 1, 3))
+
+    def test_repeated_variable_mismatch(self):
+        atom = Atom("R", (X, X))
+        assert atom.conforms((1, 1))
+        assert not atom.conforms((1, 2))
+
+    def test_constant_mismatch(self):
+        atom = Atom("R", (X, Constant(4)))
+        assert atom.conforms((9, 4))
+        assert not atom.conforms((9, 5))
+
+    def test_arity_mismatch(self):
+        atom = Atom.of("R", "x", "y")
+        assert not atom.conforms((1,))
+        assert not atom.conforms((1, 2, 3))
+
+    def test_none_value_can_be_bound(self):
+        atom = Atom("R", (X, X))
+        assert atom.conforms((None, None))
+        assert not atom.conforms((None, 1))
+
+    def test_match_returns_binding(self):
+        atom = Atom("R", (X, Y, X))
+        binding = atom.match((1, 2, 1))
+        assert binding == {X: 1, Y: 2}
+
+    def test_match_returns_none_on_mismatch(self):
+        atom = Atom("R", (X, Y, X))
+        assert atom.match((1, 2, 3)) is None
+
+
+class TestProjection:
+    def test_projection_example_from_paper(self):
+        # f = R(1, 2, 1, 3), alpha = R(x, y, x, z): pi_{alpha; x, z}(f) = (1, 3)
+        atom = Atom("R", (X, Y, X, Z))
+        assert atom.project((1, 2, 1, 3), (X, Z)) == (1, 3)
+
+    def test_projection_rejects_non_conforming(self):
+        atom = Atom("R", (X, X))
+        with pytest.raises(ValueError):
+            atom.project((1, 2), (X,))
+
+    def test_projection_rejects_unknown_variable(self):
+        atom = Atom("R", (X,))
+        with pytest.raises(ValueError):
+            atom.project((1,), (Y,))
+
+    def test_substitute(self):
+        atom = Atom("R", (X, Constant(4), Y))
+        assert atom.substitute({X: 1, Y: 2}) == (1, 4, 2)
+
+    def test_substitute_unbound_variable(self):
+        atom = Atom("R", (X, Y))
+        with pytest.raises(ValueError):
+            atom.substitute({X: 1})
+
+
+class TestFact:
+    def test_conforms_to_checks_relation_name(self):
+        fact = Fact("R", (1, 2))
+        assert fact.conforms_to(Atom.of("R", "x", "y"))
+        assert not fact.conforms_to(Atom.of("S", "x", "y"))
+
+    def test_project(self):
+        fact = Fact("R", (1, 2, 1, 3))
+        atom = Atom("R", (X, Y, X, Z))
+        assert fact.project(atom, (X, Z)) == (1, 3)
+
+    def test_project_wrong_relation(self):
+        fact = Fact("S", (1,))
+        with pytest.raises(ValueError):
+            fact.project(Atom.of("R", "x"), (X,))
+
+    def test_arity_and_str(self):
+        fact = Fact("R", (1, "a"))
+        assert fact.arity == 2
+        assert str(fact) == "R(1, 'a')"
+
+    def test_facts_conforming_filter(self):
+        facts = [Fact("R", (1, 1)), Fact("R", (1, 2)), Fact("S", (3, 3))]
+        atom = Atom("R", (X, X))
+        assert list(facts_conforming(facts, atom)) == [Fact("R", (1, 1))]

@@ -1,0 +1,103 @@
+"""Unit tests for repro.model.database."""
+
+import pytest
+
+from repro.model.atoms import Atom, Fact
+from repro.model.database import Database, UnknownRelationError
+from repro.model.relation import Relation, SchemaError
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(1,)]})
+        assert set(db.relation_names()) == {"R", "S"}
+        assert len(db["R"]) == 1
+
+    def test_add_relation_replaces(self):
+        db = Database()
+        db.add_relation(Relation.from_tuples("R", [(1,)]))
+        db.add_relation(Relation.from_tuples("R", [(2,), (3,)]))
+        assert len(db["R"]) == 2
+
+    def test_ensure_relation_creates_empty(self):
+        db = Database()
+        rel = db.ensure_relation("R", 3)
+        assert rel.arity == 3
+        assert len(db["R"]) == 0
+
+    def test_ensure_relation_returns_existing(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        assert db.ensure_relation("R", 2) is db["R"]
+
+    def test_ensure_relation_arity_conflict(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        with pytest.raises(SchemaError):
+            db.ensure_relation("R", 3)
+
+
+class TestAccess:
+    def test_getitem_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            Database()["missing"]
+
+    def test_get_returns_none(self):
+        assert Database().get("missing") is None
+
+    def test_contains_len_iter(self):
+        db = Database.from_dict({"R": [(1,)], "S": [(2,)]})
+        assert "R" in db and "missing" not in db
+        assert len(db) == 2
+        assert [rel.name for rel in db] == ["R", "S"]
+
+    def test_relation_names_sorted(self):
+        db = Database.from_dict({"B": [(1,)], "A": [(1,)], "C": [(1,)]})
+        assert db.relation_names() == ["A", "B", "C"]
+
+
+class TestFactView:
+    def test_facts_iterates_all(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(3,)]})
+        facts = set(db.facts())
+        assert facts == {Fact("R", (1, 2)), Fact("S", (3,))}
+
+    def test_facts_restricted(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(3,)]})
+        assert set(db.facts(["S"])) == {Fact("S", (3,))}
+
+    def test_contains_fact(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        assert db.contains_fact(Fact("R", (1, 2)))
+        assert not db.contains_fact(Fact("R", (2, 1)))
+        assert not db.contains_fact(Fact("Q", (1, 2)))
+
+    def test_matching_facts(self):
+        db = Database.from_dict({"R": [(1, 1), (1, 2)]})
+        atom = Atom.of("R", "x", "x")
+        assert list(db.matching_facts(atom)) == [Fact("R", (1, 1))]
+
+    def test_matching_facts_missing_relation(self):
+        assert list(Database().matching_facts(Atom.of("R", "x"))) == []
+
+
+class TestSizesAndCopy:
+    def test_size_accounting(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(1,)]})
+        assert db.size_bytes() == 20 + 10
+        assert db.size_bytes(["S"]) == 10
+        assert db.size_mb() == pytest.approx(30 / (1024 * 1024))
+
+    def test_copy_is_independent(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        clone = db.copy()
+        clone["R"].add((3, 4))
+        assert len(db["R"]) == 1
+        assert len(clone["R"]) == 2
+
+    def test_summary(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        (name, count, size_mb), = db.summary()
+        assert name == "R" and count == 1 and size_mb > 0
+
+    def test_repr(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        assert "R[1]" in repr(db)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.model.relation."""
+
+import pytest
+
+from repro.model.relation import DEFAULT_BYTES_PER_FIELD, Relation, SchemaError
+
+
+class TestConstruction:
+    def test_from_tuples_infers_arity(self):
+        rel = Relation.from_tuples("R", [(1, 2), (3, 4)])
+        assert rel.arity == 2
+        assert len(rel) == 2
+
+    def test_from_tuples_explicit_arity_allows_empty(self):
+        rel = Relation.from_tuples("R", [], arity=3)
+        assert rel.arity == 3
+        assert len(rel) == 0
+
+    def test_from_tuples_empty_without_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_tuples("R", [])
+
+    def test_invalid_name_and_arity(self):
+        with pytest.raises(ValueError):
+            Relation("", 1)
+        with pytest.raises(ValueError):
+            Relation("R", 0)
+        with pytest.raises(ValueError):
+            Relation("R", 1, bytes_per_field=0)
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        rel = Relation("R", 2)
+        rel.add((1, 2))
+        assert (1, 2) in rel
+        assert (2, 1) not in rel
+
+    def test_add_wrong_arity_rejected(self):
+        rel = Relation("R", 2)
+        with pytest.raises(SchemaError):
+            rel.add((1,))
+
+    def test_duplicates_collapse(self):
+        rel = Relation("R", 1)
+        rel.add((1,))
+        rel.add((1,))
+        assert len(rel) == 1
+
+    def test_update_discard_clear(self):
+        rel = Relation("R", 1)
+        rel.update([(1,), (2,), (3,)])
+        rel.discard((2,))
+        assert sorted(rel.tuples()) == [(1,), (3,)]
+        rel.clear()
+        assert len(rel) == 0
+        assert not rel
+
+    def test_lists_are_normalised_to_tuples(self):
+        rel = Relation("R", 2)
+        rel.add([1, 2])
+        assert (1, 2) in rel
+        assert [1, 2] in rel
+
+
+class TestAccess:
+    def test_sorted_tuples_deterministic(self):
+        rel = Relation.from_tuples("R", [(3,), (1,), (2,)])
+        assert rel.sorted_tuples() == sorted(rel.sorted_tuples(), key=repr)
+
+    def test_copy_is_independent(self):
+        rel = Relation.from_tuples("R", [(1,)])
+        clone = rel.copy()
+        clone.add((2,))
+        assert len(rel) == 1
+        assert len(clone) == 2
+
+    def test_copy_rename(self):
+        rel = Relation.from_tuples("R", [(1,)])
+        assert rel.copy("S").name == "S"
+
+    def test_iteration(self):
+        rel = Relation.from_tuples("R", [(1,), (2,)])
+        assert sorted(iter(rel)) == [(1,), (2,)]
+
+
+class TestSizes:
+    def test_default_bytes_per_field_matches_paper(self):
+        # 100M 4-ary tuples at 10 bytes/field = 4 GB; 100M unary tuples = 1 GB.
+        assert DEFAULT_BYTES_PER_FIELD == 10
+        guard = Relation("R", 4)
+        assert guard.tuple_size_bytes == 40
+        conditional = Relation("S", 1)
+        assert conditional.tuple_size_bytes == 10
+
+    def test_size_bytes_and_mb(self):
+        rel = Relation.from_tuples("R", [(i, i) for i in range(100)])
+        assert rel.size_bytes() == 100 * 2 * 10
+        assert rel.size_mb() == pytest.approx(2000 / (1024 * 1024))
+
+    def test_custom_bytes_per_field(self):
+        rel = Relation("R", 2, bytes_per_field=100)
+        rel.add((1, 2))
+        assert rel.size_bytes() == 200
+
+    def test_repr_mentions_cardinality(self):
+        rel = Relation.from_tuples("R", [(1,)])
+        assert "tuples=1" in repr(rel)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.model.terms."""
+
+import pytest
+
+from repro.model.terms import (
+    Constant,
+    Variable,
+    as_term,
+    is_constant,
+    is_variable,
+    variables_in,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("abc")) == "abc"
+
+    def test_repr_roundtrip(self):
+        assert "Variable" in repr(Variable("x"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable(3)  # type: ignore[arg-type]
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("a") != Constant(1)
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_str_uses_repr_of_value(self):
+        assert str(Constant("bad")) == "'bad'"
+        assert str(Constant(4)) == "4"
+
+    def test_constant_never_equals_variable(self):
+        assert Constant("x") != Variable("x")
+
+
+class TestAsTerm:
+    def test_lowercase_identifier_becomes_variable(self):
+        assert as_term("x") == Variable("x")
+        assert as_term("aut") == Variable("aut")
+
+    def test_uppercase_string_becomes_constant(self):
+        assert as_term("Bad") == Constant("Bad")
+
+    def test_number_becomes_constant(self):
+        assert as_term(4) == Constant(4)
+
+    def test_non_identifier_string_becomes_constant(self):
+        assert as_term("hello world") == Constant("hello world")
+
+    def test_existing_terms_pass_through(self):
+        v, c = Variable("x"), Constant(1)
+        assert as_term(v) is v
+        assert as_term(c) is c
+
+    def test_predicates(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant(1))
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("x"))
+
+
+class TestVariablesIn:
+    def test_preserves_first_occurrence_order(self):
+        terms = [Variable("y"), Constant(1), Variable("x"), Variable("y")]
+        assert variables_in(terms) == (Variable("y"), Variable("x"))
+
+    def test_empty(self):
+        assert variables_in([]) == ()
+
+    def test_only_constants(self):
+        assert variables_in([Constant(1), Constant(2)]) == ()

@@ -1,0 +1,129 @@
+"""Unit tests for GumboOptions and the metrics containers."""
+
+import pytest
+
+from repro.core.options import GumboOptions
+from repro.cost.models import JobCostBreakdown
+from repro.mapreduce.counters import JobMetrics, PartitionMetrics, ProgramMetrics
+
+
+class TestGumboOptions:
+    def test_defaults_all_enabled(self):
+        options = GumboOptions()
+        assert options.message_packing
+        assert options.tuple_reference
+        assert options.reducers_by_intermediate
+        assert options.fuse_one_round
+
+    def test_all_disabled(self):
+        options = GumboOptions.all_disabled()
+        assert not options.message_packing
+        assert not options.tuple_reference
+        assert not options.reducers_by_intermediate
+        assert not options.fuse_one_round
+
+    def test_without_overrides_single_flag(self):
+        options = GumboOptions().without(message_packing=False)
+        assert not options.message_packing
+        assert options.tuple_reference
+
+    def test_without_returns_new_object(self):
+        base = GumboOptions()
+        assert base.without(tuple_reference=False) is not base
+        assert base.tuple_reference
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            GumboOptions().message_packing = False  # type: ignore[misc]
+
+
+def _metrics(job_id="job", input_mb=10.0, intermediate_mb=5.0, output_mb=2.0):
+    metrics = JobMetrics(job_id=job_id)
+    metrics.partitions.append(
+        PartitionMetrics(
+            relation="R",
+            input_mb=input_mb,
+            input_records=100,
+            intermediate_mb=intermediate_mb,
+            output_records=50,
+            mappers=2,
+        )
+    )
+    metrics.reducers = 3
+    metrics.output_mb = output_mb
+    metrics.output_records = 10
+    metrics.breakdown = JobCostBreakdown(overhead=15.0, map=30.0, reduce=5.0)
+    metrics.map_task_durations = [15.0, 15.0]
+    metrics.reduce_task_durations = [2.0, 2.0, 1.0]
+    return metrics
+
+
+class TestJobMetrics:
+    def test_derived_quantities(self):
+        metrics = _metrics()
+        assert metrics.input_mb == 10.0
+        assert metrics.input_records == 100
+        assert metrics.intermediate_mb == 5.0
+        assert metrics.intermediate_records == 50
+        assert metrics.mappers == 2
+        assert metrics.total_time == 50.0
+
+    def test_total_time_without_breakdown(self):
+        metrics = JobMetrics(job_id="empty")
+        assert metrics.total_time == 0.0
+
+    def test_as_map_partition(self):
+        partition = _metrics().partitions[0].as_map_partition()
+        assert partition.input_mb == 10.0
+        assert partition.records == 50
+        assert partition.mappers == 2
+        assert partition.label == "R"
+
+
+class TestProgramMetrics:
+    def test_aggregation(self):
+        program = ProgramMetrics()
+        program.add_job(_metrics("a"))
+        program.add_job(_metrics("b", input_mb=20.0, intermediate_mb=1.0))
+        program.net_time = 70.0
+        program.rounds = 2
+        assert program.num_jobs == 2
+        assert program.total_time == 100.0
+        assert program.input_mb == 30.0
+        assert program.communication_mb == 6.0
+        assert program.output_mb == 4.0
+        assert program.input_gb == pytest.approx(30.0 / 1024)
+
+    def test_summary_keys(self):
+        program = ProgramMetrics()
+        program.add_job(_metrics())
+        assert set(program.summary()) == {
+            "net_time_s",
+            "total_time_s",
+            "input_gb",
+            "communication_gb",
+        }
+
+    def test_merge_is_sequential_composition(self):
+        first = ProgramMetrics()
+        first.add_job(_metrics("a"))
+        first.net_time = 50.0
+        first.rounds = 1
+        first.level_net_times = [50.0]
+        second = ProgramMetrics()
+        second.add_job(_metrics("b"))
+        second.net_time = 30.0
+        second.rounds = 2
+        second.level_net_times = [20.0, 10.0]
+        merged = first.merge(second)
+        assert merged.num_jobs == 2
+        assert merged.net_time == 80.0
+        assert merged.rounds == 3
+        assert merged.level_net_times == [50.0, 20.0, 10.0]
+        # Merging does not mutate the inputs.
+        assert first.num_jobs == 1 and second.num_jobs == 1
+
+    def test_str(self):
+        program = ProgramMetrics()
+        program.add_job(_metrics())
+        assert "jobs=1" in str(program)

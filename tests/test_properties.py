@@ -1,0 +1,284 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.chain import to_dnf
+from repro.core.greedy_sgf import greedy_multiway_sort
+from repro.core.msj import MSJJob
+from repro.core.options import GumboOptions
+from repro.core.plan import build_sequential_program, build_two_round_program
+from repro.cost.constants import CostConstants
+from repro.cost.formulas import MapPartition, job_cost
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.scheduler import makespan
+from repro.model.atoms import Atom
+from repro.model.database import Database
+from repro.model.relation import Relation
+from repro.model.terms import Constant, Variable
+from repro.query.bsgf import BSGFQuery
+from repro.query.conditions import And, AtomCondition, Condition, Not, Or
+from repro.query.dependency import DependencyGraph
+from repro.query.parser import parse_bsgf
+from repro.query.reference import evaluate_bsgf, evaluate_semijoin
+from repro.query.sgf import SGFQuery
+
+# Shared settings: keep example counts small so the whole file stays fast.
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+X, Y = Variable("x"), Variable("y")
+
+values = st.integers(min_value=0, max_value=5)
+rows2 = st.lists(st.tuples(values, values), max_size=12)
+rows1 = st.lists(st.tuples(values), max_size=8)
+
+
+# -- atoms ---------------------------------------------------------------------------
+
+
+@st.composite
+def atoms(draw):
+    relation = draw(st.sampled_from(["R", "S", "T"]))
+    arity = draw(st.integers(min_value=1, max_value=3))
+    terms = tuple(
+        draw(
+            st.one_of(
+                st.sampled_from([Variable("x"), Variable("y"), Variable("z")]),
+                st.builds(Constant, values),
+            )
+        )
+        for _ in range(arity)
+    )
+    return Atom(relation, terms)
+
+
+@FAST
+@given(atoms(), st.lists(values, min_size=0, max_size=4))
+def test_match_and_conforms_agree(atom, row):
+    row = tuple(row)
+    binding = atom.match(row)
+    assert (binding is not None) == atom.conforms(row)
+    if binding is not None:
+        # Re-substituting the binding reproduces the row.
+        assert atom.substitute(binding) == row
+
+
+@FAST
+@given(atoms(), st.lists(values, min_size=0, max_size=4))
+def test_projection_values_come_from_binding(atom, row):
+    row = tuple(row)
+    binding = atom.match(row)
+    if binding is None:
+        return
+    variables = atom.variables
+    projected = atom.project(row, variables)
+    assert projected == tuple(binding[v] for v in variables)
+
+
+# -- conditions -----------------------------------------------------------------------
+
+
+@st.composite
+def conditions(draw, depth=3):
+    leaf = st.builds(
+        AtomCondition,
+        st.sampled_from(
+            [Atom.of("S", "x"), Atom.of("T", "y"), Atom.of("U", "x"), Atom.of("V", "y")]
+        ),
+    )
+    if depth == 0:
+        return draw(leaf)
+    return draw(
+        st.one_of(
+            leaf,
+            st.builds(Not, conditions(depth=depth - 1)),
+            st.builds(And, conditions(depth=depth - 1), conditions(depth=depth - 1)),
+            st.builds(Or, conditions(depth=depth - 1), conditions(depth=depth - 1)),
+        )
+    )
+
+
+@FAST
+@given(conditions(), st.sets(st.integers(min_value=0, max_value=3)))
+def test_double_negation_preserves_evaluation(condition, true_indices):
+    ordered = condition.atoms()
+    assignment = lambda a: ordered.index(a) in true_indices
+    assert condition.evaluate(assignment) == Not(Not(condition)).evaluate(assignment)
+
+
+@FAST
+@given(conditions(), st.sets(st.integers(min_value=0, max_value=3)))
+def test_dnf_rewriting_preserves_evaluation(condition, true_indices):
+    ordered = condition.atoms()
+    true_atoms = {a for i, a in enumerate(ordered) if i in true_indices}
+    direct = condition.evaluate(lambda a: a in true_atoms)
+    via_dnf = any(
+        all((lit.atom in true_atoms) == lit.positive for lit in disjunct)
+        for disjunct in to_dnf(condition)
+    )
+    assert direct == via_dnf
+
+
+@FAST
+@given(conditions())
+def test_condition_str_reparses_equivalently(condition):
+    from repro.query.parser import parse_condition
+
+    reparsed = parse_condition(str(condition))
+    ordered = condition.atoms()
+    assert reparsed.atoms() == ordered
+    for mask in range(2 ** min(len(ordered), 4)):
+        true_atoms = {a for i, a in enumerate(ordered) if mask & (1 << i)}
+        assignment = lambda a: a in true_atoms
+        assert condition.evaluate(assignment) == reparsed.evaluate(assignment)
+
+
+# -- scheduler and cost model -----------------------------------------------------------
+
+
+@FAST
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30),
+    st.integers(min_value=1, max_value=16),
+)
+def test_makespan_bounds(durations, slots):
+    span = makespan(durations, slots)
+    work = sum(d for d in durations if d > 0)
+    longest = max([d for d in durations if d > 0], default=0.0)
+    assert span >= longest - 1e-9
+    assert span >= work / slots - 1e-9
+    assert span <= work + 1e-9
+
+
+@FAST
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=20),
+    st.integers(min_value=1, max_value=8),
+)
+def test_makespan_monotone_in_slots(durations, slots):
+    assert makespan(durations, slots + 1) <= makespan(durations, slots) + 1e-9
+
+
+@FAST
+@given(
+    st.floats(min_value=0.0, max_value=10_000.0),
+    st.floats(min_value=0.0, max_value=10_000.0),
+    st.integers(min_value=0, max_value=10_000_000),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+)
+def test_job_cost_nonnegative_and_monotone_in_input(
+    input_mb, intermediate_mb, records, mappers, reducers
+):
+    constants = CostConstants.paper_values()
+    partition = MapPartition(input_mb, intermediate_mb, records, mappers)
+    bigger = MapPartition(input_mb * 2 + 1, intermediate_mb, records, mappers)
+    cost = job_cost([partition], 10.0, reducers, constants)
+    cost_bigger = job_cost([bigger], 10.0, reducers, constants)
+    assert cost >= 0.0
+    assert cost_bigger >= cost
+
+
+# -- MSJ vs reference semantics -----------------------------------------------------------
+
+
+@FAST
+@given(rows2, rows1, rows1)
+def test_msj_matches_reference_on_random_databases(r_rows, s_rows, t_rows):
+    db = Database()
+    db.add_relation(Relation.from_tuples("R", r_rows, arity=2))
+    db.add_relation(Relation.from_tuples("S", s_rows, arity=1))
+    db.add_relation(Relation.from_tuples("T", t_rows, arity=1))
+    guard = Atom.of("R", "x", "y")
+    specs = BSGFQuery(
+        "Z",
+        (X, Y),
+        guard,
+        And(AtomCondition(Atom.of("S", "x")), AtomCondition(Atom.of("T", "y"))),
+    ).semijoin_specs()
+    engine = MapReduceEngine()
+    job = MSJJob("msj", specs, GumboOptions(), emit_projection=True)
+    outputs = engine.run_job(job, db).outputs
+    for spec in specs:
+        reference = evaluate_semijoin(
+            spec.guard, spec.conditional, spec.projection, db, spec.output
+        )
+        assert outputs[spec.output].tuples() == reference.tuples()
+
+
+# -- strategies vs reference on random queries ------------------------------------------------
+
+
+@FAST
+@given(conditions(depth=2), rows2, rows1, rows1)
+def test_parallel_and_sequential_plans_match_reference(condition, r_rows, s_rows, t_rows):
+    db = Database()
+    db.add_relation(Relation.from_tuples("R", r_rows, arity=2))
+    db.add_relation(Relation.from_tuples("S", s_rows, arity=1))
+    db.add_relation(Relation.from_tuples("T", t_rows, arity=1))
+    db.add_relation(Relation.from_tuples("U", [(0,), (3,)], arity=1))
+    db.add_relation(Relation.from_tuples("V", [(1,)], arity=1))
+    query = BSGFQuery("Z", (X, Y), Atom.of("R", "x", "y"), condition)
+    reference = frozenset(evaluate_bsgf(query, db).tuples())
+
+    engine = MapReduceEngine()
+    two_round = build_two_round_program(
+        [query], [[s] for s in query.semijoin_specs()]
+    )
+    assert frozenset(engine.run_program(two_round, db).outputs["Z"].tuples()) == reference
+
+    sequential = build_sequential_program(query)
+    assert frozenset(engine.run_program(sequential, db).outputs["Z"].tuples()) == reference
+
+
+# -- dependency graphs -------------------------------------------------------------------------
+
+
+@st.composite
+def random_sgf_queries(draw):
+    """Random SGF queries: each subquery guards a base relation or an earlier output."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    subqueries = []
+    for index in range(count):
+        candidates = ["R", "G"] + [f"Z{j}" for j in range(index)]
+        guard_name = draw(st.sampled_from(candidates))
+        conditional_name = draw(st.sampled_from(["S", "T", "U"] + [f"Z{j}" for j in range(index)]))
+        subqueries.append(
+            BSGFQuery(
+                f"Z{index}",
+                (X, Y),
+                Atom.of(guard_name, "x", "y"),
+                AtomCondition(Atom.of(conditional_name, "x")),
+            )
+        )
+    return SGFQuery(tuple(subqueries))
+
+
+@FAST
+@given(random_sgf_queries())
+def test_greedy_multiway_sort_is_always_valid(query):
+    graph = DependencyGraph(query)
+    groups = greedy_multiway_sort(graph)
+    assert graph.is_valid_multiway_sort(groups)
+    assert sorted(n for g in groups for n in g) == sorted(graph.nodes)
+
+
+@FAST
+@given(random_sgf_queries())
+def test_levels_are_valid_multiway_sorts(query):
+    graph = DependencyGraph(query)
+    assert graph.is_valid_multiway_sort(graph.levels())
+    assert graph.is_valid_multiway_sort([[n] for n in graph.topological_order()])
+
+
+# -- parser round trip ---------------------------------------------------------------------------
+
+
+@FAST
+@given(conditions(depth=2))
+def test_bsgf_str_round_trip(condition):
+    query = BSGFQuery("Z", (X, Y), Atom.of("R", "x", "y"), condition)
+    assert parse_bsgf(str(query)) == query

@@ -1,0 +1,139 @@
+"""Unit tests for repro.query.bsgf: validation, semi-join specs, formulas."""
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.model.terms import Variable
+from repro.query.bsgf import BSGFQuery, GuardednessError, SemiJoinSpec, select
+from repro.query.conditions import TRUE, And, AtomCondition, Not, atom
+
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def make_query(condition=TRUE, projection=(X, Y)):
+    return BSGFQuery("Z", projection, Atom.of("R", "x", "y"), condition)
+
+
+class TestValidation:
+    def test_valid_query(self):
+        query = make_query(And(atom("S", "x"), atom("T", "y")))
+        assert query.output == "Z"
+
+    def test_projection_must_be_guarded(self):
+        with pytest.raises(GuardednessError):
+            BSGFQuery("Z", (Z,), Atom.of("R", "x", "y"), TRUE)
+
+    def test_conditional_atoms_may_not_share_unguarded_variables(self):
+        # S(x, u) and T(y, u) share u, which is not in the guard R(x, y).
+        condition = And(atom("S", "x", "u"), atom("T", "y", "u"))
+        with pytest.raises(GuardednessError):
+            make_query(condition)
+
+    def test_conditional_atoms_may_share_guarded_variables(self):
+        condition = And(atom("S", "x"), atom("T", "x"))
+        query = make_query(condition)
+        assert len(query.conditional_atoms) == 2
+
+    def test_single_atom_may_use_private_variables(self):
+        # T(x, z): z does not occur in the guard but no other atom uses it.
+        query = make_query(AtomCondition(Atom.of("T", "x", "z")))
+        assert query.conditional_atoms[0].relation == "T"
+
+    def test_example_query_from_introduction(self):
+        # SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z)
+        condition = And(
+            AtomCondition(Atom.of("S", "x", "y")) | AtomCondition(Atom.of("S", "y", "x")),
+            AtomCondition(Atom.of("T", "x", "z")),
+        )
+        query = make_query(condition)
+        assert len(query.conditional_atoms) == 3
+
+
+class TestDerivedStructure:
+    def test_conditional_atoms_order(self):
+        condition = And(atom("T", "y"), atom("S", "x"))
+        query = make_query(condition)
+        assert [a.relation for a in query.conditional_atoms] == ["T", "S"]
+
+    def test_relation_names(self):
+        query = make_query(And(atom("S", "x"), atom("T", "y")))
+        assert query.relation_names == frozenset({"R", "S", "T"})
+        assert query.conditional_relation_names == frozenset({"S", "T"})
+
+    def test_has_condition(self):
+        assert not make_query().has_condition
+        assert make_query(atom("S", "x")).has_condition
+
+    def test_semijoin_specs_naming_and_projection(self):
+        query = make_query(And(atom("S", "x"), atom("T", "y")))
+        specs = query.semijoin_specs()
+        assert [s.output for s in specs] == ["Z#0", "Z#1"]
+        assert all(s.projection == (X, Y) for s in specs)
+        assert specs[0].join_key == (X,)
+        assert specs[1].join_key == (Y,)
+
+    def test_semijoin_specs_custom_prefix(self):
+        query = make_query(atom("S", "x"))
+        assert query.semijoin_specs(prefix="Q")[0].output == "Q#0"
+
+    def test_formula_over_replaces_atoms(self):
+        query = make_query(And(atom("S", "x"), Not(atom("T", "y"))))
+        formula = query.formula_over(["X0", "X1"])
+        names = [a.relation for a in formula.atoms()]
+        assert names == ["X0", "X1"]
+
+    def test_formula_over_wrong_length(self):
+        query = make_query(atom("S", "x"))
+        with pytest.raises(ValueError):
+            query.formula_over(["X0", "X1"])
+
+    def test_shares_join_key(self):
+        same_key = make_query(And(atom("S", "x"), atom("T", "x")))
+        different_key = make_query(And(atom("S", "x"), atom("T", "y")))
+        no_condition = make_query()
+        assert same_key.shares_join_key()
+        assert not different_key.shares_join_key()
+        assert no_condition.shares_join_key()
+
+    def test_rename_output(self):
+        query = make_query(atom("S", "x"))
+        assert query.rename_output("W").output == "W"
+
+    def test_str_rendering(self):
+        query = make_query(atom("S", "x"))
+        text = str(query)
+        assert text.startswith("Z := SELECT (x, y) FROM R(x, y) WHERE S(x)")
+
+
+class TestSemiJoinSpec:
+    def test_join_key_uses_guard_variable_order(self):
+        spec = SemiJoinSpec(
+            output="X",
+            guard=Atom.of("R", "x", "y", "z"),
+            conditional=Atom.of("S", "z", "x"),
+            projection=(X,),
+        )
+        assert spec.join_key == (X, Z)
+
+    def test_disjoint_join_key_is_empty(self):
+        spec = SemiJoinSpec(
+            output="X",
+            guard=Atom.of("R", "x"),
+            conditional=Atom.of("S", "q"),
+            projection=(X,),
+        )
+        assert spec.join_key == ()
+
+    def test_str(self):
+        spec = SemiJoinSpec("X", Atom.of("R", "x"), Atom.of("S", "x"), (X,))
+        assert "X :=" in str(spec)
+
+
+class TestSelectHelper:
+    def test_select_accepts_strings(self):
+        query = select("Z", ["x", "y"], Atom.of("R", "x", "y"))
+        assert query.projection == (X, Y)
+
+    def test_select_accepts_variables(self):
+        query = select("Z", [X], Atom.of("R", "x", "y"))
+        assert query.projection == (X,)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.query.conditions."""
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.query.conditions import (
+    TRUE,
+    And,
+    AtomCondition,
+    Not,
+    Or,
+    atom,
+    conjunction,
+    disjunction,
+    evaluate_with_index,
+    truth_assignment,
+)
+
+S_X = atom("S", "x")
+T_Y = atom("T", "y")
+U_Z = atom("U", "z")
+
+
+class TestAtoms:
+    def test_atoms_in_left_to_right_order(self):
+        cond = Or(And(T_Y, S_X), U_Z)
+        assert cond.atoms() == (T_Y.atom, S_X.atom, U_Z.atom)
+
+    def test_duplicate_atoms_reported_once(self):
+        cond = And(S_X, Or(S_X, T_Y))
+        assert cond.atoms() == (S_X.atom, T_Y.atom)
+
+    def test_true_condition_has_no_atoms(self):
+        assert TRUE.atoms() == ()
+
+    def test_variables(self):
+        cond = And(S_X, T_Y)
+        names = {v.name for v in cond.variables()}
+        assert names == {"x", "y"}
+
+
+class TestEvaluation:
+    def test_atom_condition(self):
+        assign = truth_assignment([S_X.atom])
+        assert S_X.evaluate(assign)
+        assert not T_Y.evaluate(assign)
+
+    def test_boolean_connectives(self):
+        assign = truth_assignment([S_X.atom])
+        assert Or(S_X, T_Y).evaluate(assign)
+        assert not And(S_X, T_Y).evaluate(assign)
+        assert Not(T_Y).evaluate(assign)
+        assert not Not(S_X).evaluate(assign)
+
+    def test_true_condition(self):
+        assert TRUE.evaluate(lambda a: False)
+
+    def test_nested_formula(self):
+        # (S AND NOT T) OR (NOT S AND T): exclusive or.
+        xor = Or(And(S_X, Not(T_Y)), And(Not(S_X), T_Y))
+        assert xor.evaluate(truth_assignment([S_X.atom]))
+        assert xor.evaluate(truth_assignment([T_Y.atom]))
+        assert not xor.evaluate(truth_assignment([S_X.atom, T_Y.atom]))
+        assert not xor.evaluate(truth_assignment([]))
+
+    def test_evaluate_with_index(self):
+        cond = And(S_X, Not(T_Y))
+        ordered = cond.atoms()
+        assert evaluate_with_index(cond, [0], ordered)
+        assert not evaluate_with_index(cond, [0, 1], ordered)
+
+
+class TestStructure:
+    def test_operator_sugar(self):
+        cond = (S_X & T_Y) | ~U_Z
+        assert isinstance(cond, Or)
+        assert isinstance(cond.left, And)
+        assert isinstance(cond.right, Not)
+
+    def test_walk_visits_all_nodes(self):
+        cond = Or(And(S_X, Not(T_Y)), U_Z)
+        kinds = [type(node).__name__ for node in cond.walk()]
+        assert kinds.count("AtomCondition") == 3
+        assert "Or" in kinds and "And" in kinds and "Not" in kinds
+
+    def test_negation_and_disjunction_detection(self):
+        assert Not(S_X).uses_negation()
+        assert not And(S_X, T_Y).uses_negation()
+        assert Or(S_X, T_Y).uses_disjunction()
+        assert not And(S_X, T_Y).uses_disjunction()
+        assert And(S_X, T_Y).is_pure_conjunction()
+        assert not Or(S_X, T_Y).is_pure_conjunction()
+
+    def test_map_atoms_substitution(self):
+        cond = And(S_X, Not(T_Y))
+        replaced = cond.map_atoms(lambda a: AtomCondition(Atom("X_" + a.relation, a.terms)))
+        names = {a.relation for a in replaced.atoms()}
+        assert names == {"X_S", "X_T"}
+
+    def test_map_atoms_preserves_true(self):
+        assert TRUE.map_atoms(lambda a: S_X) is TRUE
+
+    def test_conditions_hashable(self):
+        assert And(S_X, T_Y) == And(S_X, T_Y)
+        assert len({And(S_X, T_Y), And(S_X, T_Y)}) == 1
+
+
+class TestRendering:
+    def test_str_atom(self):
+        assert str(S_X) == "S(x)"
+
+    def test_str_nested_parenthesises(self):
+        cond = Or(And(S_X, T_Y), Not(U_Z))
+        assert str(cond) == "(S(x) AND T(y)) OR NOT U(z)"
+
+    def test_str_true(self):
+        assert str(TRUE) == "TRUE"
+
+
+class TestCombinators:
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) is TRUE
+
+    def test_conjunction_single(self):
+        assert conjunction([S_X]) is S_X
+
+    def test_conjunction_left_deep(self):
+        cond = conjunction([S_X, T_Y, U_Z])
+        assert isinstance(cond, And)
+        assert cond.right is U_Z
+
+    def test_disjunction(self):
+        cond = disjunction([S_X, T_Y])
+        assert isinstance(cond, Or)
+
+    def test_disjunction_empty_is_true(self):
+        assert disjunction([]) is TRUE

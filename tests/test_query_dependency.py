@@ -1,0 +1,131 @@
+"""Unit tests for dependency graphs and multiway topological sorts."""
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.model.terms import Variable
+from repro.query.bsgf import BSGFQuery
+from repro.query.conditions import atom
+from repro.query.dependency import DependencyGraph, groups_to_queries
+from repro.query.sgf import SGFQuery
+
+X, Y = Variable("x"), Variable("y")
+
+
+def bsgf(output, guard_name, cond_name):
+    return BSGFQuery(output, (X, Y), Atom.of(guard_name, "x", "y"), atom(cond_name, "x"))
+
+
+def example5_query() -> SGFQuery:
+    """The dependency structure of Example 5 in the paper."""
+    return SGFQuery(
+        (
+            bsgf("Q1", "R1", "S"),
+            bsgf("Q2", "Q1", "T"),
+            bsgf("Q3", "Q2", "U"),
+            bsgf("Q4", "R2", "T"),
+            bsgf("Q5", "Q3", "Q4"),
+        )
+    )
+
+
+@pytest.fixture
+def graph():
+    return DependencyGraph(example5_query())
+
+
+class TestGraphStructure:
+    def test_nodes(self, graph):
+        assert graph.nodes == ("Q1", "Q2", "Q3", "Q4", "Q5")
+
+    def test_parents_and_children(self, graph):
+        assert graph.parents["Q5"] == frozenset({"Q3", "Q4"})
+        assert graph.children["Q1"] == {"Q2"}
+        assert graph.children["Q5"] == set()
+
+    def test_roots(self, graph):
+        assert graph.roots() == ("Q1", "Q4")
+
+    def test_edges_and_count(self, graph):
+        assert set(graph.edges()) == {
+            ("Q1", "Q2"),
+            ("Q2", "Q3"),
+            ("Q3", "Q5"),
+            ("Q4", "Q5"),
+        }
+        assert graph.edge_count() == 4
+
+    def test_topological_order_is_valid(self, graph):
+        order = graph.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for parent, child in graph.edges():
+            assert position[parent] < position[child]
+
+    def test_levels(self, graph):
+        assert graph.levels() == [["Q1", "Q4"], ["Q2"], ["Q3"], ["Q5"]]
+
+
+class TestMultiwaySorts:
+    def test_paper_example_has_four_sorts(self, graph):
+        # Example 5 lists exactly four multiway topological sorts of G_Q.
+        sorts = list(graph.all_multiway_sorts())
+        assert len(sorts) == 4
+        expected = {
+            (("Q1", "Q4"), ("Q2",), ("Q3",), ("Q5",)),
+            (("Q1",), ("Q2", "Q4"), ("Q3",), ("Q5",)),
+            (("Q1",), ("Q2",), ("Q3", "Q4"), ("Q5",)),
+            (("Q1",), ("Q2",), ("Q3",), ("Q4",), ("Q5",)),
+        }
+        normalised = {
+            tuple(tuple(sorted(group)) for group in sort) for sort in sorts
+        }
+        assert normalised == expected
+
+    def test_all_sorts_are_valid(self, graph):
+        for sort in graph.all_multiway_sorts():
+            assert graph.is_valid_multiway_sort(sort)
+
+    def test_validity_rejects_missing_node(self, graph):
+        assert not graph.is_valid_multiway_sort([["Q1", "Q2", "Q3", "Q4"]])
+
+    def test_validity_rejects_duplicate_node(self, graph):
+        assert not graph.is_valid_multiway_sort(
+            [["Q1", "Q4"], ["Q2", "Q1"], ["Q3"], ["Q5"]]
+        )
+
+    def test_validity_rejects_edge_within_group(self, graph):
+        assert not graph.is_valid_multiway_sort(
+            [["Q1", "Q2"], ["Q3", "Q4"], ["Q5"]]
+        )
+
+    def test_validity_rejects_edge_going_backwards(self, graph):
+        assert not graph.is_valid_multiway_sort(
+            [["Q2"], ["Q1"], ["Q3"], ["Q4"], ["Q5"]]
+        )
+
+    def test_enumeration_guard(self, graph):
+        with pytest.raises(ValueError):
+            list(graph.all_multiway_sorts(max_nodes=2))
+
+
+class TestOverlap:
+    def test_overlap_counts_shared_relations(self, graph):
+        # Q2 (guard Q1, conditional T) vs {Q4} (guard R2, conditional T): share T.
+        assert graph.overlap("Q2", ["Q4"]) == 1
+
+    def test_overlap_zero_when_disjoint(self, graph):
+        assert graph.overlap("Q1", ["Q4"]) == 0
+
+    def test_overlap_counts_only_referenced_relations_not_outputs(self, graph):
+        # Q5 references the relations Q3 and Q4, but the queries named Q3/Q4
+        # only *produce* those relations — following the paper, outputs do not
+        # count towards the overlap.
+        assert graph.overlap("Q5", ["Q3", "Q4"]) == 0
+
+    def test_overlap_with_multiple_members(self, graph):
+        # Q4 (relations R2, T) shares T with Q2 (relations Q1, T).
+        assert graph.overlap("Q4", ["Q2", "Q3"]) == 1
+
+    def test_groups_to_queries(self, graph):
+        groups = groups_to_queries(graph, [["Q1", "Q4"], ["Q2"]])
+        assert [[q.output for q in group] for group in groups] == [["Q1", "Q4"], ["Q2"]]

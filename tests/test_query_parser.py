@@ -1,0 +1,162 @@
+"""Unit tests for the SQL-like query parser."""
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.model.terms import Constant, Variable
+from repro.query.conditions import And, AtomCondition, Not, Or
+from repro.query.parser import (
+    ParseError,
+    parse_atom,
+    parse_bsgf,
+    parse_condition,
+    parse_sgf,
+)
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestAtomsAndTerms:
+    def test_parse_atom_with_variables(self):
+        assert parse_atom("R(x, y)") == Atom.of("R", "x", "y")
+
+    def test_parse_atom_with_number_constant(self):
+        atom = parse_atom("R(x, 4)")
+        assert atom.terms[1] == Constant(4)
+
+    def test_parse_atom_with_negative_and_float(self):
+        atom = parse_atom("R(-3, 1.5)")
+        assert atom.terms == (Constant(-3), Constant(1.5))
+
+    def test_parse_atom_with_string_constant(self):
+        atom = parse_atom('Amaz(ttl, aut, "bad")')
+        assert atom.terms[2] == Constant("bad")
+
+    def test_single_quoted_string(self):
+        atom = parse_atom("R('hello')")
+        assert atom.terms[0] == Constant("hello")
+
+    def test_uppercase_identifier_is_constant(self):
+        atom = parse_atom("R(x, Bad)")
+        assert atom.terms[1] == Constant("Bad")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+
+class TestConditions:
+    def test_precedence_and_binds_tighter_than_or(self):
+        cond = parse_condition("S(x) OR T(y) AND U(z)")
+        assert isinstance(cond, Or)
+        assert isinstance(cond.right, And)
+
+    def test_parentheses_override_precedence(self):
+        cond = parse_condition("(S(x) OR T(y)) AND U(z)")
+        assert isinstance(cond, And)
+        assert isinstance(cond.left, Or)
+
+    def test_not_binds_tightest(self):
+        cond = parse_condition("NOT S(x) AND T(y)")
+        assert isinstance(cond, And)
+        assert isinstance(cond.left, Not)
+
+    def test_double_negation(self):
+        cond = parse_condition("NOT NOT S(x)")
+        assert isinstance(cond, Not)
+        assert isinstance(cond.operand, Not)
+
+    def test_keywords_case_insensitive(self):
+        cond = parse_condition("S(x) and not T(y)")
+        assert isinstance(cond, And)
+        assert isinstance(cond.right, Not)
+
+
+class TestStatements:
+    def test_simple_statement(self):
+        query = parse_bsgf("Z := SELECT x FROM R(x, y);")
+        assert query.output == "Z"
+        assert query.projection == (X,)
+        assert query.guard == Atom.of("R", "x", "y")
+        assert not query.has_condition
+
+    def test_parenthesised_select_list(self):
+        query = parse_bsgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        assert query.projection == (X, Y)
+
+    def test_unparenthesised_multi_select(self):
+        query = parse_bsgf("Z := SELECT x, y FROM R(x, y);")
+        assert query.projection == (X, Y)
+
+    def test_paper_example_z5(self):
+        text = (
+            "Z5 := SELECT (x, y) FROM R(x, y, 4) "
+            "WHERE (S(1, x) AND NOT S(y, 10)) OR (NOT S(1, x) AND S(y, 10));"
+        )
+        query = parse_bsgf(text)
+        assert query.guard.terms[2] == Constant(4)
+        assert len(query.conditional_atoms) == 2
+
+    def test_paper_example_bookstore(self):
+        text = """
+        Z1 := SELECT aut FROM Amaz(ttl, aut, "bad")
+              WHERE BN(ttl, aut, "bad") AND BD(ttl, aut, "bad");
+        Z2 := SELECT (new, aut) FROM Upcoming(new, aut) WHERE NOT Z1(aut);
+        """
+        query = parse_sgf(text)
+        assert query.output_names == ("Z1", "Z2")
+        assert query.intermediate_names == frozenset({"Z1"})
+
+    def test_comments_are_ignored(self):
+        query = parse_bsgf("-- a comment\nZ := SELECT x FROM R(x); -- trailing\n")
+        assert query.output == "Z"
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bsgf("Z := SELECT x FROM R(x)")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bsgf("Z := SELECT x R(x);")
+
+    def test_uppercase_select_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bsgf("Z := SELECT X FROM R(x);")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sgf("   ")
+
+    def test_parse_bsgf_rejects_multiple_statements(self):
+        with pytest.raises(ParseError):
+            parse_bsgf("Z1 := SELECT x FROM R(x); Z2 := SELECT x FROM R(x);")
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_bsgf("Z := SELECT x FROM\n  R(x ? y);")
+        assert "line 2" in str(excinfo.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_bsgf("Z := SELECT x FROM R(x) £;")
+
+
+class TestRoundTrip:
+    def test_str_of_parsed_query_reparses_to_same_query(self):
+        text = (
+            "Z := SELECT (x, y) FROM R(x, y) "
+            "WHERE (S(x) AND NOT T(y)) OR U(x);"
+        )
+        query = parse_bsgf(text)
+        again = parse_bsgf(str(query))
+        assert again == query
+
+    def test_sgf_round_trip(self):
+        text = """
+        Z1 := SELECT (x, y) FROM R(x, y) WHERE S(x);
+        Z2 := SELECT (x, y) FROM Z1(x, y) WHERE T(y);
+        """
+        query = parse_sgf(text)
+        again = parse_sgf(str(query))
+        assert again.output_names == query.output_names
+        assert list(again.subqueries) == list(query.subqueries)

@@ -1,0 +1,182 @@
+"""Unit tests for the reference (semantics-by-definition) evaluator."""
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.model.database import Database
+from repro.model.terms import Constant, Variable
+from repro.query.bsgf import BSGFQuery
+from repro.query.conditions import And, AtomCondition, Not, Or, atom
+from repro.query.parser import parse_bsgf, parse_sgf
+from repro.query.reference import (
+    evaluate_bsgf,
+    evaluate_semijoin,
+    evaluate_sgf,
+    relations_equal,
+    result_sets,
+)
+
+from helpers import small_database
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestExampleOne:
+    """The intersection / difference / semi-join / anti-join queries of Example 1."""
+
+    @pytest.fixture
+    def db(self):
+        return Database.from_dict(
+            {"R": [(1,), (2,), (3,)], "S": [(2,), (3,), (4,)]}
+        )
+
+    def test_intersection(self, db):
+        query = parse_bsgf("Z1 := SELECT x FROM R(x) WHERE S(x);")
+        assert set(evaluate_bsgf(query, db)) == {(2,), (3,)}
+
+    def test_difference(self, db):
+        query = parse_bsgf("Z2 := SELECT x FROM R(x) WHERE NOT S(x);")
+        assert set(evaluate_bsgf(query, db)) == {(1,)}
+
+    def test_semijoin(self):
+        db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(2, 9), (7, 7)]})
+        query = parse_bsgf("Z3 := SELECT (x, y) FROM R(x, y) WHERE S(y, z);")
+        assert set(evaluate_bsgf(query, db)) == {(1, 2)}
+
+    def test_antijoin(self):
+        db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(2, 9), (7, 7)]})
+        query = parse_bsgf("Z4 := SELECT (x, y) FROM R(x, y) WHERE NOT S(y, z);")
+        assert set(evaluate_bsgf(query, db)) == {(3, 4)}
+
+
+class TestBSGFSemantics:
+    def test_guard_constants_filter(self):
+        db = Database.from_dict({"R": [(1, 2, 4), (1, 2, 5)], "S": [(1,)]})
+        query = parse_bsgf("Z := SELECT (x, y) FROM R(x, y, 4) WHERE S(x);")
+        assert set(evaluate_bsgf(query, db)) == {(1, 2)}
+
+    def test_repeated_guard_variables(self):
+        db = Database.from_dict({"R": [(1, 1), (1, 2)]})
+        query = BSGFQuery("Z", (X,), Atom("R", (X, X)))
+        assert set(evaluate_bsgf(query, db)) == {(1,)}
+
+    def test_existential_conditional_variable(self):
+        # T(x, z): z is existentially quantified.
+        db = Database.from_dict({"R": [(1, 2), (3, 4)], "T": [(1, 99)]})
+        query = parse_bsgf("Z := SELECT (x, y) FROM R(x, y) WHERE T(x, z);")
+        assert set(evaluate_bsgf(query, db)) == {(1, 2)}
+
+    def test_boolean_combination(self):
+        db = small_database()
+        query = parse_bsgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE (S(x) AND NOT T(y)) OR U(x);"
+        )
+        # R = (1,2),(3,4),(5,6),(7,8); S={1,5,9}; T={4,6}; U={7,1}
+        # (1,2): S(1) ok, T(2) false -> true. (3,4): S no, U no -> false.
+        # (5,6): S(5) ok but T(6) true -> first false; U(5) false -> false.
+        # (7,8): U(7) -> true.
+        assert set(evaluate_bsgf(query, db)) == {(1, 2), (7, 8)}
+
+    def test_missing_guard_relation_gives_empty(self):
+        query = parse_bsgf("Z := SELECT x FROM Nothing(x);")
+        out = evaluate_bsgf(query, small_database())
+        assert len(out) == 0
+
+    def test_missing_conditional_relation_is_false(self):
+        db = Database.from_dict({"R": [(1,)]})
+        query = parse_bsgf("Z := SELECT x FROM R(x) WHERE Missing(x);")
+        assert len(evaluate_bsgf(query, db)) == 0
+        negated = parse_bsgf("Z := SELECT x FROM R(x) WHERE NOT Missing(x);")
+        assert set(evaluate_bsgf(negated, db)) == {(1,)}
+
+    def test_no_where_clause_projects_guard(self):
+        db = Database.from_dict({"R": [(1, 2), (1, 3)]})
+        query = parse_bsgf("Z := SELECT x FROM R(x, y);")
+        assert set(evaluate_bsgf(query, db)) == {(1,)}
+
+    def test_output_relation_name_and_arity(self):
+        db = Database.from_dict({"R": [(1, 2)]})
+        query = parse_bsgf("Out := SELECT (x, y) FROM R(x, y);")
+        out = evaluate_bsgf(query, db)
+        assert out.name == "Out"
+        assert out.arity == 2
+
+    def test_projection_deduplicates(self):
+        db = Database.from_dict({"R": [(1, 2), (1, 3)], "S": [(1,)]})
+        query = parse_bsgf("Z := SELECT x FROM R(x, y) WHERE S(x);")
+        assert len(evaluate_bsgf(query, db)) == 1
+
+
+class TestUniquenessQueryExample:
+    def test_z5_from_paper(self):
+        # Z5 selects pairs where exactly one of S(1, x), S(y, 10) holds.
+        db = Database.from_dict(
+            {
+                "R": [(5, 6, 4), (7, 8, 4), (9, 10, 4), (1, 2, 5)],
+                "S": [(1, 5), (8, 10), (1, 9)],
+            }
+        )
+        text = (
+            "Z5 := SELECT (x, y) FROM R(x, y, 4) "
+            "WHERE (S(1, x) AND NOT S(y, 10)) OR (NOT S(1, x) AND S(y, 10));"
+        )
+        query = parse_bsgf(text)
+        # (5,6): S(1,5) yes, S(6,10) no -> true.
+        # (7,8): S(1,7) no, S(8,10) yes -> true.
+        # (9,10): S(1,9) yes, S(10,10) no -> true.
+        # (1,2): guard constant mismatch (third column 5) -> excluded.
+        assert set(evaluate_bsgf(query, db)) == {(5, 6), (7, 8), (9, 10)}
+
+
+class TestSGFEvaluation:
+    def test_bookstore_example(self):
+        db = Database.from_dict(
+            {
+                "Amaz": [("t1", "a1", "bad"), ("t2", "a2", "good")],
+                "BN": [("t1", "a1", "bad")],
+                "BD": [("t1", "a1", "bad")],
+                "Upcoming": [("n1", "a1"), ("n2", "a2")],
+            }
+        )
+        text = """
+        Z1 := SELECT aut FROM Amaz(ttl, aut, "bad")
+              WHERE BN(ttl, aut, "bad") AND BD(ttl, aut, "bad");
+        Z2 := SELECT (new, aut) FROM Upcoming(new, aut) WHERE NOT Z1(aut);
+        """
+        results = evaluate_sgf(parse_sgf(text), db)
+        assert set(results["Z1"]) == {("a1",)}
+        assert set(results["Z2"]) == {("n2", "a2")}
+
+    def test_intermediates_can_be_dropped(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(1,)], "T": [(2,)]})
+        text = """
+        Z1 := SELECT (x, y) FROM R(x, y) WHERE S(x);
+        Z2 := SELECT (x, y) FROM Z1(x, y) WHERE T(y);
+        """
+        results = evaluate_sgf(parse_sgf(text), db, keep_intermediates=False)
+        assert set(results) == {"Z2"}
+
+    def test_input_database_not_modified(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(1,)]})
+        text = "Z1 := SELECT (x, y) FROM R(x, y) WHERE S(x);"
+        evaluate_sgf(parse_sgf(text), db)
+        assert "Z1" not in db
+
+
+class TestHelpers:
+    def test_evaluate_semijoin(self):
+        db = Database.from_dict({"R": [(1, 2), (4, 5)], "S": [(2, 3)]})
+        out = evaluate_semijoin(
+            Atom.of("R", "x", "z"), Atom.of("S", "z", "y"), (X,), db
+        )
+        assert set(out) == {(1,)}
+
+    def test_relations_equal(self):
+        db = Database.from_dict({"R": [(1,)], "S": [(1,)]})
+        assert relations_equal(db["R"], db["S"])
+
+    def test_result_sets(self):
+        db = Database.from_dict({"R": [(1, 2)], "S": [(1,)]})
+        query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        sets = result_sets(evaluate_sgf(query, db))
+        assert sets == {"Z": frozenset({(1, 2)})}

@@ -1,0 +1,121 @@
+"""Unit tests for repro.query.sgf."""
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.model.terms import Variable
+from repro.query.bsgf import BSGFQuery
+from repro.query.conditions import AtomCondition, atom
+from repro.query.sgf import SGFQuery, SGFValidationError
+
+X, Y = Variable("x"), Variable("y")
+
+
+def bsgf(output, guard_name, cond_name=None, cond_vars=("x",)):
+    condition = atom(cond_name, *cond_vars) if cond_name else AtomCondition(Atom.of("S", "x"))
+    return BSGFQuery(output, (X, Y), Atom.of(guard_name, "x", "y"), condition)
+
+
+def chain_query():
+    return SGFQuery(
+        (
+            bsgf("Z1", "R", "S"),
+            bsgf("Z2", "Z1", "T"),
+            bsgf("Z3", "Z2", "U"),
+            bsgf("Z4", "R", "T"),
+            bsgf("Z5", "Z3", "Z4", cond_vars=("x", "x")),
+        ),
+        name="example5",
+    )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(SGFValidationError):
+            SGFQuery(())
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(SGFValidationError):
+            SGFQuery((bsgf("Z", "R", "S"), bsgf("Z", "G", "T")))
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(SGFValidationError):
+            SGFQuery((bsgf("Z1", "Z2", "S"), bsgf("Z2", "R", "T")))
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(SGFValidationError):
+            SGFQuery((bsgf("Z1", "Z1", "S"),))
+
+    def test_backward_reference_ok(self):
+        query = SGFQuery((bsgf("Z1", "R", "S"), bsgf("Z2", "Z1", "T")))
+        assert len(query) == 2
+
+
+class TestStructure:
+    def test_output_is_last_subquery(self):
+        assert chain_query().output == "Z5"
+
+    def test_output_names(self):
+        assert chain_query().output_names == ("Z1", "Z2", "Z3", "Z4", "Z5")
+
+    def test_intermediate_and_root_names(self):
+        query = chain_query()
+        assert query.intermediate_names == frozenset({"Z1", "Z2", "Z3", "Z4"})
+        assert query.root_names == ("Z5",)
+
+    def test_base_relation_names(self):
+        assert chain_query().base_relation_names == frozenset({"R", "S", "T", "U"})
+
+    def test_subquery_lookup(self):
+        query = chain_query()
+        assert query.subquery("Z3").guard.relation == "Z2"
+        with pytest.raises(KeyError):
+            query.subquery("missing")
+
+    def test_dependencies_match_example5(self):
+        deps = chain_query().dependencies()
+        assert deps["Z1"] == frozenset()
+        assert deps["Z2"] == frozenset({"Z1"})
+        assert deps["Z3"] == frozenset({"Z2"})
+        assert deps["Z4"] == frozenset()
+        assert deps["Z5"] == frozenset({"Z3", "Z4"})
+
+    def test_is_basic(self):
+        assert SGFQuery((bsgf("Z", "R", "S"),)).is_basic()
+        assert not chain_query().is_basic()
+
+    def test_levels_bottom_up(self):
+        levels = chain_query().levels()
+        names = [[q.output for q in level] for level in levels]
+        assert names == [["Z1", "Z4"], ["Z2"], ["Z3"], ["Z5"]]
+
+    def test_getitem_and_iter(self):
+        query = chain_query()
+        assert query[0].output == "Z1"
+        assert [q.output for q in query] == list(query.output_names)
+
+    def test_multiple_roots(self):
+        query = SGFQuery((bsgf("Z1", "R", "S"), bsgf("Z2", "G", "T")))
+        assert query.root_names == ("Z1", "Z2")
+
+
+class TestConstruction:
+    def test_from_queries(self):
+        query = SGFQuery.from_queries([bsgf("Z1", "R", "S")], name="q")
+        assert query.name == "q"
+
+    def test_union_combines(self):
+        left = SGFQuery((bsgf("Z1", "R", "S"),), name="a")
+        right = SGFQuery((bsgf("Z2", "G", "T"),), name="b")
+        combined = SGFQuery.union([left, right])
+        assert combined.output_names == ("Z1", "Z2")
+
+    def test_union_duplicate_outputs_rejected(self):
+        left = SGFQuery((bsgf("Z1", "R", "S"),))
+        right = SGFQuery((bsgf("Z1", "G", "T"),))
+        with pytest.raises(SGFValidationError):
+            SGFQuery.union([left, right])
+
+    def test_str_contains_all_subqueries(self):
+        text = str(chain_query())
+        assert text.count(":=") == 5

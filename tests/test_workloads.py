@@ -1,0 +1,223 @@
+"""Tests for the workload generators, experiment queries and scaled environment."""
+
+import pytest
+
+from repro.model.database import Database
+from repro.query.reference import evaluate_bsgf
+from repro.query.sgf import SGFQuery
+from repro.workloads.generator import (
+    WorkloadScale,
+    generate_conditional,
+    generate_database,
+    generate_guard,
+)
+from repro.workloads.queries import (
+    BSGF_QUERY_IDS,
+    SGF_QUERY_IDS,
+    a3_family,
+    bsgf_query_set,
+    cost_model_stress_query,
+    database_for,
+    schema_for,
+    sgf_query,
+)
+from repro.workloads.scaling import ScaledEnvironment
+
+
+class TestGenerators:
+    def test_guard_relation_shape(self):
+        rel = generate_guard("R", 200, arity=4, seed=1)
+        assert len(rel) == 200
+        assert rel.arity == 4
+        assert rel.size_bytes() == 200 * 40
+
+    def test_guard_deterministic(self):
+        a = generate_guard("R", 100, seed=3)
+        b = generate_guard("R", 100, seed=3)
+        assert a.tuples() == b.tuples()
+
+    def test_guard_different_seeds_differ(self):
+        a = generate_guard("R", 100, seed=3)
+        b = generate_guard("R", 100, seed=4)
+        assert a.tuples() != b.tuples()
+
+    def test_conditional_selectivity_controls_match_rate(self):
+        guard = generate_guard("R", 1000, arity=1, seed=5)
+        for selectivity in (0.1, 0.5, 0.9):
+            conditional = generate_conditional(
+                "S", 1000, guard_tuples=1000, selectivity=selectivity, seed=5
+            )
+            values = {row[0] for row in conditional}
+            matched = sum(1 for row in guard if row[0] in values)
+            assert matched / len(guard) == pytest.approx(selectivity, abs=0.08)
+
+    def test_conditional_cardinality_reached(self):
+        conditional = generate_conditional("S", 500, guard_tuples=100, selectivity=0.2)
+        assert len(conditional) == 500
+
+    def test_conditional_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            generate_conditional("S", 10, guard_tuples=10, selectivity=1.5)
+
+    def test_conditional_constant_columns(self):
+        conditional = generate_conditional(
+            "S", 50, guard_tuples=50, arity=2, constant_columns={1: "c"}
+        )
+        assert all(row[1] == "c" for row in conditional)
+
+    def test_generate_database(self):
+        db = generate_database(
+            guards={"R": 4}, conditionals={"S": 1, "T": 1}, guard_tuples=100
+        )
+        assert set(db.relation_names()) == {"R", "S", "T"}
+        assert len(db["R"]) == 100
+
+    def test_workload_scale(self):
+        scale = WorkloadScale(factor=1e-4)
+        assert scale.guard_tuples == 10_000
+        assert scale.conditional_tuples == 10_000
+
+
+class TestExperimentQueries:
+    @pytest.mark.parametrize("query_id", BSGF_QUERY_IDS)
+    def test_bsgf_queries_validate_and_evaluate(self, query_id):
+        queries = bsgf_query_set(query_id)
+        db = database_for(queries, guard_tuples=60, selectivity=0.5, seed=1)
+        for query in queries:
+            out = evaluate_bsgf(query, db)
+            assert out.arity == max(1, len(query.projection))
+
+    def test_a_queries_have_four_conditionals(self):
+        for query_id in ("A1", "A2", "A3"):
+            (query,) = bsgf_query_set(query_id)
+            assert len(query.conditional_atoms) == 4
+
+    def test_a2_shares_conditional_relation_name(self):
+        (query,) = bsgf_query_set("A2")
+        assert query.conditional_relation_names == frozenset({"S"})
+
+    def test_a3_shares_join_key(self):
+        (query,) = bsgf_query_set("A3")
+        assert query.shares_join_key()
+        (a1,) = bsgf_query_set("A1")
+        assert not a1.shares_join_key()
+
+    def test_a4_and_a5_are_query_sets(self):
+        assert len(bsgf_query_set("A4")) == 2
+        assert len(bsgf_query_set("A5")) == 2
+        a5 = bsgf_query_set("A5")
+        assert a5[0].conditional_relation_names == a5[1].conditional_relation_names
+
+    def test_b1_is_large_conjunction(self):
+        (query,) = bsgf_query_set("B1")
+        assert len(query.conditional_atoms) == 16
+        assert query.condition.is_pure_conjunction()
+
+    def test_b2_is_disjunctive_single_key(self):
+        (query,) = bsgf_query_set("B2")
+        assert query.condition.uses_disjunction()
+        assert query.condition.uses_negation()
+        assert query.shares_join_key()
+
+    def test_unknown_query_id(self):
+        with pytest.raises(KeyError):
+            bsgf_query_set("A9")
+        with pytest.raises(KeyError):
+            sgf_query("C9")
+
+    @pytest.mark.parametrize("query_id", SGF_QUERY_IDS)
+    def test_sgf_queries_validate(self, query_id):
+        query = sgf_query(query_id)
+        assert isinstance(query, SGFQuery)
+        assert query.intermediate_names, "C-queries must be nested"
+
+    def test_c_query_database_excludes_intermediates(self):
+        query = sgf_query("C2")
+        db = database_for(query, guard_tuples=50)
+        assert not any(name.startswith("Z") for name in db.relation_names())
+
+    def test_a3_family_sizes(self):
+        (two,) = a3_family(2)
+        (sixteen,) = a3_family(16)
+        assert len(two.conditional_atoms) == 2
+        assert len(sixteen.conditional_atoms) == 16
+        assert sixteen.shares_join_key()
+        with pytest.raises(ValueError):
+            a3_family(0)
+
+    def test_cost_model_stress_query(self):
+        (query,) = cost_model_stress_query(groups=4, keys=12)
+        assert len(query.conditional_atoms) == 48
+        assert query.guard.arity == 12
+
+    def test_schema_for_splits_guards_and_conditionals(self):
+        queries = bsgf_query_set("A1")
+        guards, conditionals = schema_for(queries)
+        assert guards == {"R": 4}
+        assert conditionals == {"S": 1, "T": 1, "U": 1, "V": 1}
+
+    def test_schema_for_excludes_produced(self):
+        query = sgf_query("C2")
+        guards, conditionals = schema_for(
+            list(query.subqueries), produced=query.output_names
+        )
+        assert not any(name.startswith("Z") for name in guards)
+        assert not any(name.startswith("Z") for name in conditionals)
+
+
+class TestScaledEnvironment:
+    def test_scaling_preserves_cost_ratios(self):
+        env = ScaledEnvironment(scale=1e-3)
+        base = ScaledEnvironment(scale=1.0)
+        assert env.constants.hdfs_read == pytest.approx(base.constants.hdfs_read * 1e3)
+        assert env.constants.map_buffer_mb == pytest.approx(
+            base.constants.map_buffer_mb * 1e-3
+        )
+        assert env.settings.split_mb == pytest.approx(base.settings.split_mb * 1e-3)
+        assert env.constants.job_overhead == base.constants.job_overhead
+
+    def test_scaled_costs_match_paper_scale(self):
+        """A job over scaled-down data costs the same simulated seconds."""
+        from repro.cost.formulas import MapPartition, job_cost
+
+        scale = 1e-3
+        env = ScaledEnvironment(scale=scale)
+        full = ScaledEnvironment(scale=1.0)
+        partition_full = MapPartition(
+            input_mb=4096, intermediate_mb=5000, records=100_000_000, mappers=32
+        )
+        partition_scaled = MapPartition(
+            input_mb=4096 * scale,
+            intermediate_mb=5000 * scale,
+            records=int(100_000_000 * scale),
+            mappers=32,
+        )
+        cost_full = job_cost([partition_full], 1000, 20, full.constants)
+        cost_scaled = job_cost([partition_scaled], 1000 * scale, 20, env.constants)
+        assert cost_scaled == pytest.approx(cost_full, rel=1e-6)
+
+    def test_engine_configuration(self):
+        env = ScaledEnvironment(scale=1e-4, nodes=5)
+        engine = env.engine()
+        assert engine.cluster.nodes == 5
+        assert engine.cluster.total_slots == 50
+        assert engine.mb_per_reducer_intermediate == pytest.approx(256 * 1e-4)
+
+    def test_with_nodes(self):
+        env = ScaledEnvironment(scale=1e-4, nodes=10)
+        assert env.with_nodes(20).cluster.total_slots == 200
+
+    def test_guard_tuples(self):
+        env = ScaledEnvironment(scale=1e-4)
+        assert env.guard_tuples() == 10_000
+        assert env.guard_tuples(200_000_000) == 20_000
+        assert env.workload.guard_tuples == 10_000
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ScaledEnvironment(scale=0)
+
+    def test_baseline_engine_reducer_allocation(self):
+        env = ScaledEnvironment(scale=1e-3)
+        engine = env.baseline_engine(1024.0)
+        assert engine.mb_per_reducer_input == pytest.approx(1024 * 1e-3)
