@@ -17,6 +17,18 @@ Quick start
 ... )
 >>> sorted(result.output().tuples())
 [(1, 2), (3, 4)]
+
+Execution backends
+------------------
+Plans run on a pluggable execution backend (:mod:`repro.exec`): ``"serial"``
+executes every task in-process on the simulator (the default), while
+``"parallel"`` fans map tasks and reduce partitions out across a true
+``multiprocessing`` worker pool — same outputs, same simulated metrics, plus
+measured wall-clock times.  Select it per :class:`Gumbo` instance
+(``Gumbo(backend="parallel", workers=4)``), through
+:class:`GumboOptions(backend=...) <GumboOptions>`, or on the command line
+with ``repro query --backend parallel --workers 4``; ``repro bench`` compares
+the backends head to head.
 """
 
 from .core.dynamic import DynamicSGFExecutor
@@ -26,6 +38,7 @@ from .core.options import GumboOptions
 from .core.skew import SkewAwareMSJJob, detect_heavy_hitters
 from .cost.constants import CostConstants, HadoopSettings
 from .cost.models import GumboCostModel, WangCostModel
+from .exec import ExecutionBackend, ParallelBackend, SimulatedBackend, make_backend
 from .io import load_database, load_relation, save_database, save_relation
 from .mapreduce.cluster import ClusterConfig
 from .mapreduce.engine import MapReduceEngine
@@ -48,6 +61,7 @@ __all__ = [
     "CostConstants",
     "Database",
     "DynamicSGFExecutor",
+    "ExecutionBackend",
     "Fact",
     "Gumbo",
     "GumboCostModel",
@@ -56,8 +70,10 @@ __all__ = [
     "HadoopSettings",
     "MSJJob",
     "MapReduceEngine",
+    "ParallelBackend",
     "Relation",
     "SGFQuery",
+    "SimulatedBackend",
     "SkewAwareMSJJob",
     "Variable",
     "WangCostModel",
@@ -67,6 +83,7 @@ __all__ = [
     "evaluate_sgf",
     "load_database",
     "load_relation",
+    "make_backend",
     "multi_semi_join",
     "parse_bsgf",
     "parse_sgf",

@@ -1,10 +1,11 @@
 """Command-line interface: run queries, inspect plans, reproduce experiments.
 
-Four subcommands are provided (``python -m repro <command> --help``):
+Five subcommands are provided (``python -m repro <command> --help``):
 
 ``query``
     Evaluate an SGF query (from a string or a file) over CSV data (a directory
-    with one file per relation) under a chosen strategy, print the metrics and
+    with one file per relation) under a chosen strategy and execution backend
+    (``--backend serial|parallel --workers N``), print the metrics and
     optionally write the output relations back to CSV.
 
 ``plan``
@@ -19,6 +20,11 @@ Four subcommands are provided (``python -m repro <command> --help``):
     Run one of the paper's experiments (figure3, figure4, figure5, figure7a,
     figure7b, figure7c, figure8, table3, costmodel, ablation, or ``all``) and
     print the same tables the benchmark harness prints.
+
+``bench``
+    Run a generated workload on both execution backends (serial simulation vs
+    the multiprocessing runtime) and print a comparison table: simulated total
+    and net times, measured wall-clock times, and the parallel speedup.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .core.gumbo import Gumbo
 from .core.options import GumboOptions
+from .exec import BACKEND_NAMES, make_backend
 from .experiments import (
     format_table3,
     run_ablation,
@@ -101,6 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload scale relative to the paper's 100M tuples (default 5e-6)",
     )
     experiment.add_argument("--nodes", type=int, default=10, help="cluster size")
+
+    bench = subparsers.add_parser(
+        "bench", help="compare the serial and parallel backends on a workload"
+    )
+    bench.add_argument(
+        "--query-id", default="A1", help="paper workload to run (A1-A5, B1-B2, C1-C4)"
+    )
+    bench.add_argument("--guard-tuples", type=int, default=5_000)
+    bench.add_argument("--selectivity", type=float, default=0.5)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--strategy", default="greedy", help="plan strategy to benchmark"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: CPU count)",
+    )
+    bench.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
     return parser
 
 
@@ -122,6 +147,15 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
     parser.add_argument(
+        "--backend", default="serial", choices=list(BACKEND_NAMES),
+        help="execution backend: serial simulation or the multiprocessing "
+        "runtime (default serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --backend parallel (default: CPU count)",
+    )
+    parser.add_argument(
         "--no-packing", action="store_true", help="disable message packing"
     )
     parser.add_argument(
@@ -141,6 +175,8 @@ def _gumbo_for(args: argparse.Namespace) -> Gumbo:
     options = GumboOptions(
         message_packing=not args.no_packing,
         tuple_reference=not args.no_tuple_reference,
+        backend=getattr(args, "backend", "serial"),
+        workers=getattr(args, "workers", None),
     )
     return Gumbo(
         engine=environment.engine(),
@@ -166,14 +202,19 @@ def _command_query(args: argparse.Namespace) -> int:
     database = load_database(args.data)
     query = parse_sgf(_read_query_text(args))
     gumbo = _gumbo_for(args)
-    if args.show_plan:
-        program = gumbo.plan(query, database, args.strategy)
-        print(_describe_program(program))
-        print()
-    result = gumbo.execute(query, database, args.strategy)
+    try:
+        if args.show_plan:
+            program = gumbo.plan(query, database, args.strategy)
+            print(_describe_program(program))
+            print()
+        result = gumbo.execute(query, database, args.strategy)
+    finally:
+        gumbo.close()
     print(f"strategy: {result.strategy}")
+    print(f"backend: {result.metrics.backend}")
     for key, value in result.summary().items():
         print(f"{key}: {value:.3f}")
+    print(f"wall_clock_s: {result.metrics.wall_elapsed_s:.3f}")
     for name in sorted(result.outputs):
         relation = result.outputs[name]
         print(f"{name}: {len(relation)} tuples")
@@ -225,6 +266,61 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    """Run one workload on both backends and print a comparison table."""
+    query_id = args.query_id.upper()
+    if query_id.startswith("C"):
+        queries = sgf_query(query_id)
+    else:
+        queries = bsgf_query_set(query_id)
+    database = database_for(
+        queries,
+        guard_tuples=args.guard_tuples,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+
+    runs = []
+    for backend_name in ("serial", "parallel"):
+        backend = make_backend(
+            backend_name, engine=environment.engine(), workers=args.workers
+        )
+        try:
+            result = Gumbo(backend=backend).execute(queries, database, args.strategy)
+        finally:
+            backend.close()
+        workers = getattr(backend, "workers", 1)
+        label = backend_name if backend_name == "serial" else f"parallel[{workers}]"
+        runs.append((label, result))
+
+    serial_wall = runs[0][1].metrics.wall_elapsed_s
+    print(
+        f"workload {query_id} ({args.guard_tuples} guard tuples), "
+        f"strategy {runs[0][1].strategy}, {args.nodes} nodes"
+    )
+    header = f"{'backend':<14} {'total_s':>10} {'net_s':>10} {'wall_s':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for label, result in runs:
+        metrics = result.metrics
+        wall = metrics.wall_elapsed_s
+        speedup = serial_wall / wall if wall > 0 else float("inf")
+        print(
+            f"{label:<14} {metrics.total_time:>10.1f} {metrics.net_time:>10.1f} "
+            f"{wall:>10.3f} {speedup:>7.2f}x"
+        )
+    reference = runs[0][1]
+    identical = all(
+        {n: r.tuples() for n, r in result.all_outputs.items()}
+        == {n: r.tuples() for n, r in reference.all_outputs.items()}
+        and result.summary() == reference.summary()
+        for _, result in runs[1:]
+    )
+    print(f"outputs and simulated metrics identical across backends: {'yes' if identical else 'NO'}")
+    return 0 if identical else 1
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     environment = ScaledEnvironment(scale=args.scale, nodes=args.nodes)
     names: Sequence[str]
@@ -254,6 +350,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan": _command_plan,
         "generate": _command_generate,
         "experiment": _command_experiment,
+        "bench": _command_bench,
     }
     return commands[args.command](args)
 

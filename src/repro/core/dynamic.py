@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Union
 
 from ..cost.estimates import StatisticsCatalog
 from ..cost.models import CostModel, make_cost_model
+from ..exec.base import ExecutionBackend, make_backend
 from ..mapreduce.counters import ProgramMetrics
 from ..mapreduce.engine import MapReduceEngine
 from ..model.database import Database
@@ -80,14 +81,37 @@ class DynamicSGFExecutor:
         cost_model: Union[str, CostModel] = "gumbo",
         options: Optional[GumboOptions] = None,
         sample_size: int = 1000,
+        backend: Union[str, ExecutionBackend, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
-        self.engine = engine or MapReduceEngine()
+        self.options = options or GumboOptions()
+        if isinstance(backend, ExecutionBackend):
+            # Validates that engine=/workers= do not conflict with the instance.
+            self.backend = make_backend(backend, engine=engine, workers=workers)
+            self.engine = backend.engine
+        else:
+            self.engine = engine or MapReduceEngine()
+            self.backend = make_backend(
+                backend if backend is not None else self.options.backend,
+                engine=self.engine,
+                workers=workers if workers is not None else self.options.workers,
+            )
         if isinstance(cost_model, CostModel):
             self.cost_model = cost_model
         else:
             self.cost_model = make_cost_model(cost_model, self.engine.constants)
-        self.options = options or GumboOptions()
         self.sample_size = sample_size
+
+    def close(self) -> None:
+        """Release the backend's resources (the parallel worker pool)."""
+        self.backend.close()
+
+    def __enter__(self) -> "DynamicSGFExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
 
     # -- planning helpers ---------------------------------------------------------
 
@@ -133,7 +157,7 @@ class DynamicSGFExecutor:
                 name=f"dynamic-stage-{stage_index}",
                 job_prefix=f"d{stage_index}-",
             )
-            result = self.engine.run_program(program, working)
+            result = self.backend.run_program(program, working)
             for name, relation in result.outputs.items():
                 if name in {q.output for q in stage_queries}:
                     outputs[name] = relation

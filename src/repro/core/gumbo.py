@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..cost.estimates import StatisticsCatalog
 from ..cost.models import CostModel, make_cost_model
+from ..exec.base import ExecutionBackend, make_backend
 from ..mapreduce.counters import ProgramMetrics
 from ..mapreduce.engine import MapReduceEngine, ProgramResult
 from ..mapreduce.program import MRProgram
@@ -93,9 +94,19 @@ class Gumbo:
         This is the model driving *plan choice*; measured times always come
         from the engine.
     options:
-        The Gumbo optimisation switches (packing, tuple references, ...).
+        The Gumbo optimisation switches (packing, tuple references, ...);
+        also carries the default backend/worker selection.
     sample_size:
         Tuples sampled per relation when collecting statistics.
+    backend:
+        Where plans actually run: ``"serial"`` (the in-process simulator),
+        ``"parallel"`` (the multiprocessing runtime), or an
+        :class:`~repro.exec.base.ExecutionBackend` instance.  Overrides
+        ``options.backend``; outputs and simulated metrics are identical on
+        every backend.
+    workers:
+        Worker-pool size for the parallel backend (overrides
+        ``options.workers``; None → CPU count).
     """
 
     def __init__(
@@ -104,14 +115,37 @@ class Gumbo:
         cost_model: Union[str, CostModel] = "gumbo",
         options: Optional[GumboOptions] = None,
         sample_size: int = 1000,
+        backend: Union[str, ExecutionBackend, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
-        self.engine = engine or MapReduceEngine()
+        self.options = options or GumboOptions()
+        if isinstance(backend, ExecutionBackend):
+            # Validates that engine=/workers= do not conflict with the instance.
+            self.backend = make_backend(backend, engine=engine, workers=workers)
+            self.engine = backend.engine
+        else:
+            self.engine = engine or MapReduceEngine()
+            self.backend = make_backend(
+                backend if backend is not None else self.options.backend,
+                engine=self.engine,
+                workers=workers if workers is not None else self.options.workers,
+            )
         if isinstance(cost_model, CostModel):
             self.cost_model = cost_model
         else:
             self.cost_model = make_cost_model(cost_model, self.engine.constants)
-        self.options = options or GumboOptions()
         self.sample_size = sample_size
+
+    def close(self) -> None:
+        """Release the backend's resources (the parallel worker pool)."""
+        self.backend.close()
+
+    def __enter__(self) -> "Gumbo":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
 
     # -- query normalisation -----------------------------------------------------
 
@@ -177,7 +211,7 @@ class Gumbo:
         sgf = self.as_sgf(query)
         resolved = self._resolve_strategy(sgf, strategy)
         program = self.plan(sgf, database, resolved)
-        result: ProgramResult = self.engine.run_program(program, database)
+        result: ProgramResult = self.backend.run_program(program, database)
         roots = set(sgf.root_names)
         outputs = {
             name: relation

@@ -2,11 +2,18 @@
 
 The options bundle is passed to every job builder and plan strategy so that
 individual optimisations can be switched off for the ablation benchmarks.
+It also carries the *execution backend* selection (serial in-process
+simulation vs the true multiprocessing runtime), so backend choice threads
+through :class:`~repro.core.gumbo.Gumbo` and the dynamic executor the same
+way the optimisation switches do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..exec.base import SERIAL
 
 
 @dataclass(frozen=True)
@@ -31,12 +38,22 @@ class GumboOptions:
         conditional atoms of a query share the same join key.  Only the
         1-ROUND strategy uses this; it is exposed here so ablations can force
         it off even there.
+    backend:
+        The execution backend plans run on: ``"serial"`` (the in-process
+        simulator, the default) or ``"parallel"`` (the multiprocessing
+        runtime).  Not an optimisation — output relations and simulated
+        metrics are identical on every backend — but carried here so backend
+        choice flows through the same plumbing.
+    workers:
+        Worker-pool size for the parallel backend (None → CPU count).
     """
 
     message_packing: bool = True
     tuple_reference: bool = True
     reducers_by_intermediate: bool = True
     fuse_one_round: bool = True
+    backend: str = SERIAL
+    workers: Optional[int] = None
 
     def without(self, **flags: bool) -> "GumboOptions":
         """A copy with the given flags overridden, e.g. ``without(message_packing=False)``."""

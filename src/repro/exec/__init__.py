@@ -1,0 +1,61 @@
+"""Pluggable execution backends for MR programs.
+
+This package is the seam between *planning* (strategies, Gumbo, the dynamic
+executor — all of which produce :class:`~repro.mapreduce.program.MRProgram`
+DAGs) and *running*:
+
+* ``"serial"`` — :class:`SimulatedBackend`, the seed's serial in-process
+  engine behind the backend interface;
+* ``"parallel"`` — :class:`ParallelBackend`, a true ``multiprocessing``
+  runtime that fans map tasks and reduce partitions out across a worker
+  pool with a hash-partitioned shuffle, wave-scheduled on the simulated
+  cluster's task slots.
+
+Both backends produce bit-identical output relations and simulated Hadoop
+metrics; the parallel backend additionally uses real hardware parallelism
+and records measured wall-clock times per wave and per job.  Select a
+backend by name through :func:`make_backend`,
+:class:`~repro.core.gumbo.Gumbo`, or the CLI's ``--backend`` flag.
+
+``SimulatedBackend`` and ``ParallelBackend`` are loaded lazily (PEP 562) so
+that :mod:`repro.mapreduce.engine` can import the shared partitioning
+helpers from this package without an import cycle.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    BACKEND_NAMES,
+    PARALLEL,
+    SERIAL,
+    ExecutionBackend,
+    make_backend,
+    normalise_backend,
+)
+from .partition import map_task_chunks, partition_index, stable_hash
+
+__all__ = [
+    "BACKEND_NAMES",
+    "PARALLEL",
+    "SERIAL",
+    "ExecutionBackend",
+    "ParallelBackend",
+    "SimulatedBackend",
+    "make_backend",
+    "map_task_chunks",
+    "normalise_backend",
+    "partition_index",
+    "stable_hash",
+]
+
+
+def __getattr__(name: str):
+    if name == "SimulatedBackend":
+        from .simulated import SimulatedBackend
+
+        return SimulatedBackend
+    if name == "ParallelBackend":
+        from .parallel import ParallelBackend
+
+        return ParallelBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

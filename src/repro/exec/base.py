@@ -1,0 +1,136 @@
+"""The execution-backend seam: one planner, interchangeable runtimes.
+
+The planning layers (strategies, Gumbo, the dynamic executor) produce
+:class:`~repro.mapreduce.program.MRProgram` DAGs; *how* those programs are
+executed is an independent choice captured by :class:`ExecutionBackend`:
+
+* :class:`~repro.exec.simulated.SimulatedBackend` (``"serial"``) runs every
+  task in-process on the serial :class:`~repro.mapreduce.engine.MapReduceEngine`
+  — the seed behaviour, and the reference semantics;
+* :class:`~repro.exec.parallel.ParallelBackend` (``"parallel"``) fans map
+  tasks and reduce partitions out across a ``multiprocessing`` worker pool.
+
+Every backend returns the engine's :class:`~repro.mapreduce.engine.JobResult`
+/ :class:`~repro.mapreduce.engine.ProgramResult` types with identical output
+relations and identical *simulated* Hadoop metrics; backends additionally
+stamp real wall-clock measurements (see
+:class:`~repro.mapreduce.counters.WallClockMetrics`) so simulated-vs-real
+speedup curves can be drawn.  Future runtimes (async, sharded, distributed)
+plug in by subclassing :class:`ExecutionBackend` and registering a name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..mapreduce.engine import JobResult, MapReduceEngine, ProgramResult
+    from ..mapreduce.job import MapReduceJob
+    from ..mapreduce.program import MRProgram
+    from ..model.database import Database
+
+#: Canonical backend names accepted by :func:`make_backend` and the CLI.
+SERIAL = "serial"
+PARALLEL = "parallel"
+BACKEND_NAMES = (SERIAL, PARALLEL)
+
+#: Accepted aliases for backend names.
+_ALIASES = {
+    "simulated": SERIAL,
+    "sim": SERIAL,
+    "single": SERIAL,
+    "multiprocessing": PARALLEL,
+    "mp": PARALLEL,
+}
+
+
+def normalise_backend(name: str) -> str:
+    """Canonical form of a backend name (``"serial"`` or ``"parallel"``)."""
+    canonical = _ALIASES.get(name.strip().lower(), name.strip().lower())
+    if canonical not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return canonical
+
+
+class ExecutionBackend(ABC):
+    """Executes MR jobs and programs, producing results plus wall-clock metrics.
+
+    Concrete backends hold a :class:`~repro.mapreduce.engine.MapReduceEngine`
+    (exposed as :attr:`engine`) that supplies the cluster configuration, cost
+    constants and the simulated-metric accounting; the backend decides only
+    *where and when the map/reduce functions actually run*.
+    """
+
+    #: Canonical name of the backend (``"serial"``, ``"parallel"``, ...).
+    name: str = "abstract"
+
+    #: The engine providing cluster config, constants and metric accounting.
+    engine: "MapReduceEngine"
+
+    @abstractmethod
+    def run_job(self, job: "MapReduceJob", database: "Database") -> "JobResult":
+        """Execute one MapReduce job against *database*."""
+
+    @abstractmethod
+    def run_program(
+        self, program: "MRProgram", database: "Database"
+    ) -> "ProgramResult":
+        """Execute an MR program level by level against *database*."""
+
+    def close(self) -> None:
+        """Release any resources (worker pools); safe to call repeatedly."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def make_backend(
+    backend: Union[str, ExecutionBackend, None] = None,
+    engine: Optional["MapReduceEngine"] = None,
+    workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Build an execution backend from a name (or pass an instance through).
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``/``"parallel"`` (or an alias), an existing
+        :class:`ExecutionBackend` instance (returned unchanged), or ``None``
+        for the serial default.
+    engine:
+        The engine the backend should account against (a paper-cluster default
+        is created when omitted).
+    workers:
+        Worker-pool size for the parallel backend (ignored by serial;
+        defaults to the machine's CPU count).
+    """
+    if isinstance(backend, ExecutionBackend):
+        if engine is not None and engine is not backend.engine:
+            raise ValueError(
+                "an ExecutionBackend instance carries its own engine; "
+                "pass engine= only when selecting a backend by name"
+            )
+        if workers is not None and workers != getattr(backend, "workers", workers):
+            raise ValueError(
+                "an ExecutionBackend instance carries its own worker count; "
+                "pass workers= only when selecting a backend by name"
+            )
+        return backend
+    name = normalise_backend(backend or SERIAL)
+    if name == SERIAL:
+        from .simulated import SimulatedBackend
+
+        return SimulatedBackend(engine)
+    from .parallel import ParallelBackend
+
+    return ParallelBackend(engine, workers=workers)

@@ -1,0 +1,315 @@
+"""A true multiprocessing runtime behind the execution-backend seam.
+
+:class:`ParallelBackend` actually fans work out across OS processes, the way
+the paper's Gumbo system fans tasks out across its 10-node Hadoop cluster:
+
+* the *map phase* of a job becomes one task per map chunk (the same strided
+  chunks the serial engine iterates), executed on a ``multiprocessing`` pool;
+* the shuffle hash-partitions the grouped keys over the chosen number of
+  reducers with the shared :func:`~repro.exec.partition.partition_index`
+  (Hadoop's default-partitioner behaviour), and the *reduce phase* becomes
+  one task per non-empty reduce partition;
+* tasks are wave-scheduled: at most
+  :attr:`~repro.mapreduce.cluster.ClusterConfig.total_slots` tasks are in
+  flight per wave, mirroring how the simulated cluster's containers execute
+  in waves, and each wave's wall-clock time is recorded.
+
+Because the chunking, partitioning and byte accounting are shared with the
+serial engine — and all simulated metrics funnel through
+:meth:`~repro.mapreduce.engine.MapReduceEngine.finalise_job_metrics` — the
+outputs and simulated Hadoop metrics are bit-identical to
+:class:`~repro.exec.simulated.SimulatedBackend`; only the measured
+wall-clock metrics differ.
+
+Jobs and rows are shipped to the workers by pickling, so jobs must be
+picklable (all jobs in this package are: they hold only query dataclasses
+and options, never closures).  The job is pickled once per job run and the
+resulting blob shared by every task of both phases; workers memoise the
+deserialised job per blob, so neither side pays the job's serialisation cost
+per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mapreduce.counters import PartitionMetrics, ProgramMetrics, WallClockMetrics
+from ..mapreduce.engine import (
+    JobResult,
+    MapReduceEngine,
+    ProgramResult,
+    add_output_fact,
+    prepare_output_relations,
+)
+from ..mapreduce.job import Key, MapReduceJob
+from ..mapreduce.program import MRProgram
+from ..model.database import Database
+from ..model.relation import Relation
+from .base import PARALLEL, ExecutionBackend
+from .partition import map_task_chunks, partition_index
+
+_MB = 1024.0 * 1024.0
+
+#: A map task shipped to a worker: (job pickle, input relation, task's rows).
+_MapTask = Tuple[bytes, str, Sequence[Tuple[object, ...]]]
+
+#: A reduce task shipped to a worker: (job pickle, [(key, values), ...]).
+_ReduceTask = Tuple[bytes, List[Tuple[Key, List[object]]]]
+
+#: Worker-side memo of deserialised jobs, keyed by their pickle blob.  Every
+#: task of a job run carries the *same* bytes object, so each worker pays the
+#: job deserialisation once per job instead of once per task.
+_job_cache: Dict[bytes, MapReduceJob] = {}
+
+
+def _job_from_blob(blob: bytes) -> MapReduceJob:
+    job = _job_cache.get(blob)
+    if job is None:
+        if len(_job_cache) >= 16:
+            _job_cache.clear()
+        job = pickle.loads(blob)
+        _job_cache[blob] = job
+    return job
+
+
+def _run_map_task(task: _MapTask):
+    """Worker-side map task: map, combine and size one chunk of rows.
+
+    Returns the emitted ``(key, value)`` pairs in emission order (so the
+    parent can rebuild the exact key-group ordering the serial engine
+    produces), the chunk's intermediate bytes, and its per-key byte loads.
+    """
+    job_blob, relation_name, rows = task
+    job = _job_from_blob(job_blob)
+    buffer: Dict[Key, List[object]] = {}
+    for row in rows:
+        for key, value in job.map(relation_name, row):
+            buffer.setdefault(key, []).append(value)
+    pairs: List[Tuple[Key, object]] = []
+    intermediate_bytes = 0
+    key_bytes: Dict[Key, int] = {}
+    for key, values in buffer.items():
+        if job.uses_combiner():
+            values = job.combine(key, values)
+        for value in values:
+            pair_size = job.pair_bytes(key, value)
+            intermediate_bytes += pair_size
+            key_bytes[key] = key_bytes.get(key, 0) + pair_size
+            pairs.append((key, value))
+    return pairs, intermediate_bytes, key_bytes
+
+
+def _run_reduce_task(task: _ReduceTask):
+    """Worker-side reduce task: reduce every key group of one partition."""
+    job_blob, items = task
+    job = _job_from_blob(job_blob)
+    facts: List[Tuple[str, Tuple[object, ...]]] = []
+    for key, values in items:
+        facts.extend(job.reduce(key, values))
+    return facts
+
+
+class ParallelBackend(ExecutionBackend):
+    """Executes map tasks and reduce partitions on a process pool.
+
+    Parameters
+    ----------
+    engine:
+        The engine supplying cluster config, constants and the simulated
+        metric accounting (paper-cluster default when omitted).
+    workers:
+        Worker processes in the pool; defaults to the machine's CPU count.
+        The pool is created lazily on first use and reused across jobs (so
+        startup cost is amortised over a program); call :meth:`close` (or use
+        the backend as a context manager) to release it.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/...);
+        platform default when omitted.
+    """
+
+    name = PARALLEL
+
+    def __init__(
+        self,
+        engine: Optional[MapReduceEngine] = None,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.engine = engine or MapReduceEngine()
+        self.workers = max(1, int(workers or os.cpu_count() or 1))
+        self._context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._pool = None
+
+    # -- pool lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._context.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    # -- wave scheduling ----------------------------------------------------------
+
+    def _run_waves(self, phase: str, func, tasks: List, wall: WallClockMetrics) -> List:
+        """Run *tasks* through the pool in waves of at most ``total_slots``."""
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        slots = max(1, self.engine.cluster.total_slots)
+        results: List = []
+        for start in range(0, len(tasks), slots):
+            wave = tasks[start : start + slots]
+            begin = perf_counter()
+            results.extend(pool.map(func, wave))
+            wall.record_wave(phase, len(wave), perf_counter() - begin)
+        return results
+
+    # -- single job ---------------------------------------------------------------
+
+    def run_job(self, job: MapReduceJob, database: Database) -> JobResult:
+        """Execute one MapReduce job with parallel map and reduce phases."""
+        start = perf_counter()
+        wall = WallClockMetrics(backend=self.name, workers=self.workers)
+        job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        groups, key_bytes, partition_metrics = self._map_phase(
+            job, job_blob, database, wall
+        )
+        input_mb = sum(p.input_mb for p in partition_metrics)
+        intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
+        reducers = self.engine.reducers_for(job, input_mb, intermediate_mb)
+        outputs = self._reduce_phase(job, job_blob, groups, reducers, wall)
+        metrics = self.engine.finalise_job_metrics(
+            job, partition_metrics, key_bytes, outputs
+        )
+        wall.elapsed_s = perf_counter() - start
+        metrics.wall = wall
+        return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
+
+    def _map_phase(
+        self,
+        job: MapReduceJob,
+        job_blob: bytes,
+        database: Database,
+        wall: WallClockMetrics,
+    ):
+        """Fan the job's map chunks out to the pool and merge the shuffle."""
+        tagged: List[Tuple[int, _MapTask]] = []
+        parts: List[Tuple[str, float, int, int]] = []
+        for relation_name in job.input_relations():
+            relation = database.get(relation_name)
+            rows = relation.sorted_tuples() if relation is not None else []
+            input_mb = relation.size_mb() if relation is not None else 0.0
+            mappers = self.engine.mappers_for(input_mb)
+            for chunk in map_task_chunks(rows, mappers):
+                tagged.append((len(parts), (job_blob, relation_name, chunk)))
+            parts.append((relation_name, input_mb, len(rows), mappers))
+
+        results = self._run_waves("map", _run_map_task, [t for _, t in tagged], wall)
+
+        groups: Dict[Key, List[object]] = {}
+        key_bytes: Dict[Key, int] = {}
+        part_bytes = [0] * len(parts)
+        part_records = [0] * len(parts)
+        # Merge in task order: chunks of the first relation first, then the
+        # next relation's, exactly the order the serial engine processes them.
+        for (part_index, _), (pairs, chunk_bytes, chunk_key_bytes) in zip(
+            tagged, results
+        ):
+            part_bytes[part_index] += chunk_bytes
+            part_records[part_index] += len(pairs)
+            for key, value in pairs:
+                groups.setdefault(key, []).append(value)
+            for key, size in chunk_key_bytes.items():
+                key_bytes[key] = key_bytes.get(key, 0) + size
+
+        partition_metrics = [
+            PartitionMetrics(
+                relation=relation_name,
+                input_mb=input_mb,
+                input_records=input_records,
+                intermediate_mb=part_bytes[index] / _MB,
+                output_records=part_records[index],
+                mappers=mappers,
+            )
+            for index, (relation_name, input_mb, input_records, mappers) in enumerate(
+                parts
+            )
+        ]
+        return groups, key_bytes, partition_metrics
+
+    def _reduce_phase(
+        self,
+        job: MapReduceJob,
+        job_blob: bytes,
+        groups: Dict[Key, List[object]],
+        reducers: int,
+        wall: WallClockMetrics,
+    ) -> Dict[str, Relation]:
+        """Hash-partition the key groups over the reducers and reduce in parallel."""
+        buckets: List[List[Tuple[Key, List[object]]]] = [
+            [] for _ in range(max(1, reducers))
+        ]
+        for key in sorted(groups, key=repr):
+            buckets[partition_index(key, len(buckets))].append((key, groups[key]))
+        tasks: List[_ReduceTask] = [(job_blob, bucket) for bucket in buckets if bucket]
+
+        outputs = prepare_output_relations(job)
+        for facts in self._run_waves("reduce", _run_reduce_task, tasks, wall):
+            for relation_name, row in facts:
+                add_output_fact(job, outputs, relation_name, row)
+        return outputs
+
+    # -- programs -----------------------------------------------------------------
+
+    def run_program(self, program: MRProgram, database: Database) -> ProgramResult:
+        """Execute an MR program level by level, mirroring the serial engine."""
+        program.validate()
+        start = perf_counter()
+        working = database.copy()
+        all_outputs: Dict[str, Relation] = {}
+        metrics = ProgramMetrics(backend=self.name)
+        levels = program.levels()
+        metrics.rounds = len(levels)
+
+        for level_jobs in levels:
+            level_map_tasks: List[float] = []
+            level_reduce_tasks: List[float] = []
+            level_results: List[JobResult] = []
+            for job in level_jobs:
+                result = self.run_job(job, working)
+                level_results.append(result)
+                metrics.add_job(result.metrics)
+                level_map_tasks.extend(result.metrics.map_task_durations)
+                level_reduce_tasks.extend(result.metrics.reduce_task_durations)
+            for result in level_results:
+                for name, relation in result.outputs.items():
+                    working.add_relation(relation)
+                    all_outputs[name] = relation
+            metrics.level_net_times.append(
+                self.engine.level_net_time(level_map_tasks, level_reduce_tasks)
+            )
+
+        metrics.net_time = sum(metrics.level_net_times)
+        metrics.wall_elapsed_s = perf_counter() - start
+        return ProgramResult(
+            program=program,
+            outputs=all_outputs,
+            metrics=metrics,
+            database=working,
+        )
+
+    def __repr__(self) -> str:
+        return f"ParallelBackend(workers={self.workers})"

@@ -1,0 +1,44 @@
+"""The serial backend: the seed engine behind the backend seam, unchanged.
+
+:class:`SimulatedBackend` delegates straight to the serial in-process
+:class:`~repro.mapreduce.engine.MapReduceEngine` — identical semantics and
+identical simulated metrics to calling the engine directly — and additionally
+stamps measured wall-clock times on the results so it can serve as the
+baseline of simulated-vs-real speedup comparisons.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from ..mapreduce.counters import WallClockMetrics
+from ..mapreduce.engine import JobResult, MapReduceEngine, ProgramResult
+from ..mapreduce.job import MapReduceJob
+from ..mapreduce.program import MRProgram
+from ..model.database import Database
+from .base import SERIAL, ExecutionBackend
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Runs every map and reduce task serially, in-process."""
+
+    name = SERIAL
+
+    def __init__(self, engine: Optional[MapReduceEngine] = None) -> None:
+        self.engine = engine or MapReduceEngine()
+
+    def run_job(self, job: MapReduceJob, database: Database) -> JobResult:
+        start = perf_counter()
+        result = self.engine.run_job(job, database)
+        result.metrics.wall = WallClockMetrics(
+            backend=self.name, workers=1, elapsed_s=perf_counter() - start
+        )
+        return result
+
+    def run_program(self, program: MRProgram, database: Database) -> ProgramResult:
+        start = perf_counter()
+        result = self.engine.run_program(program, database)
+        result.metrics.backend = self.name
+        result.metrics.wall_elapsed_s = perf_counter() - start
+        return result

@@ -10,6 +10,12 @@ The paper reports four performance metrics (Section 5.1):
 :class:`JobMetrics` captures these per job (plus the ingredients — partition
 sizes, task counts, task durations — needed to compute them), and
 :class:`ProgramMetrics` aggregates them over an MR program.
+
+Besides the *simulated* metrics, execution backends stamp *measured*
+wall-clock times (:class:`WallClockMetrics`, per wave and per job) so that
+simulated-vs-real speedup comparisons are first-class: the serial backend
+records its in-process elapsed time, the parallel backend records the elapsed
+time of every wave of tasks it fans out to its worker pool.
 """
 
 from __future__ import annotations
@@ -19,6 +25,46 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cost.formulas import MapPartition
 from ..cost.models import JobCostBreakdown
+
+
+@dataclass
+class WaveMetrics:
+    """Measured wall-clock time of one wave of tasks on an execution backend."""
+
+    phase: str  # "map" or "reduce"
+    index: int
+    tasks: int
+    elapsed_s: float
+
+
+@dataclass
+class WallClockMetrics:
+    """Measured (not simulated) execution times of one job on a backend.
+
+    ``elapsed_s`` is the job's end-to-end wall-clock time; ``map_elapsed_s``
+    and ``reduce_elapsed_s`` break it down by phase, summed over the waves in
+    which the backend scheduled the phase's tasks.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    elapsed_s: float = 0.0
+    map_elapsed_s: float = 0.0
+    reduce_elapsed_s: float = 0.0
+    waves: List[WaveMetrics] = field(default_factory=list)
+
+    def record_wave(self, phase: str, tasks: int, elapsed_s: float) -> None:
+        """Append one wave's measurement and add it to the phase subtotal."""
+        index = sum(1 for wave in self.waves if wave.phase == phase)
+        self.waves.append(WaveMetrics(phase, index, tasks, elapsed_s))
+        if phase == "map":
+            self.map_elapsed_s += elapsed_s
+        elif phase == "reduce":
+            self.reduce_elapsed_s += elapsed_s
+
+    @property
+    def wave_count(self) -> int:
+        return len(self.waves)
 
 
 @dataclass
@@ -54,6 +100,9 @@ class JobMetrics:
     breakdown: Optional[JobCostBreakdown] = None
     map_task_durations: List[float] = field(default_factory=list)
     reduce_task_durations: List[float] = field(default_factory=list)
+    #: Measured wall-clock times, stamped by the execution backend (None when
+    #: the job ran through the bare engine without a backend).
+    wall: Optional[WallClockMetrics] = None
 
     # -- derived quantities -------------------------------------------------
 
@@ -96,6 +145,11 @@ class ProgramMetrics:
     net_time: float = 0.0
     rounds: int = 0
     level_net_times: List[float] = field(default_factory=list)
+    #: Name of the execution backend that produced these metrics.
+    backend: str = "serial"
+    #: Measured end-to-end wall-clock time of the program run (0 when no
+    #: backend timed the run).
+    wall_elapsed_s: float = 0.0
 
     def add_job(self, metrics: JobMetrics) -> None:
         self.job_metrics[metrics.job_id] = metrics
@@ -138,15 +192,35 @@ class ProgramMetrics:
         combined.net_time = self.net_time + other.net_time
         combined.rounds = self.rounds + other.rounds
         combined.level_net_times = list(self.level_net_times) + list(other.level_net_times)
+        combined.backend = self.backend if self.job_metrics else other.backend
+        combined.wall_elapsed_s = self.wall_elapsed_s + other.wall_elapsed_s
         return combined
 
     def summary(self) -> Dict[str, float]:
-        """The four headline metrics as a plain dictionary."""
+        """The four headline metrics as a plain dictionary.
+
+        Only the paper's *simulated* metrics are included, so summaries are
+        comparable across backends; measured times live in
+        :meth:`wall_summary`.
+        """
         return {
             "net_time_s": self.net_time,
             "total_time_s": self.total_time,
             "input_gb": self.input_gb,
             "communication_gb": self.communication_gb,
+        }
+
+    def wall_summary(self) -> Dict[str, object]:
+        """Measured execution statistics: backend name and wall-clock seconds."""
+        return {
+            "backend": self.backend,
+            "wall_clock_s": self.wall_elapsed_s,
+            "wall_map_s": sum(
+                m.wall.map_elapsed_s for m in self.job_metrics.values() if m.wall
+            ),
+            "wall_reduce_s": sum(
+                m.wall.reduce_elapsed_s for m in self.job_metrics.values() if m.wall
+            ),
         }
 
     def __str__(self) -> str:

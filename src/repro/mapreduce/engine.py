@@ -36,6 +36,7 @@ from ..cost.constants import (
 )
 from ..cost.formulas import MapPartition, map_cost
 from ..cost.models import GumboCostModel, JobProfile
+from ..exec.partition import map_task_chunks, partition_index, stable_hash
 from ..model.database import Database
 from ..model.relation import Relation
 from .cluster import ClusterConfig
@@ -46,12 +47,39 @@ from .scheduler import makespan
 
 _MB = 1024.0 * 1024.0
 
+#: Backward-compatible alias; the shared implementation lives in
+#: :mod:`repro.exec.partition` so every execution backend partitions
+#: identically.
+_stable_hash = stable_hash
 
-def _stable_hash(key: object) -> int:
-    """A deterministic, process-independent hash used to partition keys."""
-    import zlib
 
-    return zlib.crc32(repr(key).encode("utf-8"))
+def prepare_output_relations(job: MapReduceJob) -> Dict[str, Relation]:
+    """Empty output relations for *job*, honouring its byte-size overrides."""
+    outputs: Dict[str, Relation] = {}
+    for name, arity in job.output_schema().items():
+        override = job.output_tuple_bytes(name)
+        bytes_per_field = (
+            max(1, round(override / arity))
+            if override
+            else Relation(name, arity).bytes_per_field
+        )
+        outputs[name] = Relation(name, arity, bytes_per_field)
+    return outputs
+
+
+def add_output_fact(
+    job: MapReduceJob,
+    outputs: Dict[str, Relation],
+    relation_name: str,
+    row: Tuple[object, ...],
+) -> None:
+    """Materialise one reduce output fact, validating the target relation."""
+    if relation_name not in outputs:
+        raise KeyError(
+            f"job {job.job_id!r} emitted to undeclared relation "
+            f"{relation_name!r}"
+        )
+    outputs[relation_name].add(row)
 
 
 @dataclass
@@ -115,9 +143,21 @@ class MapReduceEngine:
                 self._run_map_partition(job, relation_name, database, groups, key_bytes)
             )
 
-        input_mb = sum(p.input_mb for p in partition_metrics)
-        intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
-        reducers = job.choose_reducers(
+        outputs = self._run_reduce(job, groups, database)
+        metrics = self.finalise_job_metrics(job, partition_metrics, key_bytes, outputs)
+        return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
+
+    # -- accounting shared with the execution backends ----------------------------
+
+    def mappers_for(self, input_mb: float) -> int:
+        """Number of map tasks for one uniform input part of *input_mb* MB."""
+        return max(1, math.ceil(input_mb / self.cluster.split_mb))
+
+    def reducers_for(
+        self, job: MapReduceJob, input_mb: float, intermediate_mb: float
+    ) -> int:
+        """Number of reduce tasks, per the job's allocation policy."""
+        return job.choose_reducers(
             input_mb=input_mb,
             intermediate_mb=intermediate_mb,
             cluster=self.cluster,
@@ -125,7 +165,22 @@ class MapReduceEngine:
             mb_per_reducer_input=self.mb_per_reducer_input,
         )
 
-        outputs = self._run_reduce(job, groups, database)
+    def finalise_job_metrics(
+        self,
+        job: MapReduceJob,
+        partition_metrics: List[PartitionMetrics],
+        key_bytes: Dict[Key, int],
+        outputs: Dict[str, Relation],
+    ) -> JobMetrics:
+        """Assemble a job's simulated metrics from its observed phase data.
+
+        Every execution backend funnels through this method, so the cost
+        breakdown and task durations are identical however the map/reduce
+        functions were actually run.
+        """
+        input_mb = sum(p.input_mb for p in partition_metrics)
+        intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
+        reducers = self.reducers_for(job, input_mb, intermediate_mb)
         output_mb = sum(rel.size_mb() for rel in outputs.values())
         output_records = sum(len(rel) for rel in outputs.values())
 
@@ -145,7 +200,18 @@ class MapReduceEngine:
         metrics.breakdown = self.cost_model.job_breakdown(profile)
         metrics.map_task_durations = self._map_task_durations(metrics)
         metrics.reduce_task_durations = self._reduce_task_durations(metrics, key_bytes)
-        return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
+        return metrics
+
+    def level_net_time(
+        self, map_durations: List[float], reduce_durations: List[float]
+    ) -> float:
+        """Net time of one program level: overhead plus phase makespans."""
+        slots = self.cluster.total_slots
+        return (
+            self.constants.job_overhead
+            + makespan(map_durations, slots)
+            + makespan(reduce_durations, slots)
+        )
 
     def _run_map_partition(
         self,
@@ -161,13 +227,11 @@ class MapReduceEngine:
             relation.sorted_tuples() if relation is not None else []
         )
         input_mb = relation.size_mb() if relation is not None else 0.0
-        mappers = max(1, math.ceil(input_mb / self.cluster.split_mb))
+        mappers = self.mappers_for(input_mb)
 
         intermediate_bytes = 0
         output_records = 0
-        chunk_count = min(mappers, len(rows)) or 1
-        for chunk_index in range(chunk_count):
-            chunk_rows = rows[chunk_index::chunk_count]
+        for chunk_rows in map_task_chunks(rows, mappers):
             buffer: Dict[Key, List[object]] = {}
             for row in chunk_rows:
                 for key, value in job.map(relation_name, row):
@@ -199,23 +263,11 @@ class MapReduceEngine:
         database: Database,
     ) -> Dict[str, Relation]:
         """Apply the reduce function per key group and materialise the outputs."""
-        schema = job.output_schema()
-        outputs: Dict[str, Relation] = {}
-        for name, arity in schema.items():
-            override = job.output_tuple_bytes(name)
-            bytes_per_field = (
-                max(1, round(override / arity)) if override else Relation(name, arity).bytes_per_field
-            )
-            outputs[name] = Relation(name, arity, bytes_per_field)
+        outputs = prepare_output_relations(job)
         for key in sorted(groups, key=repr):
             values = groups[key]
             for relation_name, row in job.reduce(key, values):
-                if relation_name not in outputs:
-                    raise KeyError(
-                        f"job {job.job_id!r} emitted to undeclared relation "
-                        f"{relation_name!r}"
-                    )
-                outputs[relation_name].add(row)
+                add_output_fact(job, outputs, relation_name, row)
         return outputs
 
     # -- task durations -------------------------------------------------------------
@@ -249,7 +301,7 @@ class MapReduceEngine:
             return [total / reducers] * reducers
         loads = [0.0] * reducers
         for key, size in key_bytes.items():
-            loads[_stable_hash(key) % reducers] += size
+            loads[partition_index(key, reducers)] += size
         total_load = sum(loads)
         return [total * load / total_load for load in loads]
 
@@ -286,13 +338,9 @@ class MapReduceEngine:
                 for name, relation in result.outputs.items():
                     working.add_relation(relation)
                     all_outputs[name] = relation
-            slots = self.cluster.total_slots
-            level_net = (
-                self.constants.job_overhead
-                + makespan(level_map_tasks, slots)
-                + makespan(level_reduce_tasks, slots)
+            metrics.level_net_times.append(
+                self.level_net_time(level_map_tasks, level_reduce_tasks)
             )
-            metrics.level_net_times.append(level_net)
 
         metrics.net_time = sum(metrics.level_net_times)
         return ProgramResult(

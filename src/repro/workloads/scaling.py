@@ -29,6 +29,7 @@ from ..cost.constants import (
     HadoopSettings,
     PIG_INPUT_MB_PER_REDUCER,
 )
+from ..exec.base import ExecutionBackend, make_backend
 from ..mapreduce.cluster import ClusterConfig
 from ..mapreduce.engine import MapReduceEngine
 from .generator import WorkloadScale
@@ -93,6 +94,22 @@ class ScaledEnvironment:
                 if mb_per_reducer_input is not None
                 else self.mb_per_reducer_input
             ),
+        )
+
+    def backend(
+        self,
+        name: str = "serial",
+        workers: Optional[int] = None,
+        mb_per_reducer_input: Optional[float] = None,
+    ) -> ExecutionBackend:
+        """An execution backend over this environment's engine.
+
+        ``name`` is ``"serial"`` or ``"parallel"`` (or an
+        :class:`~repro.exec.base.ExecutionBackend` alias); ``workers`` sizes
+        the parallel backend's worker pool.
+        """
+        return make_backend(
+            name, engine=self.engine(mb_per_reducer_input), workers=workers
         )
 
     def baseline_engine(self, reducer_input_mb: float) -> MapReduceEngine:

@@ -1,0 +1,259 @@
+"""Backend parity: the parallel runtime must be indistinguishable from the
+serial simulator in everything except measured wall-clock time.
+
+Every strategy (SEQ / PAR / GREEDY / 1-ROUND and the SGF variants), the
+dynamic re-planning executor and the skew-aware MSJ path are run on both
+backends over generated workloads, asserting identical output relations and
+identical simulated metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import DynamicSGFExecutor
+from repro.core.gumbo import Gumbo
+from repro.core.options import GumboOptions
+from repro.core.skew import SkewAwareMSJJob, detect_heavy_hitters
+from repro.cost.estimates import StatisticsCatalog
+from repro.exec import (
+    ExecutionBackend,
+    ParallelBackend,
+    SimulatedBackend,
+    make_backend,
+    map_task_chunks,
+    partition_index,
+    stable_hash,
+)
+from repro.mapreduce.engine import MapReduceEngine, _stable_hash
+from repro.model.database import Database
+from repro.query.parser import parse_bsgf
+from repro.workloads.queries import bsgf_query_set, database_for, sgf_query
+
+#: Worker count used throughout; small so pools stay cheap on tiny CI boxes.
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def parallel_backend():
+    """One shared pool for the whole module (startup amortised over tests)."""
+    backend = ParallelBackend(MapReduceEngine(), workers=WORKERS)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def serial_backend():
+    return SimulatedBackend(MapReduceEngine())
+
+
+def _assert_results_match(serial, parallel):
+    """Outputs and every simulated metric must be identical."""
+    assert set(serial.all_outputs) == set(parallel.all_outputs)
+    for name in serial.all_outputs:
+        assert (
+            serial.all_outputs[name].tuples() == parallel.all_outputs[name].tuples()
+        ), name
+    _assert_metrics_match(serial.metrics, parallel.metrics)
+
+
+def _assert_metrics_match(serial_metrics, parallel_metrics):
+    assert serial_metrics.summary() == parallel_metrics.summary()
+    assert serial_metrics.level_net_times == parallel_metrics.level_net_times
+    assert set(serial_metrics.job_metrics) == set(parallel_metrics.job_metrics)
+    for job_id, serial_job in serial_metrics.job_metrics.items():
+        parallel_job = parallel_metrics.job_metrics[job_id]
+        assert serial_job.reducers == parallel_job.reducers, job_id
+        assert serial_job.mappers == parallel_job.mappers, job_id
+        assert serial_job.intermediate_mb == parallel_job.intermediate_mb, job_id
+        assert serial_job.output_records == parallel_job.output_records, job_id
+        assert serial_job.map_task_durations == parallel_job.map_task_durations, job_id
+        assert (
+            serial_job.reduce_task_durations == parallel_job.reduce_task_durations
+        ), job_id
+
+
+class TestPartitionHelpers:
+    def test_stable_hash_matches_engine_alias(self):
+        for key in ((1, 2), ("a",), (None, "x", 3)):
+            assert stable_hash(key) == _stable_hash(key)
+
+    def test_partition_index_in_range_and_deterministic(self):
+        keys = [(i, chr(65 + i % 26)) for i in range(50)]
+        for key in keys:
+            index = partition_index(key, 7)
+            assert 0 <= index < 7
+            assert index == partition_index(key, 7)
+        with pytest.raises(ValueError):
+            partition_index((1,), 0)
+
+    def test_map_task_chunks_cover_rows_exactly(self):
+        rows = [(i,) for i in range(17)]
+        chunks = map_task_chunks(rows, 5)
+        assert len(chunks) == 5
+        assert sorted(row for chunk in chunks for row in chunk) == rows
+        # One (empty) chunk even with no rows.
+        assert map_task_chunks([], 3) == [[]]
+        with pytest.raises(ValueError):
+            map_task_chunks(rows, 0)
+
+
+class TestMakeBackend:
+    def test_by_name_and_alias(self):
+        assert isinstance(make_backend("serial"), SimulatedBackend)
+        assert isinstance(make_backend("simulated"), SimulatedBackend)
+        assert isinstance(make_backend(None), SimulatedBackend)
+        parallel = make_backend("multiprocessing", workers=1)
+        assert isinstance(parallel, ParallelBackend)
+        parallel.close()
+
+    def test_instance_passthrough(self, parallel_backend):
+        assert make_backend(parallel_backend) is parallel_backend
+
+    def test_instance_conflicts_rejected(self, parallel_backend):
+        with pytest.raises(ValueError):
+            make_backend(parallel_backend, engine=MapReduceEngine())
+        with pytest.raises(ValueError):
+            make_backend(parallel_backend, workers=WORKERS + 1)
+        with pytest.raises(ValueError):
+            Gumbo(backend=parallel_backend, workers=WORKERS + 1)
+        # Matching values pass straight through.
+        assert make_backend(parallel_backend, workers=WORKERS) is parallel_backend
+        assert (
+            make_backend(parallel_backend, engine=parallel_backend.engine)
+            is parallel_backend
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("hadoop")
+
+    def test_context_manager_closes_pool(self):
+        with ParallelBackend(workers=1) as backend:
+            assert isinstance(backend, ExecutionBackend)
+        assert backend._pool is None
+
+    def test_options_thread_backend_selection(self):
+        options = GumboOptions(backend="parallel", workers=1)
+        gumbo = Gumbo(options=options)
+        assert isinstance(gumbo.backend, ParallelBackend)
+        assert gumbo.backend.workers == 1
+        gumbo.backend.close()
+
+    def test_gumbo_argument_overrides_options(self):
+        gumbo = Gumbo(options=GumboOptions(backend="parallel"), backend="serial")
+        assert isinstance(gumbo.backend, SimulatedBackend)
+
+    def test_gumbo_context_manager_releases_pool(self):
+        with Gumbo(backend="parallel", workers=1) as gumbo:
+            database = Database.from_dict({"R": [(1, 2)], "S": [(1,)]})
+            result = gumbo.execute(
+                "Z := SELECT (x, y) FROM R(x, y) WHERE S(x);", database
+            )
+            assert result.output().tuples() == {(1, 2)}
+            assert gumbo.backend._pool is not None
+        assert gumbo.backend._pool is None
+
+
+class TestBSGFStrategyParity:
+    @pytest.mark.parametrize("strategy", ["seq", "par", "greedy"])
+    @pytest.mark.parametrize("query_id", ["A1", "B1"])
+    def test_generated_workloads(
+        self, strategy, query_id, serial_backend, parallel_backend
+    ):
+        queries = bsgf_query_set(query_id)
+        database = database_for(queries, guard_tuples=250, selectivity=0.5, seed=3)
+        serial = Gumbo(backend=serial_backend).execute(queries, database, strategy)
+        parallel = Gumbo(backend=parallel_backend).execute(queries, database, strategy)
+        _assert_results_match(serial, parallel)
+        assert parallel.metrics.backend == "parallel"
+        assert parallel.metrics.wall_elapsed_s > 0
+
+    def test_one_round(self, serial_backend, parallel_backend):
+        # A3's conditionals share the guard's join key, so 1-ROUND applies.
+        queries = bsgf_query_set("A3")
+        database = database_for(queries, guard_tuples=250, selectivity=0.5, seed=3)
+        serial = Gumbo(backend=serial_backend).execute(queries, database, "1-round")
+        parallel = Gumbo(backend=parallel_backend).execute(queries, database, "1-round")
+        _assert_results_match(serial, parallel)
+
+
+class TestSGFStrategyParity:
+    @pytest.mark.parametrize("strategy", ["sequnit", "parunit", "greedy-sgf"])
+    def test_nested_query(self, strategy, serial_backend, parallel_backend):
+        query = sgf_query("C1")
+        database = database_for(query, guard_tuples=250, selectivity=0.5, seed=7)
+        serial = Gumbo(backend=serial_backend).execute(query, database, strategy)
+        parallel = Gumbo(backend=parallel_backend).execute(query, database, strategy)
+        _assert_results_match(serial, parallel)
+
+    def test_dynamic_executor(self, serial_backend, parallel_backend):
+        query = sgf_query("C2")
+        database = database_for(query, guard_tuples=250, selectivity=0.5, seed=11)
+        serial = DynamicSGFExecutor(backend=serial_backend).execute(query, database)
+        parallel = DynamicSGFExecutor(backend=parallel_backend).execute(query, database)
+        assert set(serial.outputs) == set(parallel.outputs)
+        for name in serial.outputs:
+            assert serial.outputs[name].tuples() == parallel.outputs[name].tuples()
+        assert len(serial.stages) == len(parallel.stages)
+        _assert_metrics_match(serial.metrics, parallel.metrics)
+
+
+class TestSkewPathParity:
+    def test_skew_aware_msj_job(self, serial_backend, parallel_backend):
+        # A heavily skewed guard: most rows share join key 1.
+        rows = [(1, i) for i in range(120)] + [(i, i) for i in range(2, 30)]
+        database = Database.from_dict(
+            {"R": rows, "S": [(1,), (5,), (7,)]}
+        )
+        query = parse_bsgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        specs = query.semijoin_specs()
+        catalog = StatisticsCatalog(database, sample_size=200)
+        report = detect_heavy_hitters(catalog, specs)
+        assert report.heavy_keys  # the workload really is skewed
+        job = SkewAwareMSJJob("skew-msj", specs, report.heavy_keys, salt_factor=4)
+        serial = serial_backend.run_job(job, database)
+        parallel = parallel_backend.run_job(job, database)
+        assert set(serial.outputs) == set(parallel.outputs)
+        for name in serial.outputs:
+            assert serial.outputs[name].tuples() == parallel.outputs[name].tuples()
+        assert serial.metrics.reducers == parallel.metrics.reducers
+        assert (
+            serial.metrics.reduce_task_durations
+            == parallel.metrics.reduce_task_durations
+        )
+        assert parallel.metrics.wall is not None
+        assert parallel.metrics.wall.backend == "parallel"
+        assert parallel.metrics.wall.workers == WORKERS
+        assert parallel.metrics.wall.wave_count >= 2  # map + reduce
+
+
+class TestWallClockMetrics:
+    def test_waves_recorded_per_phase(self, parallel_backend):
+        queries = bsgf_query_set("A1")
+        database = database_for(queries, guard_tuples=100, selectivity=0.5, seed=1)
+        result = Gumbo(backend=parallel_backend).execute(queries, database, "par")
+        walls = [m.wall for m in result.metrics.job_metrics.values()]
+        assert all(wall is not None for wall in walls)
+        phases = {wave.phase for wall in walls for wave in wall.waves}
+        assert phases <= {"map", "reduce"}
+        assert "map" in phases
+        for wall in walls:
+            assert wall.elapsed_s >= wall.map_elapsed_s + wall.reduce_elapsed_s - 1e-9
+        wall_summary = result.metrics.wall_summary()
+        assert wall_summary["backend"] == "parallel"
+        assert wall_summary["wall_clock_s"] > 0
+
+    def test_serial_backend_records_wall_clock(self, serial_backend):
+        queries = bsgf_query_set("A1")
+        database = database_for(queries, guard_tuples=100, selectivity=0.5, seed=1)
+        result = Gumbo(backend=serial_backend).execute(queries, database, "seq")
+        assert result.metrics.backend == "serial"
+        assert result.metrics.wall_elapsed_s > 0
+        # summary() stays purely simulated, so cross-backend comparisons hold.
+        assert set(result.summary()) == {
+            "net_time_s",
+            "total_time_s",
+            "input_gb",
+            "communication_gb",
+        }
