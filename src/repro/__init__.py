@@ -39,6 +39,7 @@ from .core.skew import SkewAwareMSJJob, detect_heavy_hitters
 from .cost.constants import CostConstants, HadoopSettings
 from .cost.models import GumboCostModel, WangCostModel
 from .exec import ExecutionBackend, ParallelBackend, SimulatedBackend, make_backend
+from .fuzz import DifferentialOracle, FuzzConfig, FuzzOptions, run_fuzz
 from .io import load_database, load_relation, save_database, save_relation
 from .mapreduce.cluster import ClusterConfig
 from .mapreduce.engine import MapReduceEngine
@@ -60,9 +61,12 @@ __all__ = [
     "Constant",
     "CostConstants",
     "Database",
+    "DifferentialOracle",
     "DynamicSGFExecutor",
     "ExecutionBackend",
     "Fact",
+    "FuzzConfig",
+    "FuzzOptions",
     "Gumbo",
     "GumboCostModel",
     "GumboOptions",
@@ -87,6 +91,7 @@ __all__ = [
     "multi_semi_join",
     "parse_bsgf",
     "parse_sgf",
+    "run_fuzz",
     "save_database",
     "save_relation",
 ]

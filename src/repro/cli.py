@@ -1,6 +1,6 @@
 """Command-line interface: run queries, inspect plans, reproduce experiments.
 
-Five subcommands are provided (``python -m repro <command> --help``):
+Six subcommands are provided (``python -m repro <command> --help``):
 
 ``query``
     Evaluate an SGF query (from a string or a file) over CSV data (a directory
@@ -25,6 +25,14 @@ Five subcommands are provided (``python -m repro <command> --help``):
     Run a generated workload on both execution backends (serial simulation vs
     the multiprocessing runtime) and print a comparison table: simulated total
     and net times, measured wall-clock times, and the parallel speedup.
+
+``fuzz``
+    Run a seeded differential-fuzzing campaign: random (B)SGF programs and
+    databases, each evaluated with the reference evaluator and with every
+    applicable strategy on every selected backend (plus the dynamic
+    executor).  Divergences are shrunk to minimal counterexamples and
+    printed as standalone repro scripts; the exit code is non-zero when any
+    divergence was found.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .core.gumbo import Gumbo
 from .core.options import GumboOptions
 from .exec import BACKEND_NAMES, make_backend
+from .fuzz import FuzzConfig, FuzzOptions, run_fuzz
+from .fuzz.profiles import PROFILE_NAMES
 from .experiments import (
     format_table3,
     run_ablation,
@@ -126,6 +136,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (default: CPU count)",
     )
     bench.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential-fuzz the strategies and backends"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--iterations", type=int, default=100, help="number of random cases"
+    )
+    fuzz.add_argument(
+        "--max-statements", type=int, default=4,
+        help="maximum statements per generated program",
+    )
+    fuzz.add_argument(
+        "--max-tuples", type=int, default=12,
+        help="maximum tuples per generated relation",
+    )
+    fuzz.add_argument(
+        "--profile", default="mixed", choices=list(PROFILE_NAMES),
+        help="data-value profile for generated databases (default mixed)",
+    )
+    fuzz.add_argument(
+        "--backend", default="both", choices=list(BACKEND_NAMES) + ["both"],
+        help="backend(s) to differential-test (default both)",
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel-backend worker processes (default: CPU count)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw counterexamples without greedy shrinking",
+    )
+    fuzz.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the dynamic re-planning executor",
+    )
+    fuzz.add_argument(
+        "--keep-going", action="store_true",
+        help="continue the campaign after the first divergence",
+    )
+    fuzz.add_argument(
+        "--artifact",
+        help="write the first counterexample's repro script to this file",
+    )
     return parser
 
 
@@ -321,6 +375,46 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    """Run a differential-fuzzing campaign and report any counterexample."""
+    backends = (
+        ("serial", "parallel") if args.backend == "both" else (args.backend,)
+    )
+    config = FuzzConfig(
+        max_statements=args.max_statements,
+        max_tuples=args.max_tuples,
+        profile=args.profile,
+    )
+    options = FuzzOptions(
+        seed=args.seed,
+        iterations=args.iterations,
+        config=config,
+        backends=backends,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+        stop_on_failure=not args.keep_going,
+        include_dynamic=not args.no_dynamic,
+    )
+    report = run_fuzz(options)
+    print(report.format())
+    for counterexample in report.counterexamples:
+        print()
+        print(counterexample.describe())
+        print()
+        print("repro script:")
+        print(counterexample.script())
+    if report.counterexamples and args.artifact:
+        with open(args.artifact, "w") as handle:
+            handle.write(report.counterexamples[0].script())
+        print(f"wrote repro script to {args.artifact}")
+    if report.ok:
+        print(
+            f"all {report.combinations_checked} strategy x backend combinations "
+            f"agree with the reference evaluator"
+        )
+    return 0 if report.ok else 1
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     environment = ScaledEnvironment(scale=args.scale, nodes=args.nodes)
     names: Sequence[str]
@@ -351,6 +445,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "experiment": _command_experiment,
         "bench": _command_bench,
+        "fuzz": _command_fuzz,
     }
     return commands[args.command](args)
 

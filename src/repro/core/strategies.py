@@ -90,6 +90,37 @@ def _normalise(strategy: str) -> str:
     return _ALIASES.get(name, name)
 
 
+def applicable_strategies(
+    query: SGFQuery,
+    include_optimal: bool = True,
+    max_optimal_specs: int = 6,
+    max_optimal_subqueries: int = 5,
+) -> List[str]:
+    """Every evaluation strategy applicable to *query*, in canonical order.
+
+    This is the strategy matrix the differential fuzzer (:mod:`repro.fuzz`)
+    sweeps: nested queries (with dependencies between subqueries) get the SGF
+    strategies, flat query sets get the BSGF strategies.  The brute-force
+    OPTIMAL variants enumerate set partitions / topological sorts, so they are
+    only included below the given size bounds (or never, when
+    *include_optimal* is false); 1-ROUND is included only when every subquery
+    satisfies the shared-join-key condition of Section 5.1.
+    """
+    nested = bool(query.intermediate_names)
+    if nested:
+        names = [SEQUNIT, PARUNIT, GREEDY_SGF]
+        if include_optimal and len(query) <= max_optimal_subqueries:
+            names.append(OPTIMAL_SGF)
+        return names
+    names = [SEQ, PAR, GREEDY]
+    total_specs = sum(len(q.conditional_atoms) for q in query)
+    if include_optimal and total_specs <= max_optimal_specs:
+        names.append(OPTIMAL)
+    if all(one_round_applicable(q) for q in query):
+        names.append(ONE_ROUND)
+    return names
+
+
 # -- BSGF query sets ---------------------------------------------------------------
 
 

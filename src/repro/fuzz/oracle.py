@@ -1,0 +1,278 @@
+"""The differential oracle: reference semantics vs every strategy × backend.
+
+For a given (program, database) pair the oracle computes the expected answer
+with the reference evaluator of Section 3.1 (:func:`repro.query.reference.
+evaluate_sgf` — the semantics *by definition*) and then executes the program
+under every applicable evaluation strategy on every configured execution
+backend, plus the dynamic re-planning executor.  Three kinds of divergence
+are reported:
+
+* ``mismatch`` — an output relation differs from the reference answer
+  (missing and/or extra tuples);
+* ``error``    — a strategy/backend raised instead of producing an answer;
+* ``metrics``  — the *simulated* Hadoop metrics differ between two backends
+  for the same strategy (they are documented to be bit-identical).
+
+The oracle owns its execution backends (one engine shared by all of them, so
+simulated metrics are comparable) and reuses them across checks — the
+multiprocessing pool of the parallel backend is started once per campaign,
+not once per case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.dynamic import DynamicSGFExecutor
+from ..core.gumbo import Gumbo
+from ..core.strategies import applicable_strategies
+from ..mapreduce.engine import MapReduceEngine
+from ..model.database import Database
+from ..query.reference import evaluate_sgf
+from ..query.sgf import SGFQuery
+from ..exec.base import make_backend, normalise_backend
+
+#: Pseudo-strategy name under which the dynamic executor is reported.
+DYNAMIC = "dynamic"
+
+#: Tuples of one output relation.
+Answer = FrozenSet[Tuple[object, ...]]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One disagreement between an execution and the reference answer."""
+
+    kind: str  # "mismatch" | "error" | "metrics"
+    strategy: str
+    backend: str
+    detail: str
+    #: For mismatches: output name -> (missing tuples, extra tuples).
+    outputs: Tuple[Tuple[str, Tuple[Tuple[object, ...], ...], Tuple[Tuple[object, ...], ...]], ...] = ()
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] strategy={self.strategy} backend={self.backend}: "
+            f"{self.detail}"
+        )
+
+
+class DifferentialOracle:
+    """Compares every strategy × backend combination against the reference.
+
+    Parameters
+    ----------
+    backends:
+        Backend names to execute on (default: serial and parallel).
+    workers:
+        Worker-pool size for the parallel backend (None → CPU count).
+    engine:
+        The shared MapReduce engine (paper-cluster default when omitted).
+    include_dynamic:
+        Also run the dynamic re-planning executor on every backend.
+    include_optimal:
+        Include the brute-force OPTIMAL / OPTIMAL-SGF strategies (within the
+        size bounds of :func:`repro.core.strategies.applicable_strategies`).
+    check_metrics:
+        Also require bit-identical simulated metrics across backends.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[str] = ("serial", "parallel"),
+        workers: Optional[int] = None,
+        engine: Optional[MapReduceEngine] = None,
+        include_dynamic: bool = True,
+        include_optimal: bool = True,
+        check_metrics: bool = True,
+    ) -> None:
+        if not backends:
+            raise ValueError("the oracle needs at least one backend")
+        self.engine = engine or MapReduceEngine()
+        self.include_dynamic = include_dynamic
+        self.include_optimal = include_optimal
+        self.check_metrics = check_metrics
+        names = [normalise_backend(name) for name in backends]
+        self._backends = {
+            name: make_backend(name, engine=self.engine, workers=workers)
+            for name in dict.fromkeys(names)  # dedupe, keep order
+        }
+        self._gumbos = {
+            name: Gumbo(backend=backend) for name, backend in self._backends.items()
+        }
+        self._dynamics = {
+            name: DynamicSGFExecutor(backend=backend)
+            for name, backend in self._backends.items()
+        }
+
+    @property
+    def backend_names(self) -> Tuple[str, ...]:
+        return tuple(self._backends)
+
+    def close(self) -> None:
+        """Release backend resources (the parallel worker pool)."""
+        for backend in self._backends.values():
+            backend.close()
+
+    def __enter__(self) -> "DifferentialOracle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- combinations -------------------------------------------------------------
+
+    def strategies(self, program: SGFQuery) -> List[str]:
+        """The strategies swept for *program* (dynamic executor included last)."""
+        names = applicable_strategies(program, include_optimal=self.include_optimal)
+        if self.include_dynamic:
+            names = list(names) + [DYNAMIC]
+        return list(names)
+
+    def combinations(self, program: SGFQuery) -> List[Tuple[str, str]]:
+        """Every (strategy, backend) pair checked for *program*."""
+        return [
+            (strategy, backend)
+            for strategy in self.strategies(program)
+            for backend in self._backends
+        ]
+
+    # -- checking -----------------------------------------------------------------
+
+    def check(
+        self,
+        program: SGFQuery,
+        database: Database,
+        only: Optional[FrozenSet[Tuple[str, str]]] = None,
+        stop_at_first: bool = False,
+    ) -> List[Divergence]:
+        """All divergences of *program* over *database* (empty = agreement).
+
+        *only* restricts the sweep to the given (strategy, backend) pairs and
+        *stop_at_first* returns as soon as one divergence is found — the
+        shrinker uses both so each shrink probe re-runs just the combination
+        that originally diverged instead of the full matrix.  Note that
+        restricting the backends also restricts the cross-backend metric
+        parity check to the backends still swept.
+        """
+        expected = {
+            name: frozenset(relation.tuples())
+            for name, relation in evaluate_sgf(program, database).items()
+        }
+        divergences: List[Divergence] = []
+        for strategy in self.strategies(program):
+            if stop_at_first and divergences:
+                break
+            if only is not None and all(s != strategy for s, _ in only):
+                continue
+            reference_summary: Optional[Dict[str, float]] = None
+            reference_backend: Optional[str] = None
+            for backend_name in self._backends:
+                if stop_at_first and divergences:
+                    break
+                if only is not None and (strategy, backend_name) not in only:
+                    continue
+                try:
+                    answers, summary = self._run(
+                        strategy, backend_name, program, database
+                    )
+                except Exception as exc:  # a crashing strategy is a finding
+                    divergences.append(
+                        Divergence(
+                            kind="error",
+                            strategy=strategy,
+                            backend=backend_name,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                mismatch = _diff_answers(expected, answers)
+                if mismatch:
+                    divergences.append(
+                        Divergence(
+                            kind="mismatch",
+                            strategy=strategy,
+                            backend=backend_name,
+                            detail=_describe_mismatch(mismatch),
+                            outputs=mismatch,
+                        )
+                    )
+                if self.check_metrics:
+                    if reference_summary is None:
+                        reference_summary, reference_backend = summary, backend_name
+                    elif summary != reference_summary:
+                        divergences.append(
+                            Divergence(
+                                kind="metrics",
+                                strategy=strategy,
+                                backend=backend_name,
+                                detail=(
+                                    f"simulated metrics differ from backend "
+                                    f"{reference_backend!r}: {summary} vs "
+                                    f"{reference_summary}"
+                                ),
+                            )
+                        )
+        return divergences
+
+    def _run(
+        self,
+        strategy: str,
+        backend_name: str,
+        program: SGFQuery,
+        database: Database,
+    ) -> Tuple[Dict[str, Answer], Dict[str, float]]:
+        """Execute one combination, returning answers and the simulated summary."""
+        if strategy == DYNAMIC:
+            result = self._dynamics[backend_name].execute(program, database)
+            answers = {
+                name: frozenset(relation.tuples())
+                for name, relation in result.outputs.items()
+            }
+            return answers, result.metrics.summary()
+        result = self._gumbos[backend_name].execute(program, database, strategy)
+        answers = {
+            name: frozenset(relation.tuples())
+            for name, relation in result.all_outputs.items()
+        }
+        return answers, result.summary()
+
+
+def _diff_answers(
+    expected: Dict[str, Answer], actual: Dict[str, Answer]
+) -> Tuple[Tuple[str, Tuple[Tuple[object, ...], ...], Tuple[Tuple[object, ...], ...]], ...]:
+    """Per-output (missing, extra) tuples, for outputs that disagree."""
+    mismatches = []
+    for name in sorted(expected):
+        got = actual.get(name, frozenset())
+        missing = expected[name] - got
+        extra = got - expected[name]
+        if missing or extra:
+            mismatches.append(
+                (
+                    name,
+                    tuple(sorted(missing, key=repr)),
+                    tuple(sorted(extra, key=repr)),
+                )
+            )
+    return tuple(mismatches)
+
+
+def _describe_mismatch(
+    mismatch: Tuple[Tuple[str, Tuple, Tuple], ...], limit: int = 4
+) -> str:
+    parts = []
+    for name, missing, extra in mismatch:
+        bits = []
+        if missing:
+            shown = ", ".join(repr(t) for t in missing[:limit])
+            more = f" (+{len(missing) - limit} more)" if len(missing) > limit else ""
+            bits.append(f"missing {shown}{more}")
+        if extra:
+            shown = ", ".join(repr(t) for t in extra[:limit])
+            more = f" (+{len(extra) - limit} more)" if len(extra) > limit else ""
+            bits.append(f"extra {shown}{more}")
+        parts.append(f"{name}: {'; '.join(bits)}")
+    return " | ".join(parts)

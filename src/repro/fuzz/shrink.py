@@ -1,0 +1,233 @@
+"""Greedy test-case shrinking for fuzzer counterexamples.
+
+Given a failing (program, database) pair and a predicate that re-checks the
+failure, :func:`shrink_case` repeatedly applies the three reductions the
+issue tracker wants minimal counterexamples for — in this order, until a
+fixed point:
+
+1. **drop statements** — remove one subquery plus (transitively) every later
+   subquery that references its output, so the program stays a valid SGF
+   query;
+2. **drop atoms** — one-step condition simplifications per statement:
+   ``And(l, r) → l`` / ``→ r``, ``Or(l, r) → l`` / ``→ r``, ``Not(c) → c``,
+   and finally ``condition → TRUE``.  Removing atoms can never violate
+   guardedness, so every candidate is again a valid BSGF query;
+3. **drop tuples** — per relation, first try removing the relation
+   entirely, then emptying it, then removing single tuples greedily.
+
+Every accepted reduction strictly decreases the case's size (statements +
+condition nodes + tuples), so the process terminates; a pass cap bounds the
+worst case.  The predicate is re-evaluated on every candidate, so the
+returned pair still exhibits the original failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from ..model.database import Database
+from ..model.relation import Relation
+from ..query.bsgf import BSGFQuery
+from ..query.conditions import And, Condition, Not, Or, TRUE
+from ..query.sgf import SGFQuery
+
+#: Re-checks the failure on a candidate (program, database) pair.
+Predicate = Callable[[SGFQuery, Database], bool]
+
+
+def case_size(program: SGFQuery, database: Database) -> int:
+    """Shrinking progress measure: statements + condition nodes + tuples."""
+    nodes = sum(len(list(q.condition.walk())) for q in program)
+    tuples = sum(len(relation) for relation in database)
+    return len(program) + nodes + tuples
+
+
+def shrink_case(
+    program: SGFQuery,
+    database: Database,
+    is_interesting: Predicate,
+    max_passes: int = 25,
+) -> Tuple[SGFQuery, Database]:
+    """Greedily minimise a failing case while *is_interesting* stays true.
+
+    The initial pair is assumed interesting (the caller observed the
+    failure); the returned pair is interesting and locally minimal under the
+    three reductions.
+    """
+    for _ in range(max_passes):
+        changed = False
+        program, stmt_changed = _shrink_statements(program, database, is_interesting)
+        changed |= stmt_changed
+        program, cond_changed = _shrink_conditions(program, database, is_interesting)
+        changed |= cond_changed
+        database, data_changed = _shrink_tuples(program, database, is_interesting)
+        changed |= data_changed
+        if not changed:
+            break
+    return program, database
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+def _shrink_statements(
+    program: SGFQuery, database: Database, is_interesting: Predicate
+) -> Tuple[SGFQuery, bool]:
+    changed = False
+    progress = True
+    while progress and len(program) > 1:
+        progress = False
+        # Try dropping later statements first: they are more likely to be
+        # dead weight (nothing else can depend on the last one).
+        for index in reversed(range(len(program))):
+            candidate = _without_statement(program, index)
+            if candidate is None:
+                continue
+            if is_interesting(candidate, database):
+                program = candidate
+                changed = progress = True
+                break
+    return program, changed
+
+
+def _without_statement(program: SGFQuery, index: int) -> Optional[SGFQuery]:
+    """Drop statement *index* and, transitively, its dependents."""
+    removed: Set[str] = {program[index].output}
+    kept: List[BSGFQuery] = []
+    for position, query in enumerate(program):
+        if position == index or query.relation_names & removed:
+            removed.add(query.output)
+            continue
+        kept.append(query)
+    if not kept:
+        return None
+    return SGFQuery(tuple(kept), name=program.name)
+
+
+# -- conditions ---------------------------------------------------------------------
+
+
+def _shrink_conditions(
+    program: SGFQuery, database: Database, is_interesting: Predicate
+) -> Tuple[SGFQuery, bool]:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for index, query in enumerate(program):
+            for simpler in _condition_reductions(query.condition):
+                candidate = _with_condition(program, index, simpler)
+                if candidate is None:
+                    continue
+                if is_interesting(candidate, database):
+                    program = candidate
+                    changed = progress = True
+                    break
+            if progress:
+                break
+    return program, changed
+
+
+def _condition_reductions(condition: Condition) -> Iterator[Condition]:
+    """One-step simplifications of *condition*, largest-first."""
+    yield from _reduce_node(condition)
+    if condition is not TRUE:
+        yield TRUE
+
+
+def _reduce_node(node: Condition) -> Iterator[Condition]:
+    """Replace any one internal node by one of its children."""
+    if isinstance(node, Not):
+        yield node.operand
+        for reduced in _reduce_node(node.operand):
+            yield Not(reduced)
+    elif isinstance(node, (And, Or)):
+        yield node.left
+        yield node.right
+        rebuild = And if isinstance(node, And) else Or
+        for reduced in _reduce_node(node.left):
+            yield rebuild(reduced, node.right)
+        for reduced in _reduce_node(node.right):
+            yield rebuild(node.left, reduced)
+
+
+def _with_condition(
+    program: SGFQuery, index: int, condition: Condition
+) -> Optional[SGFQuery]:
+    """Rebuild the program with statement *index*'s condition replaced.
+
+    Removing atoms may orphan an earlier statement only in the sense that its
+    output becomes unreferenced — still a valid SGF query — so the only
+    failure mode is construction raising, which is treated as "no candidate".
+    """
+    try:
+        old = program[index]
+        new_query = BSGFQuery(old.output, old.projection, old.guard, condition)
+        statements = list(program.subqueries)
+        statements[index] = new_query
+        return SGFQuery(tuple(statements), name=program.name)
+    except ValueError:
+        return None
+
+
+# -- tuples -------------------------------------------------------------------------
+
+
+def _shrink_tuples(
+    program: SGFQuery, database: Database, is_interesting: Predicate
+) -> Tuple[Database, bool]:
+    changed = False
+    referenced = set()
+    for query in program:
+        referenced |= query.relation_names
+    for name in database.relation_names():
+        relation = database[name]
+        # Cheapest first: does the failure survive without the relation at
+        # all?  (Dropping relations the shrunk program no longer mentions —
+        # leftovers of removed statements — always lands here.)
+        if name not in referenced:
+            dropped = _without_relation(database, name)
+            if is_interesting(program, dropped):
+                database = dropped
+                changed = True
+                continue
+        if len(relation) == 0:
+            continue
+        # Next: does it survive without the relation's data?
+        empty = _with_rows(database, name, [])
+        if is_interesting(program, empty):
+            database = empty
+            changed = True
+            continue
+        rows = relation.sorted_tuples()
+        position = 0
+        while position < len(rows):
+            candidate_rows = rows[:position] + rows[position + 1 :]
+            candidate = _with_rows(database, name, candidate_rows)
+            if is_interesting(program, candidate):
+                database = candidate
+                rows = candidate_rows
+                changed = True
+            else:
+                position += 1
+    return database, changed
+
+
+def _without_relation(database: Database, name: str) -> Database:
+    """A copy of *database* with relation *name* removed entirely."""
+    return Database(
+        relation.copy() for relation in database if relation.name != name
+    )
+
+
+def _with_rows(
+    database: Database, name: str, rows: List[Tuple[object, ...]]
+) -> Database:
+    """A copy of *database* with relation *name* holding exactly *rows*."""
+    copy = database.copy()
+    original = database[name]
+    replacement = Relation(name, original.arity, original.bytes_per_field)
+    for row in rows:
+        replacement.add(row)
+    copy.add_relation(replacement)
+    return copy

@@ -24,6 +24,15 @@ from .reference import (
     result_sets,
 )
 from .sgf import SGFQuery, SGFValidationError
+from .unparse import (
+    UnparseError,
+    unparse_atom,
+    unparse_bsgf,
+    unparse_condition,
+    unparse_constant,
+    unparse_sgf,
+    unparse_term,
+)
 
 __all__ = [
     "And",
@@ -41,6 +50,7 @@ __all__ = [
     "SGFValidationError",
     "SemiJoinSpec",
     "TRUE",
+    "UnparseError",
     "atom",
     "conjunction",
     "disjunction",
@@ -57,4 +67,10 @@ __all__ = [
     "result_sets",
     "select",
     "truth_assignment",
+    "unparse_atom",
+    "unparse_bsgf",
+    "unparse_condition",
+    "unparse_constant",
+    "unparse_sgf",
+    "unparse_term",
 ]

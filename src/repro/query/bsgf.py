@@ -175,6 +175,16 @@ class BSGFQuery:
 
     # -- rendering -------------------------------------------------------------------
 
+    def unparse(self) -> str:
+        """Render the query in the parser's concrete syntax.
+
+        The result re-parses to an equal query:
+        ``parse_bsgf(q.unparse()) == q`` (see :mod:`repro.query.unparse`).
+        """
+        from .unparse import unparse_bsgf
+
+        return unparse_bsgf(self)
+
     def __str__(self) -> str:
         proj = ", ".join(str(v) for v in self.projection)
         text = f"{self.output} := SELECT ({proj}) FROM {self.guard}"

@@ -171,5 +171,19 @@ class SGFQuery:
             combined.extend(sgf.subqueries)
         return cls(tuple(combined), name=name)
 
+    # -- rendering ---------------------------------------------------------------
+
+    def unparse(self) -> str:
+        """Render the program in the parser's concrete syntax.
+
+        The concrete syntax does not carry the query's *name*, so re-parsing
+        is equal once the name is supplied:
+        ``parse_sgf(q.unparse(), name=q.name) == q``
+        (see :mod:`repro.query.unparse`).
+        """
+        from .unparse import unparse_sgf
+
+        return unparse_sgf(self)
+
     def __str__(self) -> str:
         return "\n".join(str(q) for q in self.subqueries)

@@ -1,0 +1,171 @@
+"""Pretty-printer (unparser) for (B)SGF queries: the inverse of the parser.
+
+:func:`unparse_sgf` renders query objects back into the paper's SQL-like
+concrete syntax accepted by :mod:`repro.query.parser`, with the round-trip
+guarantee
+
+    ``parse_sgf(unparse_sgf(q), name=q.name) == q``
+
+for every query the concrete syntax can express.  (The concrete syntax does
+not carry the query's name, hence the explicit ``name=`` on re-parse; with
+the default name the plain ``parse_sgf(unparse_sgf(q)) == q`` holds.)  This is the contract the
+workload fuzzer (:mod:`repro.fuzz`) builds on: every randomly generated
+program is unparsed and re-parsed so that counterexample repro scripts are
+plain query text, and so that the generator can never silently produce a
+query outside the parseable fragment.
+
+The guarantee requires care in two places:
+
+* **Constants.**  The parser produces ``int``/``float`` constants from NUMBER
+  tokens and ``str`` constants from quoted strings.  The unparser therefore
+  renders exactly those value types, choosing a quote style not occurring in
+  the string, and raises :class:`UnparseError` for values the concrete syntax
+  cannot express (booleans, ``None``, floats whose ``repr`` uses scientific
+  notation, strings containing both quote characters, ...).
+
+* **Tree shape.**  ``AND``/``OR`` chains are parsed left-associatively, so a
+  right-nested ``And(a, And(b, c))`` must be rendered with explicit
+  parentheses while the left-nested chain must not, or re-parsing would
+  change the AST.  :func:`unparse_condition` inserts the minimal parentheses
+  preserving the exact tree.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Union
+
+from ..model.atoms import Atom
+from ..model.terms import Constant, Term, Variable
+from .conditions import And, AtomCondition, Condition, Not, Or, TrueCondition
+
+#: Identifier shape accepted by the parser's IDENT token.
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+#: Numeric literal shape accepted by the parser's NUMBER token.
+_NUMBER_RE = re.compile(r"-?\d+(\.\d+)?\Z")
+
+#: Precedence levels used to parenthesise condition trees minimally.
+_PREC_OR, _PREC_AND, _PREC_NOT, _PREC_ATOM = 0, 1, 2, 3
+
+
+class UnparseError(ValueError):
+    """Raised when a query object cannot be expressed in the concrete syntax."""
+
+
+def unparse_constant(value: object) -> str:
+    """Render a constant value as a parseable literal token.
+
+    ``int`` and ``float`` values become NUMBER tokens (when their ``repr`` is
+    one); ``str`` values become quoted STRING tokens.  Everything else — and
+    the representable types' edge cases the grammar cannot express — raises
+    :class:`UnparseError`.
+    """
+    if isinstance(value, bool):
+        # bool is an int subclass, but repr() would produce an IDENT token
+        # that re-parses as the *string* constant "True"/"False".
+        raise UnparseError(f"boolean constant {value!r} has no concrete syntax")
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise UnparseError(f"non-finite float constant {value!r}")
+        text = repr(value)
+        if not _NUMBER_RE.match(text):
+            raise UnparseError(
+                f"float constant {value!r} needs scientific notation, which "
+                f"the grammar has no literal for"
+            )
+        return text
+    if isinstance(value, str):
+        if '"' not in value:
+            return f'"{value}"'
+        if "'" not in value:
+            return f"'{value}'"
+        raise UnparseError(
+            f"string constant {value!r} contains both quote characters"
+        )
+    raise UnparseError(
+        f"constant of type {type(value).__name__} has no concrete syntax: {value!r}"
+    )
+
+
+def unparse_term(term: Term) -> str:
+    """Render a term (variable or constant) as parser-accepted text."""
+    if isinstance(term, Variable):
+        if not _IDENT_RE.match(term.name) or not term.name[0].islower():
+            raise UnparseError(
+                f"variable name {term.name!r} is not a lowercase identifier"
+            )
+        return term.name
+    if isinstance(term, Constant):
+        return unparse_constant(term.value)
+    raise UnparseError(f"not a term: {term!r}")
+
+
+def unparse_atom(atom: Atom) -> str:
+    """Render an atom such as ``R(x, y, 4)``."""
+    if not _IDENT_RE.match(atom.relation):
+        raise UnparseError(f"relation name {atom.relation!r} is not an identifier")
+    if atom.relation.upper() in ("SELECT", "FROM", "WHERE", "AND", "OR", "NOT"):
+        raise UnparseError(f"relation name {atom.relation!r} is a keyword")
+    if not atom.terms:
+        raise UnparseError(f"atom {atom.relation!r} has no terms")
+    inner = ", ".join(unparse_term(t) for t in atom.terms)
+    return f"{atom.relation}({inner})"
+
+
+def unparse_condition(condition: Condition) -> str:
+    """Render a WHERE condition with minimal, tree-preserving parentheses."""
+    return _render(condition, _PREC_OR)
+
+
+def _render(node: Condition, minimum: int) -> str:
+    if isinstance(node, AtomCondition):
+        return unparse_atom(node.atom)
+    if isinstance(node, Not):
+        text = f"NOT {_render(node.operand, _PREC_NOT)}"
+        precedence = _PREC_NOT
+    elif isinstance(node, And):
+        # Left-associative: the left child may sit at AND level, the right
+        # child must bind tighter or be parenthesised to keep the tree shape.
+        text = f"{_render(node.left, _PREC_AND)} AND {_render(node.right, _PREC_AND + 1)}"
+        precedence = _PREC_AND
+    elif isinstance(node, Or):
+        text = f"{_render(node.left, _PREC_OR)} OR {_render(node.right, _PREC_OR + 1)}"
+        precedence = _PREC_OR
+    elif isinstance(node, TrueCondition):
+        raise UnparseError(
+            "TRUE inside a condition tree has no concrete syntax "
+            "(a trivially-true query simply omits its WHERE clause)"
+        )
+    else:
+        raise UnparseError(f"unknown condition node: {node!r}")
+    if precedence < minimum:
+        return f"({text})"
+    return text
+
+
+def unparse_bsgf(query: "BSGFQuery") -> str:  # noqa: F821 - duck-typed, see below
+    """Render one BSGF statement, e.g. ``Z := SELECT (x, y) FROM R(x, y);``."""
+    if not _IDENT_RE.match(query.output):
+        raise UnparseError(f"output name {query.output!r} is not an identifier")
+    if not query.projection:
+        raise UnparseError(
+            f"query {query.output!r} has an empty SELECT list, which the "
+            f"grammar cannot express"
+        )
+    projection = ", ".join(unparse_term(v) for v in query.projection)
+    text = f"{query.output} := SELECT ({projection}) FROM {unparse_atom(query.guard)}"
+    if not isinstance(query.condition, TrueCondition):
+        text += f" WHERE {unparse_condition(query.condition)}"
+    return text + ";"
+
+
+def unparse_sgf(query: Union["SGFQuery", "BSGFQuery"]) -> str:  # noqa: F821
+    """Render an SGF query (or a single BSGF query) as a parseable program."""
+    subqueries = getattr(query, "subqueries", None)
+    if subqueries is None:
+        return unparse_bsgf(query)
+    return "\n".join(unparse_bsgf(q) for q in subqueries)

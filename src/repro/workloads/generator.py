@@ -62,6 +62,23 @@ def _domain_size(tuples: int, domain_ratio: float) -> int:
     return max(2, int(round(tuples * domain_ratio)))
 
 
+def zipf_values(
+    rng: random.Random, count: int, domain: int, skew: float = 1.0
+) -> List[int]:
+    """Draw *count* values from ``range(domain)`` under a Zipf distribution.
+
+    Value ``v`` is drawn with probability proportional to ``1/(v+1)**skew``,
+    so small values are heavy hitters — the distribution used for skewed join
+    keys (Section 6's heavy-hitter discussion).  ``skew=0`` degenerates to the
+    uniform distribution.  Shared here so the skew experiments and the
+    workload fuzzer's value profiles draw from one implementation.
+    """
+    if domain < 1:
+        raise ValueError("domain must contain at least one value")
+    weights = [1.0 / (v + 1) ** skew for v in range(domain)]
+    return rng.choices(range(domain), weights=weights, k=count)
+
+
 def generate_guard(
     name: str,
     tuples: int,

@@ -1,0 +1,212 @@
+"""Parser ↔ pretty-printer round-trip tests (repro.query.unparse).
+
+The unparser's contract is exact: ``parse_sgf(unparse_sgf(q)) == q`` for
+every query expressible in the concrete syntax, and :class:`UnparseError`
+for everything else.  The fuzzer (:mod:`repro.fuzz`) relies on this contract
+to embed generated programs in repro scripts as plain text.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fuzz.generator import FuzzConfig, generate_program
+from repro.model.atoms import Atom
+from repro.model.terms import Constant, Variable
+from repro.query.bsgf import BSGFQuery
+from repro.query.conditions import And, AtomCondition, Not, Or, TRUE
+from repro.query.parser import parse_bsgf, parse_sgf
+from repro.query.unparse import (
+    UnparseError,
+    unparse_atom,
+    unparse_bsgf,
+    unparse_condition,
+    unparse_constant,
+    unparse_sgf,
+)
+
+from helpers import nested_sgf_text
+
+FAST = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+X = Variable("x")
+
+
+def roundtrip_sgf(text: str):
+    query = parse_sgf(text)
+    assert parse_sgf(query.unparse()) == query
+    return query
+
+
+# -- the paper's verbatim examples ---------------------------------------------------
+
+
+def test_roundtrip_paper_example_z5():
+    roundtrip_sgf(
+        "Z5 := SELECT (x, y) FROM R(x, y, 4) "
+        "WHERE (S(1, x) AND NOT S(y, 10)) OR (NOT S(1, x) AND S(y, 10));"
+    )
+
+
+def test_roundtrip_paper_example_amazon():
+    query = roundtrip_sgf(
+        'Z1 := SELECT aut FROM Amaz(ttl, aut, "bad") '
+        'WHERE BN(ttl, aut, "bad") AND BD(ttl, aut, "bad");'
+    )
+    # The string constants survive as str values, not identifiers.
+    assert Constant("bad") in query[0].guard.constants
+
+
+def test_roundtrip_nested_sgf_program():
+    query = roundtrip_sgf(nested_sgf_text())
+    assert len(query) == 3
+
+
+def test_roundtrip_named_query_needs_name_on_reparse():
+    # The concrete syntax does not carry the query name: re-parsing with the
+    # original name restores full equality (the documented contract).
+    query = parse_sgf("Z := SELECT (x) FROM R(x);", name="C1")
+    assert parse_sgf(query.unparse(), name=query.name) == query
+    assert parse_sgf(query.unparse()).subqueries == query.subqueries
+
+
+# -- constants and term edge cases ---------------------------------------------------
+
+
+def test_roundtrip_quoted_and_numeric_constants():
+    roundtrip_sgf("Z := SELECT (x) FROM R(x, -3, 2.5, 'one', \"two\");")
+
+
+def test_string_constant_quote_styles():
+    assert unparse_constant("plain") == '"plain"'
+    assert unparse_constant('has"double') == "'has\"double'"
+    assert unparse_constant("") == '""'
+    # Both quote styles re-parse to the same constant.
+    for value in ("plain", 'has"double', "it's"):
+        literal = unparse_constant(value)
+        query = parse_bsgf(f"Z := SELECT (x) FROM R(x, {literal});")
+        assert Constant(value) in query.guard.constants
+
+
+def test_bare_uppercase_constant_roundtrips_as_string():
+    # The parser treats bare uppercase identifiers in term position as string
+    # constants; the unparser renders them quoted, which parses back equal.
+    query = parse_bsgf("Z := SELECT (x) FROM R(x, Good);")
+    assert Constant("Good") in query.guard.constants
+    assert parse_bsgf(query.unparse()) == query
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        True,
+        False,
+        None,
+        float("inf"),
+        float("nan"),
+        1e-20,  # repr uses scientific notation: no NUMBER literal
+        'both"quote\'styles',
+        (1, 2),
+    ],
+)
+def test_unrepresentable_constants_raise(value):
+    with pytest.raises(UnparseError):
+        unparse_constant(value)
+
+
+def test_uppercase_variable_raises():
+    with pytest.raises(UnparseError):
+        unparse_atom(Atom("R", (Variable("Xbad"),)))
+
+
+def test_keyword_relation_name_raises():
+    with pytest.raises(UnparseError):
+        unparse_atom(Atom("SELECT", (X,)))
+
+
+def test_empty_projection_raises():
+    query = BSGFQuery("Z", (X,), Atom.of("R", X), TRUE)
+    object.__setattr__(query, "projection", ())
+    with pytest.raises(UnparseError):
+        unparse_bsgf(query)
+
+
+def test_true_inside_tree_raises():
+    with pytest.raises(UnparseError):
+        unparse_condition(And(TRUE, AtomCondition(Atom.of("S", X))))
+
+
+# -- tree-shape preservation ---------------------------------------------------------
+
+
+def _leaf(name: str) -> AtomCondition:
+    return AtomCondition(Atom.of(name, X))
+
+
+def test_right_nested_and_keeps_parentheses():
+    condition = And(_leaf("S"), And(_leaf("T"), _leaf("U")))
+    text = unparse_condition(condition)
+    assert text == "S(x) AND (T(x) AND U(x))"
+    query = BSGFQuery("Z", (X,), Atom.of("R", X), condition)
+    assert parse_bsgf(query.unparse()) == query
+
+
+def test_left_nested_and_needs_no_parentheses():
+    condition = And(And(_leaf("S"), _leaf("T")), _leaf("U"))
+    assert unparse_condition(condition) == "S(x) AND T(x) AND U(x)"
+
+
+def test_or_under_and_parenthesised_but_not_vice_versa():
+    assert (
+        unparse_condition(And(Or(_leaf("S"), _leaf("T")), _leaf("U")))
+        == "(S(x) OR T(x)) AND U(x)"
+    )
+    assert (
+        unparse_condition(Or(And(_leaf("S"), _leaf("T")), _leaf("U")))
+        == "S(x) AND T(x) OR U(x)"
+    )
+
+
+def test_double_negation_roundtrips():
+    condition = Not(Not(_leaf("S")))
+    query = BSGFQuery("Z", (X,), Atom.of("R", X), condition)
+    assert parse_bsgf(query.unparse()) == query
+    assert unparse_condition(condition) == "NOT NOT S(x)"
+
+
+def test_not_over_composite_is_parenthesised():
+    condition = Not(And(_leaf("S"), _leaf("T")))
+    assert unparse_condition(condition) == "NOT (S(x) AND T(x))"
+    query = BSGFQuery("Z", (X,), Atom.of("R", X), condition)
+    assert parse_bsgf(query.unparse()) == query
+
+
+# -- property: every fuzzer-generated program round-trips -----------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@FAST
+def test_random_programs_roundtrip(seed):
+    rng = random.Random(seed)
+    program = generate_program(rng, FuzzConfig(max_statements=5))
+    text = program.unparse()
+    assert parse_sgf(text) == program
+    # Unparsing is stable: a second round-trip produces the same text.
+    assert parse_sgf(text).unparse() == text
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@FAST
+def test_unparse_matches_module_function(seed):
+    rng = random.Random(seed)
+    program = generate_program(rng, FuzzConfig(max_statements=3))
+    assert program.unparse() == unparse_sgf(program)
+    for statement in program:
+        assert statement.unparse() == unparse_bsgf(statement)
