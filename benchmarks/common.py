@@ -27,6 +27,8 @@ def bench_scale(default: float = DEFAULT_BENCH_SCALE) -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", default))
 
 
-def bench_environment(default_scale: float = DEFAULT_BENCH_SCALE, nodes: int = 10) -> ScaledEnvironment:
+def bench_environment(
+    default_scale: float = DEFAULT_BENCH_SCALE, nodes: int = 10
+) -> ScaledEnvironment:
     """The scaled environment used by a benchmark."""
     return ScaledEnvironment(scale=bench_scale(default_scale), nodes=nodes)

@@ -14,7 +14,9 @@ from common import bench_environment
 
 def test_bench_ablation(benchmark, capsys):
     result = benchmark.pedantic(
-        run_ablation, kwargs={"environment": bench_environment()}, rounds=1, iterations=1
+        run_ablation, kwargs={
+            "environment": bench_environment()
+        }, rounds=1, iterations=1
     )
     with capsys.disabled():
         print()

@@ -6,8 +6,6 @@ and GREEDY keeps both low; on B2 the parallel strategies win on both metrics
 and the 1-ROUND plan is the overall best.
 """
 
-import pytest
-
 from repro.experiments import run_figure4
 
 from common import bench_environment

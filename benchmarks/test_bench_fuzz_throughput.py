@@ -26,9 +26,7 @@ def test_bench_fuzz_throughput(benchmark, capsys):
         backends=("serial",),
         stop_on_failure=False,
     )
-    report = benchmark.pedantic(
-        run_fuzz, args=(options,), rounds=1, iterations=1
-    )
+    report = benchmark.pedantic(run_fuzz, args=(options,), rounds=1, iterations=1)
 
     with capsys.disabled():
         print()
@@ -36,7 +34,5 @@ def test_bench_fuzz_throughput(benchmark, capsys):
 
     assert report.ok, report.counterexamples[0].describe()
     assert report.cases_run == FUZZ_BENCH_ITERATIONS
-    benchmark.extra_info["programs_per_second"] = round(
-        report.programs_per_second, 2
-    )
+    benchmark.extra_info["programs_per_second"] = round(report.programs_per_second, 2)
     benchmark.extra_info["combinations_checked"] = report.combinations_checked

@@ -1,0 +1,119 @@
+"""Benchmark — the serving layer: plan-cache speedup and service throughput.
+
+Measures what the query service adds over bare ``Gumbo.execute``:
+
+* **warm vs cold planning** — time to produce a plan for a repeated query
+  through the plan cache (warm hit) vs re-planning from scratch (cold:
+  statistics collection + strategy selection + plan construction).  The
+  acceptance bar is a ≥ 5× warm/cold advantage — in practice the hit path is
+  a fingerprint + dict lookup and lands orders of magnitude faster.
+* **serving throughput** — queries/second for a repeated mixed workload on
+  the thread-pooled service, with the plan-cache hit rate.
+
+Results are written to ``BENCH_service.json`` (override the path with
+``REPRO_BENCH_SERVICE_JSON``) so CI can archive the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from repro.core.gumbo import Gumbo
+from repro.service import QueryService
+from repro.workloads.queries import database_for, workload_query
+
+#: Guard-relation cardinality of the benchmark workload.
+DEFAULT_TUPLES = int(os.environ.get("REPRO_BENCH_SERVICE_TUPLES", 2_000))
+
+#: Where the JSON artifact is written.
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_SERVICE_JSON", "BENCH_service.json")
+
+#: Cold/warm planning repetitions (medians reported).
+PLAN_REPEATS = 5
+
+#: Requests served in the throughput measurement.
+SERVE_REQUESTS = 60
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_bench_service_plan_cache_and_throughput(capsys):
+    query = workload_query("A3")
+    database = database_for(query, guard_tuples=DEFAULT_TUPLES, seed=11)
+
+    # -- cold planning: fresh statistics + AUTO strategy selection every time.
+    gumbo = Gumbo()
+    cold_times = []
+    for _ in range(PLAN_REPEATS):
+        start = perf_counter()
+        gumbo.plan_with(query, database, "auto")
+        cold_times.append(perf_counter() - start)
+    cold_s = _median(cold_times)
+
+    # -- warm planning: the same query through the service's plan cache.
+    with QueryService(database, gumbo) as service:
+        service.plan(query)  # populate the cache (the one cold miss)
+        warm_times = []
+        for _ in range(PLAN_REPEATS):
+            start = perf_counter()
+            planned, was_cached = service.plan(query)
+            warm_times.append(perf_counter() - start)
+            assert was_cached
+        warm_s = _median(warm_times)
+
+        # -- throughput: a repeated mixed workload over concurrent clients.
+        mixed = [workload_query("A1"), workload_query("A3")]
+        mixed_db = database_for(
+            [q for w in mixed for q in w.subqueries],
+            guard_tuples=DEFAULT_TUPLES // 4,
+            seed=11,
+        )
+    with QueryService(mixed_db, max_workers=4) as mixed_service:
+        requests = [mixed[i % len(mixed)] for i in range(SERVE_REQUESTS)]
+        batch = mixed_service.execute_many(requests)
+        stats = mixed_service.stats()
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "workload": "A3",
+        "guard_tuples": DEFAULT_TUPLES,
+        "plan_cold_s": cold_s,
+        "plan_warm_s": warm_s,
+        "plan_cache_speedup": speedup,
+        "serve_requests": SERVE_REQUESTS,
+        "serve_elapsed_s": batch.elapsed_s,
+        "serve_throughput_qps": batch.throughput_qps,
+        "plan_cache_hit_rate": stats.plan_cache.hit_rate,
+        "plan_cache_hits": stats.plan_cache.hits,
+        "plan_cache_misses": stats.plan_cache.misses,
+    }
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    with capsys.disabled():
+        print()
+        print(f"service benchmark (A3, {DEFAULT_TUPLES} guard tuples)")
+        print(f"  cold planning (median): {cold_s * 1e3:9.3f} ms")
+        print(f"  warm plan-cache hit:    {warm_s * 1e3:9.3f} ms")
+        print(f"  speedup:                {speedup:9.1f}x")
+        print(
+            f"  throughput:             {batch.throughput_qps:9.1f} queries/s "
+            f"({SERVE_REQUESTS} requests, hit rate "
+            f"{stats.plan_cache.hit_rate:.0%})"
+        )
+        print(f"  artifact:               {ARTIFACT_PATH}")
+
+    # The acceptance bar: a warm plan-cache hit beats cold planning >= 5x.
+    assert speedup >= 5.0, (
+        f"plan cache too slow: warm {warm_s * 1e3:.3f} ms vs "
+        f"cold {cold_s * 1e3:.3f} ms ({speedup:.1f}x)"
+    )
+    # The mixed workload planned each distinct query once, then hit.
+    assert stats.plan_cache.misses == len(mixed)
+    assert stats.plan_cache.hits == SERVE_REQUESTS - len(mixed)
+    assert batch.throughput_qps > 0

@@ -32,9 +32,10 @@ the backends head to head.
 """
 
 from .core.dynamic import DynamicSGFExecutor
-from .core.gumbo import Gumbo, GumboResult
+from .core.gumbo import Gumbo, GumboResult, PlannedQuery
 from .core.msj import MSJJob, multi_semi_join
 from .core.options import GumboOptions
+from .core.strategies import AUTO, StrategyChoice, choose_strategy
 from .core.skew import SkewAwareMSJJob, detect_heavy_hitters
 from .cost.constants import CostConstants, HadoopSettings
 from .cost.models import GumboCostModel, WangCostModel
@@ -51,11 +52,14 @@ from .query.bsgf import BSGFQuery
 from .query.parser import parse_bsgf, parse_sgf
 from .query.reference import evaluate_bsgf, evaluate_sgf
 from .query.sgf import SGFQuery
+from .service import BatchResult, QueryService, ServiceResult, query_fingerprint
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AUTO",
     "Atom",
+    "BatchResult",
     "BSGFQuery",
     "ClusterConfig",
     "Constant",
@@ -71,6 +75,10 @@ __all__ = [
     "GumboCostModel",
     "GumboOptions",
     "GumboResult",
+    "PlannedQuery",
+    "QueryService",
+    "ServiceResult",
+    "StrategyChoice",
     "HadoopSettings",
     "MSJJob",
     "MapReduceEngine",
@@ -82,6 +90,7 @@ __all__ = [
     "Variable",
     "WangCostModel",
     "__version__",
+    "choose_strategy",
     "detect_heavy_hitters",
     "evaluate_bsgf",
     "evaluate_sgf",
@@ -91,6 +100,7 @@ __all__ = [
     "multi_semi_join",
     "parse_bsgf",
     "parse_sgf",
+    "query_fingerprint",
     "run_fuzz",
     "save_database",
     "save_relation",

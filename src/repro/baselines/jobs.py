@@ -29,7 +29,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..mapreduce.job import Key, MapReduceJob, OutputFact, REDUCERS_BY_INPUT
-from ..model.atoms import Atom
 from ..query.bsgf import BSGFQuery, SemiJoinSpec
 
 #: Marker values distinguishing the two sides of a baseline join.
@@ -58,7 +57,9 @@ class _BaselineJoinBase(MapReduceJob):
             names.append(self.spec.conditional.relation)
         return names
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         pairs: List[Tuple[Key, object]] = []
         if relation == self.guard_input:
             binding = self.spec.guard.match(row)
@@ -155,7 +156,9 @@ class BaselineCombineJob(MapReduceJob):
             query.output: max(1, len(query.projection)) for query in self.queries
         }
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         pairs: List[Tuple[Key, object]] = []
         membership = self._membership.get(relation)
         if membership is not None:

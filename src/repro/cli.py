@@ -1,16 +1,27 @@
 """Command-line interface: run queries, inspect plans, reproduce experiments.
 
-Six subcommands are provided (``python -m repro <command> --help``):
+Eight subcommands are provided (``python -m repro <command> --help``):
 
 ``query``
     Evaluate an SGF query (from a string or a file) over CSV data (a directory
     with one file per relation) under a chosen strategy and execution backend
     (``--backend serial|parallel --workers N``), print the metrics and
-    optionally write the output relations back to CSV.
+    optionally write the output relations back to CSV.  ``--strategy auto``
+    picks the cheapest applicable strategy by estimated cost.
 
 ``plan``
     Show the MapReduce plan (jobs, rounds, partition of the semi-joins) that a
     strategy would produce for a query, without executing it.
+
+``auto``
+    Cost-based strategy selection, made visible: for one of the paper's
+    workload queries, plan every applicable strategy, print the estimated
+    cost of each candidate and the winner AUTO would run.
+
+``serve``
+    Run the plan-caching :class:`~repro.service.QueryService` over a stream
+    of repeated workload queries with concurrent clients, and print serving
+    metrics (throughput, plan-cache hit rate, strategies chosen).
 
 ``generate``
     Generate the synthetic workload of one of the paper's experiment queries
@@ -61,7 +72,13 @@ from .experiments import (
 )
 from .io import load_database, save_database
 from .query.parser import parse_sgf
-from .workloads.queries import bsgf_query_set, database_for, sgf_query
+from .service import QueryService
+from .workloads.queries import (
+    bsgf_query_set,
+    database_for,
+    sgf_query,
+    workload_query,
+)
 from .workloads.scaling import ScaledEnvironment
 
 #: Experiment name → driver returning an object with a ``format()`` method.
@@ -110,11 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="reproduce one of the paper's experiments"
     )
     experiment.add_argument(
-        "name", choices=sorted(_EXPERIMENTS) + ["table3", "all"],
+        "name",
+        choices=sorted(_EXPERIMENTS) + ["table3", "all"],
         help="which experiment to run",
     )
     experiment.add_argument(
-        "--scale", type=float, default=5e-6,
+        "--scale",
+        type=float,
+        default=5e-6,
         help="workload scale relative to the paper's 100M tuples (default 5e-6)",
     )
     experiment.add_argument("--nodes", type=int, default=10, help="cluster size")
@@ -132,10 +152,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="greedy", help="plan strategy to benchmark"
     )
     bench.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="parallel worker processes (default: CPU count)",
     )
     bench.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+
+    auto = subparsers.add_parser(
+        "auto", help="show the cost-based strategy choice for a paper workload"
+    )
+    auto.add_argument("query_id", help="A1-A5, B1-B2 or C1-C4")
+    auto.add_argument("--guard-tuples", type=int, default=5_000)
+    auto.add_argument("--selectivity", type=float, default=0.5)
+    auto.add_argument("--seed", type=int, default=0)
+    auto.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    auto.add_argument(
+        "--cost-model",
+        default="gumbo",
+        choices=["gumbo", "wang"],
+        help="cost model driving the comparison (default gumbo)",
+    )
+    auto.add_argument(
+        "--no-optimal",
+        action="store_true",
+        help="exclude the brute-force OPTIMAL strategies from the candidates",
+    )
+    auto.add_argument(
+        "--show-plan", action="store_true", help="also print the winning MR plan"
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve repeated workload queries through the query service"
+    )
+    serve.add_argument(
+        "--query-ids",
+        default="A1,A2,A3,B1",
+        help="comma-separated workload ids served round-robin (default A1,A2,A3,B1)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=40, help="number of queries to serve"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads"
+    )
+    serve.add_argument(
+        "--plan-cache",
+        type=int,
+        default=64,
+        help="plan-cache capacity (0 disables plan caching)",
+    )
+    serve.add_argument(
+        "--strategy",
+        default="auto",
+        help="strategy served when a request does not name one (default auto)",
+    )
+    serve.add_argument("--guard-tuples", type=int, default=2_000)
+    serve.add_argument("--selectivity", type=float, default=0.5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="also check every served answer against a direct Gumbo execution",
+    )
 
     fuzz = subparsers.add_parser(
         "fuzz", help="differential-fuzz the strategies and backends"
@@ -145,35 +225,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--iterations", type=int, default=100, help="number of random cases"
     )
     fuzz.add_argument(
-        "--max-statements", type=int, default=4,
+        "--max-statements",
+        type=int,
+        default=4,
         help="maximum statements per generated program",
     )
     fuzz.add_argument(
-        "--max-tuples", type=int, default=12,
+        "--max-tuples",
+        type=int,
+        default=12,
         help="maximum tuples per generated relation",
     )
     fuzz.add_argument(
-        "--profile", default="mixed", choices=list(PROFILE_NAMES),
+        "--profile",
+        default="mixed",
+        choices=list(PROFILE_NAMES),
         help="data-value profile for generated databases (default mixed)",
     )
     fuzz.add_argument(
-        "--backend", default="both", choices=list(BACKEND_NAMES) + ["both"],
+        "--backend",
+        default="both",
+        choices=list(BACKEND_NAMES) + ["both"],
         help="backend(s) to differential-test (default both)",
     )
     fuzz.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="parallel-backend worker processes (default: CPU count)",
     )
     fuzz.add_argument(
-        "--no-shrink", action="store_true",
+        "--no-shrink",
+        action="store_true",
         help="report raw counterexamples without greedy shrinking",
     )
     fuzz.add_argument(
-        "--no-dynamic", action="store_true",
+        "--no-dynamic",
+        action="store_true",
         help="skip the dynamic re-planning executor",
     )
     fuzz.add_argument(
-        "--keep-going", action="store_true",
+        "--no-auto",
+        action="store_true",
+        help="skip the cost-based AUTO meta-strategy",
+    )
+    fuzz.add_argument(
+        "--keep-going",
+        action="store_true",
         help="continue the campaign after the first divergence",
     )
     fuzz.add_argument(
@@ -188,25 +286,34 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument("--query", help="the SGF query text")
     source.add_argument("--query-file", help="file containing the SGF query")
     parser.add_argument(
-        "--data", required=True,
+        "--data",
+        required=True,
         help="directory with one CSV/TSV file per relation",
     )
     parser.add_argument(
-        "--strategy", default="greedy",
-        help="seq, par, greedy, 1-round, sequnit, parunit, greedy-sgf (default greedy)",
+        "--strategy",
+        default="greedy",
+        help="seq, par, greedy, 1-round, sequnit, parunit, greedy-sgf, or "
+        "auto for cost-based selection (default greedy)",
     )
     parser.add_argument(
-        "--cost-model", default="gumbo", choices=["gumbo", "wang"],
+        "--cost-model",
+        default="gumbo",
+        choices=["gumbo", "wang"],
         help="cost model driving plan choice (default gumbo)",
     )
     parser.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
     parser.add_argument(
-        "--backend", default="serial", choices=list(BACKEND_NAMES),
+        "--backend",
+        default="serial",
+        choices=list(BACKEND_NAMES),
         help="execution backend: serial simulation or the multiprocessing "
         "runtime (default serial)",
     )
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="worker processes for --backend parallel (default: CPU count)",
     )
     parser.add_argument(
@@ -375,6 +482,109 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _command_auto(args: argparse.Namespace) -> int:
+    """Print the per-strategy estimated costs and the AUTO winner."""
+    query = workload_query(args.query_id)
+    database = database_for(
+        query,
+        guard_tuples=args.guard_tuples,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    gumbo = Gumbo(engine=environment.engine(), cost_model=args.cost_model)
+    choice = gumbo.choose(query, database, include_optimal=not args.no_optimal)
+    print(
+        f"workload {args.query_id.upper()} ({args.guard_tuples} guard tuples), "
+        f"cost model {args.cost_model}, {args.nodes} nodes"
+    )
+    print(choice.describe())
+    if args.show_plan:
+        print()
+        print(_describe_program(choice.program))
+    return 0
+
+
+def _serve_workload(ids: Sequence[str], args: argparse.Namespace):
+    """The queries and merged database for a ``repro serve`` session."""
+    queries = [workload_query(query_id) for query_id in ids]
+    arities: Dict[str, int] = {}
+    for query in queries:
+        for subquery in query:
+            for atom in (subquery.guard, *subquery.conditional_atoms):
+                known = arities.setdefault(atom.relation, atom.arity)
+                if known != atom.arity:
+                    raise SystemExit(
+                        f"workloads {', '.join(ids)} disagree on the arity of "
+                        f"relation {atom.relation!r} ({known} vs {atom.arity}); "
+                        f"serve them separately"
+                    )
+    all_subqueries = [subquery for query in queries for subquery in query]
+    database = database_for(
+        all_subqueries,
+        guard_tuples=args.guard_tuples,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    return queries, database
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Serve repeated workload queries through the plan-caching service."""
+    ids = [part.strip().upper() for part in args.query_ids.split(",") if part.strip()]
+    if not ids:
+        raise SystemExit("no workload ids given")
+    queries, database = _serve_workload(ids, args)
+    requests = [queries[i % len(queries)] for i in range(args.requests)]
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    gumbo = Gumbo(engine=environment.engine())
+    with QueryService(
+        database,
+        gumbo,
+        strategy=args.strategy,
+        plan_cache_size=args.plan_cache,
+        max_workers=args.clients,
+    ) as service:
+        batch = service.execute_many(requests)
+        stats = service.stats()
+
+    strategies_run: Dict[str, int] = {}
+    for result in batch.results:
+        strategies_run[result.strategy] = strategies_run.get(result.strategy, 0) + 1
+    print(
+        f"served {len(batch.results)} requests over {', '.join(ids)} "
+        f"({args.clients} clients, plan cache {args.plan_cache})"
+    )
+    print(f"  elapsed:             {batch.elapsed_s:.3f}s "
+          f"({batch.throughput_qps:.1f} queries/s)")
+    print(f"  plan-cache hit rate: {stats.plan_cache.hit_rate:.0%} "
+          f"({stats.plan_cache.hits} hits / {stats.plan_cache.misses} misses)")
+    print(f"  planning time:       {sum(r.plan_s for r in batch.results):.3f}s total")
+    print(f"  execution time:      {sum(r.exec_s for r in batch.results):.3f}s total")
+    strategies = ", ".join(
+        f"{name}×{count}" for name, count in sorted(strategies_run.items())
+    )
+    print(f"  strategies run:      {strategies}")
+
+    if args.verify:
+        mismatches = 0
+        for query, result in zip(requests, batch.results):
+            reference = gumbo.execute(query, database, result.strategy)
+            expected = {
+                name: rel.tuples() for name, rel in reference.all_outputs.items()
+            }
+            got = {
+                name: rel.tuples()
+                for name, rel in result.result.all_outputs.items()
+            }
+            if expected != got:
+                mismatches += 1
+        status = "all match" if mismatches == 0 else f"{mismatches} MISMATCH(ES)"
+        print(f"  verification:        {status}")
+        return 0 if mismatches == 0 else 1
+    return 0
+
+
 def _command_fuzz(args: argparse.Namespace) -> int:
     """Run a differential-fuzzing campaign and report any counterexample."""
     backends = (
@@ -394,6 +604,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         stop_on_failure=not args.keep_going,
         include_dynamic=not args.no_dynamic,
+        include_auto=not args.no_auto,
     )
     report = run_fuzz(options)
     print(report.format())
@@ -442,6 +653,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     commands = {
         "query": _command_query,
         "plan": _command_plan,
+        "auto": _command_auto,
+        "serve": _command_serve,
         "generate": _command_generate,
         "experiment": _command_experiment,
         "bench": _command_bench,

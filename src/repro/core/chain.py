@@ -72,7 +72,7 @@ def _dnf(condition: Condition, negated: bool) -> List[List[Literal]]:
             return _dnf(Or(Not(condition.left), Not(condition.right)), False)
         left = _dnf(condition.left, False)
         right = _dnf(condition.right, False)
-        return [l + r for l in left for r in right]
+        return [lhs + rhs for lhs in left for rhs in right]
     if isinstance(condition, Or):
         if negated:
             return _dnf(And(Not(condition.left), Not(condition.right)), False)
@@ -141,13 +141,17 @@ class SemiJoinChainJob(MapReduceJob):
         )
         return {self.output_name: arity}
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         pairs: List[Tuple[Key, object]] = []
         if relation == self.input_name:
             binding = self.guard_atom.match(row)
             if binding is not None:
                 key = tuple(binding[v] for v in self.join_key)
-                pairs.append((key, RequestMessage(0, tuple(row), self.options.tuple_reference)))
+                pairs.append(
+                    (key, RequestMessage(0, tuple(row), self.options.tuple_reference))
+                )
         # Note: when the conditional relation coincides with the input relation
         # (self-joins), the same row is also probed as a conditional fact.
         if relation == self.literal.atom.relation:
@@ -226,7 +230,9 @@ class UnionProjectJob(MapReduceJob):
     def output_schema(self) -> Dict[str, int]:
         return {self.output_name: max(1, len(self.projection))}
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         binding = self.guard_atom.match(row)
         if binding is None:
             return []

@@ -25,12 +25,14 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cost.constants import GUMBO_MB_PER_REDUCER, PIG_INPUT_MB_PER_REDUCER
-from ..cost.estimates import StatisticsCatalog
+from ..cost.estimates import RelationStats, StatisticsCatalog
 from ..cost.formulas import MapPartition
 from ..cost.models import CostModel, GumboCostModel, JobProfile
+from ..mapreduce.job import MapReduceJob
+from ..mapreduce.program import MRProgram
 from ..model.atoms import Atom
 from ..query.bsgf import BSGFQuery, SemiJoinSpec
 from .eval_job import EvalTarget
@@ -75,6 +77,27 @@ class JobEstimate:
         return self.profile.input_mb
 
 
+@dataclass(frozen=True)
+class ProgramEstimate:
+    """Estimated cost of a whole MR program, job by job.
+
+    ``jobs`` preserves the program's level order, so the breakdown can be
+    printed next to the plan.  ``cost`` is the sum over all jobs — the same
+    additive total the strategy optimizers minimise (Equation (9) generalised
+    to arbitrary job DAGs).
+    """
+
+    program_name: str
+    jobs: Tuple[Tuple[str, JobEstimate], ...]
+
+    @property
+    def cost(self) -> float:
+        return sum(estimate.cost for _, estimate in self.jobs)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {job_id: estimate.cost for job_id, estimate in self.jobs}
+
+
 class PlanCostEstimator:
     """Estimates the cost of Gumbo's job types for the plan optimizers."""
 
@@ -100,6 +123,20 @@ class PlanCostEstimator:
         self.use_selectivity_for_outputs = use_selectivity_for_outputs
 
     # -- shared helpers --------------------------------------------------------
+
+    def scratch_copy(self) -> "PlanCostEstimator":
+        """A copy over a scratch catalog: planning-time estimate registrations
+        (intermediate outputs, chain steps) stay local to this copy while the
+        sampled base-relation statistics remain shared."""
+        return PlanCostEstimator(
+            self.catalog.scratch_copy(),
+            self.cost_model,
+            self.options,
+            split_mb=self.split_mb,
+            mb_per_reducer=self.mb_per_reducer,
+            mb_per_reducer_input=self.mb_per_reducer_input,
+            use_selectivity_for_outputs=self.use_selectivity_for_outputs,
+        )
 
     def _mappers_for(self, input_mb: float) -> int:
         return max(1, math.ceil(input_mb / self.split_mb))
@@ -172,7 +209,9 @@ class PlanCostEstimator:
                     per_tuple_records += 1
                 else:
                     per_tuple_bytes += sum(
-                        _key_bytes(len(signature)) + TAG_BYTES + self._request_payload_bytes(spec)
+                        _key_bytes(len(signature))
+                        + TAG_BYTES
+                        + self._request_payload_bytes(spec)
                         for spec in members
                     )
                     per_tuple_records += len(members)
@@ -186,7 +225,9 @@ class PlanCostEstimator:
         for spec in specs:
             signature = _key_signature(spec.conditional, spec.join_key)
             tags[(spec.conditional, signature)] = None
-        by_relation_signature: Dict[Tuple[str, Tuple[int, ...]], List[Atom]] = defaultdict(list)
+        by_relation_signature: Dict[Tuple[str, Tuple[int, ...]], List[Atom]] = (
+            defaultdict(list)
+        )
         for (atom, signature) in tags:
             by_relation_signature[(atom.relation, signature)].append(atom)
         for (relation, signature), atoms in by_relation_signature.items():
@@ -366,3 +407,184 @@ class PlanCostEstimator:
         return self.eval_cost_for_queries(queries) + sum(
             self.msj_cost(group) for group in groups
         )
+
+    # -- arbitrary MR programs (job-type dispatch) --------------------------------------------
+
+    def job_estimate(self, job: MapReduceJob) -> JobEstimate:
+        """Estimated profile and cost of one materialised MR job.
+
+        Dispatches on the concrete job type: MSJ and EVAL jobs reuse the
+        equation-based estimates above, fused 1-ROUND jobs the fused estimate,
+        and the SEQ-plan jobs (semi-join chain steps and union/projection)
+        get profiles assembled from the catalog here.  This is what lets the
+        AUTO strategy compare *any* candidate program on one scale.
+        """
+        from .chain import SemiJoinChainJob, UnionProjectJob
+        from .eval_job import EvalJob
+        from .fused import FusedOneRoundJob
+        from .msj import MSJJob
+
+        if isinstance(job, MSJJob):
+            return self.msj_estimate(job.specs)
+        if isinstance(job, EvalJob):
+            return self.eval_estimate(job.targets)
+        if isinstance(job, FusedOneRoundJob):
+            return self.one_round_estimate(job.queries)
+        if isinstance(job, SemiJoinChainJob):
+            return self._chain_estimate(job)
+        if isinstance(job, UnionProjectJob):
+            return self._union_estimate(job)
+        raise TypeError(
+            f"no cost estimate for job type {type(job).__name__} "
+            f"(job {job.job_id!r})"
+        )
+
+    def _relation_tuples(self, name: str) -> float:
+        stats = self.catalog.relation_stats(name)
+        return float(stats.tuples) if stats else 0.0
+
+    def _relation_mb(self, name: str) -> float:
+        stats = self.catalog.relation_stats(name)
+        return stats.size_mb if stats else 0.0
+
+    def _chain_estimate(self, job) -> JobEstimate:
+        """One SEQ chain step: filter the current guard rows by one literal."""
+        key_bytes = _key_bytes(len(job.join_key))
+        request_bytes = TAG_BYTES + (
+            TUPLE_REFERENCE_BYTES
+            if self.options.tuple_reference
+            else max(1, job.guard_atom.arity) * FIELD_BYTES
+        )
+        assert_count = self.catalog.atom_count(job.literal.atom)
+        partitions: List[MapPartition] = []
+        for name in job.input_relations():
+            count = self._relation_tuples(name)
+            intermediate = 0.0
+            records = 0.0
+            if name == job.input_name:
+                intermediate += count * (key_bytes + request_bytes)
+                records += count
+            if name == job.literal.atom.relation:
+                intermediate += assert_count * (key_bytes + TAG_BYTES)
+                records += assert_count
+            input_mb = self._relation_mb(name)
+            partitions.append(
+                MapPartition(
+                    input_mb=input_mb,
+                    intermediate_mb=intermediate / _MB,
+                    records=int(round(records)),
+                    mappers=self._mappers_for(input_mb),
+                    label=name,
+                )
+            )
+        arity = (
+            max(1, len(job.projection))
+            if job.projection is not None
+            else max(1, job.guard_atom.arity)
+        )
+        # Upper bound: every input guard row survives the filter step.
+        survivors = self._relation_tuples(job.input_name)
+        output_mb = survivors * arity * FIELD_BYTES / _MB
+        input_mb = sum(p.input_mb for p in partitions)
+        intermediate_mb = sum(p.intermediate_mb for p in partitions)
+        reducers = self._reducers_for(input_mb, intermediate_mb)
+        profile = JobProfile(partitions, output_mb, reducers, label="CHAIN")
+        return JobEstimate(profile, self.cost_model.job_cost(profile))
+
+    def _union_estimate(self, job) -> JobEstimate:
+        """The union/projection job combining the branch outputs of a SEQ plan."""
+        arity = max(1, len(job.projection))
+        partitions = []
+        total_tuples = 0.0
+        for name in job.input_names:
+            count = self._relation_tuples(name)
+            total_tuples += count
+            per_tuple_bytes = _key_bytes(arity) + TAG_BYTES
+            input_mb = self._relation_mb(name)
+            partitions.append(
+                MapPartition(
+                    input_mb=input_mb,
+                    intermediate_mb=count * per_tuple_bytes / _MB,
+                    records=int(round(count)),
+                    mappers=self._mappers_for(input_mb),
+                    label=name,
+                )
+            )
+        output_mb = total_tuples * arity * FIELD_BYTES / _MB
+        input_mb = sum(p.input_mb for p in partitions)
+        intermediate_mb = sum(p.intermediate_mb for p in partitions)
+        reducers = self._reducers_for(input_mb, intermediate_mb)
+        profile = JobProfile(partitions, output_mb, reducers, label="UNION")
+        return JobEstimate(profile, self.cost_model.job_cost(profile))
+
+    def _register_output_estimates(self, job: MapReduceJob) -> None:
+        """Seed catalog stats for *job*'s outputs so later jobs can be costed.
+
+        Mirrors the paper's upper bound: intermediate relations are assumed to
+        keep every tuple of the relation they filter (Section 4.1), so chained
+        estimates never underestimate downstream input sizes.
+        """
+        from .chain import SemiJoinChainJob, UnionProjectJob
+        from .eval_job import EvalJob
+        from .fused import FusedOneRoundJob
+        from .msj import MSJJob
+
+        estimates: List[Tuple[str, float, int]] = []
+        if isinstance(job, MSJJob):
+            for spec in job.specs:
+                count = self.catalog.atom_count(spec.guard)
+                arity = max(1, spec.guard.arity)
+                estimates.append((spec.output, count, arity))
+        elif isinstance(job, EvalJob):
+            for target in job.targets:
+                count = self.catalog.atom_count(target.query.guard)
+                arity = max(1, len(target.query.projection))
+                estimates.append((target.output, count, arity))
+        elif isinstance(job, FusedOneRoundJob):
+            for query in job.queries:
+                count = self.catalog.atom_count(query.guard)
+                arity = max(1, len(query.projection))
+                estimates.append((query.output, count, arity))
+        elif isinstance(job, SemiJoinChainJob):
+            count = self._relation_tuples(job.input_name)
+            arity = (
+                max(1, len(job.projection))
+                if job.projection is not None
+                else max(1, job.guard_atom.arity)
+            )
+            estimates.append((job.output_name, count, arity))
+        elif isinstance(job, UnionProjectJob):
+            count = sum(self._relation_tuples(n) for n in job.input_names)
+            arity = max(1, len(job.projection))
+            estimates.append((job.output_name, count, arity))
+        for name, count, arity in estimates:
+            if self.catalog.has_relation(name):
+                continue
+            self.catalog.register_estimate(
+                RelationStats(
+                    name=name,
+                    tuples=int(round(count)),
+                    arity=arity,
+                    size_mb=count * arity * FIELD_BYTES / _MB,
+                    bytes_per_field=FIELD_BYTES,
+                )
+            )
+
+    def program_estimate(self, program: MRProgram) -> ProgramEstimate:
+        """Estimated cost of every job of *program*, walked in level order.
+
+        Intermediate relations produced along the way are registered in the
+        catalog (upper-bound sizes) before the jobs that read them are costed,
+        so multi-round programs — SEQ chains, SGF stages — estimate cleanly.
+        """
+        jobs: List[Tuple[str, JobEstimate]] = []
+        for level in program.levels():
+            for job in level:
+                jobs.append((job.job_id, self.job_estimate(job)))
+            for job in level:
+                self._register_output_estimates(job)
+        return ProgramEstimate(program_name=program.name, jobs=tuple(jobs))
+
+    def program_cost(self, program: MRProgram) -> float:
+        """Total estimated cost of *program* (sum over its jobs)."""
+        return self.program_estimate(program).cost

@@ -141,7 +141,9 @@ class DynamicSGFExecutor:
 
         stage_index = 0
         while remaining:
-            remaining_query = SGFQuery(tuple(remaining), name=f"{query.name}@{stage_index}")
+            remaining_query = SGFQuery(
+                tuple(remaining), name=f"{query.name}@{stage_index}"
+            )
             estimator = self._estimator(working, remaining_query)
             graph = DependencyGraph(remaining_query)
             groups = greedy_multiway_sort(graph)

@@ -119,7 +119,9 @@ class EvalJob(MapReduceJob):
 
     # -- map / reduce -----------------------------------------------------------
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         pairs: List[Tuple[Key, object]] = []
         membership = self._membership.get(relation)
         if membership is not None:
@@ -145,9 +147,7 @@ class EvalJob(MapReduceJob):
             return
         atoms = target.query.conditional_atoms
         index_of = {atom: i for i, atom in enumerate(atoms)}
-        holds = target.query.condition.evaluate(
-            lambda atom: index_of[atom] in present
-        )
+        holds = target.query.condition.evaluate(lambda atom: index_of[atom] in present)
         if not holds:
             return
         binding = target.guard.match(row)

@@ -108,7 +108,9 @@ class FusedOneRoundJob(MapReduceJob):
 
     # -- map / combine / reduce -------------------------------------------------------
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         pairs: List[Tuple[Key, object]] = []
         for q_index, query in enumerate(self.queries):
             if query.guard.relation == relation:

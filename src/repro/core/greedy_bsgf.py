@@ -18,7 +18,7 @@ queries by tests and by the plan-exploration example.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..query.bsgf import SemiJoinSpec
 from .costing import PlanCostEstimator

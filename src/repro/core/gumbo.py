@@ -25,8 +25,8 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..cost.estimates import StatisticsCatalog
 from ..cost.models import CostModel, make_cost_model
@@ -42,7 +42,7 @@ from ..query.sgf import SGFQuery
 from .costing import PlanCostEstimator
 from .options import GumboOptions
 from .strategies import (
-    BSGF_STRATEGIES,
+    AUTO,
     GREEDY,
     GREEDY_SGF,
     PAR,
@@ -50,8 +50,11 @@ from .strategies import (
     SEQ,
     SEQUNIT,
     SGF_STRATEGIES,
+    StrategyChoice,
     build_bsgf_program,
     build_sgf_program,
+    choose_strategy,
+    normalise_strategy,
 )
 
 #: Anything Gumbo accepts as a query.
@@ -63,7 +66,12 @@ _SGF_EQUIVALENT = {SEQ: SEQUNIT, PAR: PARUNIT, GREEDY: GREEDY_SGF}
 
 @dataclass
 class GumboResult:
-    """Outcome of one Gumbo execution."""
+    """Outcome of one Gumbo execution.
+
+    ``strategy`` is the strategy that actually ran: when ``"auto"`` was
+    requested it is the concrete winner of the cost comparison, and
+    ``choice`` carries the full per-candidate cost breakdown.
+    """
 
     query: SGFQuery
     strategy: str
@@ -71,6 +79,7 @@ class GumboResult:
     outputs: Dict[str, Relation]
     all_outputs: Dict[str, Relation]
     metrics: ProgramMetrics
+    choice: Optional[StrategyChoice] = None
 
     def output(self, name: Optional[str] = None) -> Relation:
         """The output relation called *name* (default: the query's final output)."""
@@ -180,20 +189,91 @@ class Gumbo:
         self,
         query: QueryLike,
         database: Database,
-        strategy: str = GREEDY,
+        strategy: Optional[str] = None,
     ) -> MRProgram:
-        """Build (but do not run) the MR program for *query* under *strategy*."""
+        """Build (but do not run) the MR program for *query* under *strategy*.
+
+        ``strategy=None`` uses ``options.default_strategy``; ``"auto"`` costs
+        every applicable strategy and plans the cheapest.
+        """
         sgf = self.as_sgf(query)
-        strategy = self._resolve_strategy(sgf, strategy)
-        estimator = self.estimator(database)
-        if strategy in SGF_STRATEGIES:
-            return build_sgf_program(sgf, strategy, estimator, self.options)
-        return build_bsgf_program(
-            list(sgf.subqueries), strategy, estimator, self.options
+        program, _, _ = self._plan_resolved(sgf, database, strategy)
+        return program
+
+    def choose(
+        self,
+        query: QueryLike,
+        database: Database,
+        include_optimal: bool = True,
+    ) -> StrategyChoice:
+        """Cost-based strategy selection: every applicable candidate, costed.
+
+        This is the AUTO strategy's engine, exposed for inspection — the
+        returned :class:`StrategyChoice` has the winning program plus the
+        estimated cost of every candidate.
+        """
+        sgf = self.as_sgf(query)
+        return choose_strategy(
+            sgf,
+            self.estimator(database),
+            self.options,
+            include_optimal=include_optimal,
         )
 
-    def _resolve_strategy(self, query: SGFQuery, strategy: str) -> str:
-        normalised = strategy.strip().lower().replace("_", "-").replace(" ", "-")
+    def plan_with(
+        self,
+        query: QueryLike,
+        database: Database,
+        strategy: Optional[str],
+        estimator: Optional[PlanCostEstimator] = None,
+    ) -> "PlannedQuery":
+        """Plan *query* and return the program plus the concrete strategy.
+
+        Unlike :meth:`plan` this reports which strategy actually planned the
+        program (AUTO resolves to its winner) and accepts a pre-built
+        *estimator* so callers holding cached statistics (the query service)
+        can skip re-collecting them.
+        """
+        sgf = self.as_sgf(query)
+        program, resolved, choice = self._plan_resolved(
+            sgf, database, strategy, estimator
+        )
+        return PlannedQuery(
+            query=sgf, strategy=resolved, program=program, choice=choice
+        )
+
+    def _plan_resolved(
+        self,
+        sgf: SGFQuery,
+        database: Database,
+        strategy: Optional[str],
+        estimator: Optional[PlanCostEstimator] = None,
+    ) -> Tuple[MRProgram, str, Optional[StrategyChoice]]:
+        """Plan under the resolved strategy: (program, concrete name, choice)."""
+        resolved = self._resolve_strategy(sgf, strategy)
+        if estimator is None:
+            estimator = self.estimator(database)
+        if resolved == AUTO:
+            choice = choose_strategy(sgf, estimator, self.options)
+            return choice.program, choice.strategy, choice
+        if resolved in SGF_STRATEGIES:
+            return (
+                build_sgf_program(sgf, resolved, estimator, self.options),
+                resolved,
+                None,
+            )
+        return (
+            build_bsgf_program(
+                list(sgf.subqueries), resolved, estimator, self.options
+            ),
+            resolved,
+            None,
+        )
+
+    def _resolve_strategy(self, query: SGFQuery, strategy: Optional[str]) -> str:
+        if strategy is None:
+            strategy = self.options.default_strategy
+        normalised = normalise_strategy(strategy)
         has_dependencies = bool(query.intermediate_names)
         if has_dependencies and normalised in _SGF_EQUIVALENT:
             return _SGF_EQUIVALENT[normalised]
@@ -205,12 +285,36 @@ class Gumbo:
         self,
         query: QueryLike,
         database: Database,
-        strategy: str = GREEDY,
+        strategy: Optional[str] = None,
     ) -> GumboResult:
-        """Plan and run *query*, returning outputs and metrics."""
+        """Plan and run *query*, returning outputs and metrics.
+
+        ``strategy=None`` uses ``options.default_strategy``; ``"auto"``
+        selects the cheapest applicable strategy by estimated cost (the
+        result's ``strategy`` is the concrete winner, ``choice`` the
+        breakdown).
+        """
         sgf = self.as_sgf(query)
-        resolved = self._resolve_strategy(sgf, strategy)
-        program = self.plan(sgf, database, resolved)
+        program, resolved, choice = self._plan_resolved(sgf, database, strategy)
+        return self.execute_program(
+            sgf, database, program, strategy=resolved, choice=choice
+        )
+
+    def execute_program(
+        self,
+        query: QueryLike,
+        database: Database,
+        program: MRProgram,
+        strategy: str = "planned",
+        choice: Optional[StrategyChoice] = None,
+    ) -> GumboResult:
+        """Run an already-planned *program* for *query* on the backend.
+
+        The plan-caching query service uses this to skip planning entirely on
+        a cache hit; :meth:`execute` funnels through it as well so results are
+        assembled identically.
+        """
+        sgf = self.as_sgf(query)
         result: ProgramResult = self.backend.run_program(program, database)
         roots = set(sgf.root_names)
         outputs = {
@@ -225,11 +329,12 @@ class Gumbo:
         }
         return GumboResult(
             query=sgf,
-            strategy=resolved,
+            strategy=strategy,
             program=program,
             outputs=outputs,
             all_outputs=all_outputs,
             metrics=result.metrics,
+            choice=choice,
         )
 
     def compare_strategies(
@@ -243,3 +348,13 @@ class Gumbo:
             strategy: self.execute(query, database, strategy)
             for strategy in strategies
         }
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """A planned (but not yet executed) query: what the plan cache stores."""
+
+    query: SGFQuery
+    strategy: str
+    program: MRProgram
+    choice: Optional[StrategyChoice] = None

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from ..cost.constants import CostConstants
 from ..model.atoms import Atom
@@ -171,9 +171,7 @@ def build_sgf_reduction(items: Sequence[int]) -> SGFReduction:
         conditional_atoms.append(
             Atom(r_name, (Variable(f"xr{index}"), Variable(f"yr{index}")))
         )
-        conditional_atoms.append(
-            Atom(s_name, (Variable(f"xs{index}"), Constant(1)))
-        )
+        conditional_atoms.append(Atom(s_name, (Variable(f"xs{index}"), Constant(1))))
 
     database.ensure_relation("Rcirc", 2, bytes_per_field)
     queries.append(

@@ -41,7 +41,6 @@ from ..query.bsgf import SemiJoinSpec
 from .messages import (
     AssertMessage,
     FIELD_BYTES,
-    PackedMessages,
     RequestMessage,
     TUPLE_REFERENCE_BYTES,
     pack_messages,
@@ -142,7 +141,9 @@ class MSJJob(MapReduceJob):
 
     # -- map / combine / reduce ------------------------------------------------------
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         pairs: List[Tuple[Key, object]] = []
         for index, spec in enumerate(self.specs):
             if spec.guard.relation != relation:

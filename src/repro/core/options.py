@@ -46,6 +46,10 @@ class GumboOptions:
         choice flows through the same plumbing.
     workers:
         Worker-pool size for the parallel backend (None → CPU count).
+    default_strategy:
+        The strategy :class:`~repro.core.gumbo.Gumbo` and the query service
+        use when a call does not name one: any canonical strategy name, or
+        ``"auto"`` for cost-based selection over every applicable strategy.
     """
 
     message_packing: bool = True
@@ -54,6 +58,7 @@ class GumboOptions:
     fuse_one_round: bool = True
     backend: str = SERIAL
     workers: Optional[int] = None
+    default_strategy: str = "greedy"
 
     def without(self, **flags: bool) -> "GumboOptions":
         """A copy with the given flags overridden, e.g. ``without(message_packing=False)``."""

@@ -16,11 +16,11 @@ builders that turn plans into executable
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..mapreduce.program import MRProgram
 from ..query.bsgf import BSGFQuery, SemiJoinSpec
-from .chain import Literal, SemiJoinChainJob, UnionProjectJob, to_dnf
+from .chain import SemiJoinChainJob, UnionProjectJob, to_dnf
 from .eval_job import EvalJob, EvalTarget
 from .fused import FusedOneRoundJob
 from .msj import MSJJob
@@ -74,7 +74,9 @@ class BasicPlan:
             if group
         ]
         eval_part = "EVAL(" + ", ".join(q.output for q in self.queries) + ")"
-        return eval_part + " <- " + (" | ".join(msj_parts) if msj_parts else "(no semi-joins)")
+        return eval_part + " <- " + (
+            " | ".join(msj_parts) if msj_parts else "(no semi-joins)"
+        )
 
 
 # -- two-round (MSJ + EVAL) programs -------------------------------------------------

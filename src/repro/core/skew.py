@@ -25,10 +25,9 @@ from __future__ import annotations
 import zlib
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
 from ..cost.estimates import StatisticsCatalog
-from ..mapreduce.job import Key
 from ..query.bsgf import SemiJoinSpec
 from .messages import AssertMessage, RequestMessage
 from .msj import MSJJob
@@ -110,7 +109,9 @@ class SkewAwareMSJJob(MSJJob):
         emit_projection: bool = True,
         salt_factor: int = DEFAULT_SALT_FACTOR,
     ) -> None:
-        super().__init__(job_id, specs, options=options, emit_projection=emit_projection)
+        super().__init__(
+            job_id, specs, options=options, emit_projection=emit_projection
+        )
         if salt_factor < 1:
             raise ValueError("salt_factor must be >= 1")
         self.heavy_keys: Set[Tuple[object, ...]] = {tuple(k) for k in heavy_keys}

@@ -25,7 +25,8 @@ SGF strategies (Section 5.3)
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cost.estimates import RelationStats, StatisticsCatalog
 from ..mapreduce.program import MRProgram
@@ -68,6 +69,10 @@ PARUNIT = "parunit"
 GREEDY_SGF = "greedy-sgf"
 OPTIMAL_SGF = "optimal-sgf"
 
+#: The cost-based meta-strategy: cost every applicable strategy, keep the
+#: cheapest.  Not itself a member of the applicable-strategy matrix.
+AUTO = "auto"
+
 BSGF_STRATEGIES = (SEQ, PAR, GREEDY, OPTIMAL, ONE_ROUND)
 SGF_STRATEGIES = (SEQUNIT, PARUNIT, GREEDY_SGF, OPTIMAL_SGF)
 
@@ -82,12 +87,19 @@ _ALIASES = {
     "greedy-bsgf": GREEDY,
     "greedysgf": GREEDY_SGF,
     "sgf-greedy": GREEDY_SGF,
+    "cost": AUTO,
+    "best": AUTO,
 }
 
 
 def _normalise(strategy: str) -> str:
     name = strategy.strip().lower().replace("_", "-").replace(" ", "-")
     return _ALIASES.get(name, name)
+
+
+def normalise_strategy(strategy: str) -> str:
+    """Canonical form of a strategy name (aliases resolved, e.g. → ``auto``)."""
+    return _normalise(strategy)
 
 
 def applicable_strategies(
@@ -338,3 +350,80 @@ def sgf_group_cost(
 ) -> float:
     """Public alias of the per-group cost used by Greedy-SGF / SGF-Opt."""
     return _group_cost(queries, estimator)
+
+
+# -- AUTO: cost-based strategy selection ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """Outcome of cost-based strategy selection for one query.
+
+    ``strategy``/``program``/``cost`` describe the winner; ``costs`` has the
+    estimated cost of *every* candidate that planned successfully (the chosen
+    strategy's cost is the minimum by construction) and ``errors`` the
+    candidates that could not be planned (message keyed by strategy name).
+    """
+
+    strategy: str
+    program: MRProgram
+    cost: float
+    costs: Dict[str, float]
+    errors: Dict[str, str]
+
+    def describe(self) -> str:
+        lines = [f"AUTO chose {self.strategy!r} (estimated cost {self.cost:.1f} s)"]
+        for name in sorted(self.costs, key=self.costs.get):
+            marker = "*" if name == self.strategy else " "
+            lines.append(f"  {marker} {name:<12} {self.costs[name]:>12.1f} s")
+        for name, message in sorted(self.errors.items()):
+            lines.append(f"    {name:<12} failed: {message}")
+        return "\n".join(lines)
+
+
+def choose_strategy(
+    query: SGFQuery,
+    estimator: PlanCostEstimator,
+    options: Optional[GumboOptions] = None,
+    include_optimal: bool = True,
+) -> StrategyChoice:
+    """Cost every applicable strategy for *query* and return the cheapest.
+
+    Every candidate of :func:`applicable_strategies` is planned into an
+    executable :class:`~repro.mapreduce.program.MRProgram` and costed with
+    :meth:`PlanCostEstimator.program_cost` — the same estimator that drives
+    the greedy optimizers, so the comparison is apples to apples.  Ties keep
+    the earlier candidate in canonical order; a candidate whose planner
+    raises is recorded in ``errors`` and skipped.  At least one candidate
+    always plans (SEQ / SEQUNIT have no applicability precondition).
+    """
+    options = options or GumboOptions()
+    nested = bool(query.intermediate_names)
+    register_intermediate_estimates(query, estimator.catalog)
+    costs: Dict[str, float] = {}
+    errors: Dict[str, str] = {}
+    best: Optional[Tuple[float, str, MRProgram]] = None
+    for name in applicable_strategies(query, include_optimal=include_optimal):
+        try:
+            if nested:
+                program = build_sgf_program(query, name, estimator, options)
+            else:
+                program = build_bsgf_program(
+                    list(query.subqueries), name, estimator, options
+                )
+            cost = estimator.program_cost(program)
+        except Exception as exc:  # noqa: BLE001 - a failing candidate is skipped
+            errors[name] = f"{type(exc).__name__}: {exc}"
+            continue
+        costs[name] = cost
+        if best is None or cost < best[0]:
+            best = (cost, name, program)
+    if best is None:
+        raise ValueError(
+            f"no applicable strategy could be planned for query {query.name!r}: "
+            + "; ".join(f"{n}: {m}" for n, m in errors.items())
+        )
+    cost, name, program = best
+    return StrategyChoice(
+        strategy=name, program=program, cost=cost, costs=costs, errors=errors
+    )

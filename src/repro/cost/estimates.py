@@ -20,11 +20,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..model.atoms import Atom
 from ..model.database import Database
-from ..model.relation import Relation
 from ..model.terms import Variable
 
 
@@ -108,6 +107,24 @@ class StatisticsCatalog:
         whose sizes the planner must guess before they are materialised.
         """
         self._relation_stats[stats.name] = stats
+
+    def scratch_copy(self) -> "StatisticsCatalog":
+        """A copy whose registered estimates do not leak back into this catalog.
+
+        The expensive parts — the per-relation samples and conforming-fraction
+        cache — are *shared* (they are pure derived data of the stored
+        relations), while the relation-stats mapping is copied so that
+        :meth:`register_estimate` calls made while planning one query (whose
+        intermediate names may collide with another query's) stay isolated.
+        """
+        copy = StatisticsCatalog.__new__(StatisticsCatalog)
+        copy._database = self._database
+        copy._sample_size = self._sample_size
+        copy._seed = self._seed
+        copy._relation_stats = dict(self._relation_stats)
+        copy._samples = self._samples
+        copy._fraction_cache = self._fraction_cache
+        return copy
 
     # -- sampling --------------------------------------------------------------------
 

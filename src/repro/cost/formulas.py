@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence
 
 from .constants import CostConstants, MAP_OUTPUT_METADATA_BYTES
 
@@ -89,7 +89,9 @@ def merge_map_cost(
     """
     mappers = max(1, mappers)
     per_mapper_mb = (intermediate_mb + metadata_mb) / mappers
-    passes = merge_passes(per_mapper_mb, constants.map_buffer_mb, constants.merge_factor)
+    passes = merge_passes(
+        per_mapper_mb, constants.map_buffer_mb, constants.merge_factor
+    )
     return (constants.local_read + constants.local_write) * intermediate_mb * passes
 
 
@@ -102,7 +104,9 @@ def merge_reduce_cost(
     """
     reducers = max(1, reducers)
     per_reducer_mb = intermediate_mb / reducers
-    passes = merge_passes(per_reducer_mb, constants.reduce_buffer_mb, constants.merge_factor)
+    passes = merge_passes(
+        per_reducer_mb, constants.reduce_buffer_mb, constants.merge_factor
+    )
     return (constants.local_read + constants.local_write) * intermediate_mb * passes
 
 

@@ -10,8 +10,8 @@ Equation (3).  Experiment E3 (Section 5.2, "Cost Model") compares the two.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from .constants import (
     CostConstants,
@@ -20,7 +20,6 @@ from .constants import (
 )
 from .formulas import (
     MapPartition,
-    map_cost,
     map_cost_aggregated,
     map_cost_per_partition,
     reduce_cost,
@@ -75,7 +74,9 @@ class CostModel:
     def map_cost(self, partitions: Sequence[MapPartition]) -> float:
         raise NotImplementedError
 
-    def reduce_cost(self, intermediate_mb: float, output_mb: float, reducers: int) -> float:
+    def reduce_cost(
+        self, intermediate_mb: float, output_mb: float, reducers: int
+    ) -> float:
         return reduce_cost(intermediate_mb, output_mb, reducers, self.constants)
 
     def job_breakdown(self, profile: JobProfile) -> JobCostBreakdown:
@@ -100,7 +101,9 @@ class CostModel:
         """Gumbo's reducer allocation: 256 MB of intermediate data per reducer."""
         return max(1, math.ceil(intermediate_mb / GUMBO_MB_PER_REDUCER))
 
-    def default_mappers(self, input_mb: float, split_mb: float = DEFAULT_SPLIT_MB) -> int:
+    def default_mappers(
+        self, input_mb: float, split_mb: float = DEFAULT_SPLIT_MB
+    ) -> int:
         """Number of map tasks for an input of *input_mb* MB."""
         return max(1, math.ceil(input_mb / split_mb))
 

@@ -54,9 +54,7 @@ def run_figure3(
             selectivity=selectivity,
             seed=seed,
         )
-        result.extend(
-            runner.run_matrix(query_id, queries, strategies, database)
-        )
+        result.extend(runner.run_matrix(query_id, queries, strategies, database))
         if include_one_round and all(one_round_applicable(q) for q in queries):
             result.add(runner.run_strategy(query_id, queries, "1-round", database))
     return result

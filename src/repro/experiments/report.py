@@ -7,7 +7,7 @@ reference strategy (SEQ in Figures 3/4, SEQUNIT in Figure 5).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from .runner import RunRecord
 

@@ -19,7 +19,6 @@ from ..baselines.plans import (
 )
 from ..core.gumbo import Gumbo
 from ..core.options import GumboOptions
-from ..core.strategies import BSGF_STRATEGIES, SGF_STRATEGIES
 from ..cost.models import CostModel
 from ..model.database import Database
 from ..query.bsgf import BSGFQuery
@@ -170,7 +169,9 @@ class ExperimentRunner:
         if normalised in BASELINE_STRATEGIES:
             if isinstance(queries, SGFQuery):
                 queries = list(queries.subqueries)
-            return self.run_baseline(query_id, queries, normalised, database, environment)
+            return self.run_baseline(
+                query_id, queries, normalised, database, environment
+            )
         return self.run_gumbo(query_id, queries, normalised, database, environment)
 
     # -- sweeps -----------------------------------------------------------------------------

@@ -74,7 +74,9 @@ def selectivity_increases(
             high_rec = _find(result.records, f"{query}@{high:.1f}", strategy)
             if low_rec is None or high_rec is None:
                 continue
-            row[f"{query}_net_increase_%"] = _increase(low_rec.net_time, high_rec.net_time)
+            row[f"{query}_net_increase_%"] = _increase(
+                low_rec.net_time, high_rec.net_time
+            )
             row[f"{query}_total_increase_%"] = _increase(
                 low_rec.total_time, high_rec.total_time
             )
@@ -90,7 +92,9 @@ def format_table3(result: ExperimentResult) -> str:
     )
 
 
-def _find(records: Sequence[RunRecord], query_id: str, strategy: str) -> Optional[RunRecord]:
+def _find(records: Sequence[RunRecord], query_id: str, strategy: str) -> Optional[
+    RunRecord
+]:
     for record in records:
         if record.query_id == query_id and record.strategy == strategy:
             return record

@@ -244,7 +244,9 @@ class _ProgramBuilder:
         return root
 
 
-def generate_program(rng: random.Random, config: Optional[FuzzConfig] = None) -> SGFQuery:
+def generate_program(
+    rng: random.Random, config: Optional[FuzzConfig] = None
+) -> SGFQuery:
     """Generate one random SGF program (1..``max_statements`` statements)."""
     config = config or FuzzConfig()
     builder = _ProgramBuilder(rng, config)

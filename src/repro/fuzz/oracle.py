@@ -26,7 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.dynamic import DynamicSGFExecutor
 from ..core.gumbo import Gumbo
-from ..core.strategies import applicable_strategies
+from ..core.strategies import AUTO, applicable_strategies
 from ..mapreduce.engine import MapReduceEngine
 from ..model.database import Database
 from ..query.reference import evaluate_sgf
@@ -39,6 +39,9 @@ DYNAMIC = "dynamic"
 #: Tuples of one output relation.
 Answer = FrozenSet[Tuple[object, ...]]
 
+#: One per-output mismatch: (output name, missing tuples, extra tuples).
+Mismatch = Tuple[str, Tuple[Tuple[object, ...], ...], Tuple[Tuple[object, ...], ...]]
+
 
 @dataclass(frozen=True)
 class Divergence:
@@ -49,7 +52,7 @@ class Divergence:
     backend: str
     detail: str
     #: For mismatches: output name -> (missing tuples, extra tuples).
-    outputs: Tuple[Tuple[str, Tuple[Tuple[object, ...], ...], Tuple[Tuple[object, ...], ...]], ...] = ()
+    outputs: Tuple[Mismatch, ...] = ()
 
     def __str__(self) -> str:
         return (
@@ -74,6 +77,9 @@ class DifferentialOracle:
     include_optimal:
         Include the brute-force OPTIMAL / OPTIMAL-SGF strategies (within the
         size bounds of :func:`repro.core.strategies.applicable_strategies`).
+    include_auto:
+        Also run the cost-based AUTO meta-strategy on every backend — its
+        winner must agree with the reference like any fixed strategy.
     check_metrics:
         Also require bit-identical simulated metrics across backends.
     """
@@ -85,6 +91,7 @@ class DifferentialOracle:
         engine: Optional[MapReduceEngine] = None,
         include_dynamic: bool = True,
         include_optimal: bool = True,
+        include_auto: bool = True,
         check_metrics: bool = True,
     ) -> None:
         if not backends:
@@ -92,6 +99,7 @@ class DifferentialOracle:
         self.engine = engine or MapReduceEngine()
         self.include_dynamic = include_dynamic
         self.include_optimal = include_optimal
+        self.include_auto = include_auto
         self.check_metrics = check_metrics
         names = [normalise_backend(name) for name in backends]
         self._backends = {
@@ -125,11 +133,15 @@ class DifferentialOracle:
     # -- combinations -------------------------------------------------------------
 
     def strategies(self, program: SGFQuery) -> List[str]:
-        """The strategies swept for *program* (dynamic executor included last)."""
-        names = applicable_strategies(program, include_optimal=self.include_optimal)
+        """The strategies swept for *program* (AUTO and dynamic appended last)."""
+        names = list(
+            applicable_strategies(program, include_optimal=self.include_optimal)
+        )
+        if self.include_auto:
+            names.append(AUTO)
         if self.include_dynamic:
-            names = list(names) + [DYNAMIC]
-        return list(names)
+            names.append(DYNAMIC)
+        return names
 
     def combinations(self, program: SGFQuery) -> List[Tuple[str, str]]:
         """Every (strategy, backend) pair checked for *program*."""
@@ -242,7 +254,7 @@ class DifferentialOracle:
 
 def _diff_answers(
     expected: Dict[str, Answer], actual: Dict[str, Answer]
-) -> Tuple[Tuple[str, Tuple[Tuple[object, ...], ...], Tuple[Tuple[object, ...], ...]], ...]:
+) -> Tuple[Mismatch, ...]:
     """Per-output (missing, extra) tuples, for outputs that disagree."""
     mismatches = []
     for name in sorted(expected):

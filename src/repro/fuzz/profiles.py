@@ -110,9 +110,7 @@ class CorrelatedProfile(ValueProfile):
         rows: Rows = []
         for _ in range(count):
             seed = rng.randrange(domain)
-            rows.append(
-                tuple((seed + column) % domain for column in range(arity))
-            )
+            rows.append(tuple((seed + column) % domain for column in range(arity)))
         return rows
 
 

@@ -36,6 +36,7 @@ class FuzzOptions:
     stop_on_failure: bool = True
     include_dynamic: bool = True
     include_optimal: bool = True
+    include_auto: bool = True
     check_metrics: bool = True
 
 
@@ -119,6 +120,7 @@ def run_fuzz(
             workers=options.workers,
             include_dynamic=options.include_dynamic,
             include_optimal=options.include_optimal,
+            include_auto=options.include_auto,
             check_metrics=options.check_metrics,
         )
     report = FuzzReport(seed=options.seed, iterations=options.iterations)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .model.database import Database
 from .model.relation import DEFAULT_BYTES_PER_FIELD, Relation

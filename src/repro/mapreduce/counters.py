@@ -21,7 +21,7 @@ time of every wave of tasks it fans out to its worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..cost.formulas import MapPartition
 from ..cost.models import JobCostBreakdown
@@ -187,11 +187,15 @@ class ProgramMetrics:
     def merge(self, other: "ProgramMetrics") -> "ProgramMetrics":
         """Sequential composition: metrics of running *self* then *other*."""
         combined = ProgramMetrics()
-        for metrics in list(self.job_metrics.values()) + list(other.job_metrics.values()):
+        for metrics in list(self.job_metrics.values()) + list(
+            other.job_metrics.values()
+        ):
             combined.add_job(metrics)
         combined.net_time = self.net_time + other.net_time
         combined.rounds = self.rounds + other.rounds
-        combined.level_net_times = list(self.level_net_times) + list(other.level_net_times)
+        combined.level_net_times = list(self.level_net_times) + list(
+            other.level_net_times
+        )
         combined.backend = self.backend if self.job_metrics else other.backend
         combined.wall_elapsed_s = self.wall_elapsed_s + other.wall_elapsed_s
         return combined

@@ -26,15 +26,15 @@ is the more faithful model of the underlying system; which cost model the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..cost.constants import (
     CostConstants,
     GUMBO_MB_PER_REDUCER,
     PIG_INPUT_MB_PER_REDUCER,
 )
-from ..cost.formulas import MapPartition, map_cost
+from ..cost.formulas import map_cost
 from ..cost.models import GumboCostModel, JobProfile
 from ..exec.partition import map_task_chunks, partition_index, stable_hash
 from ..model.database import Database

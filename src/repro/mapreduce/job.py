@@ -61,7 +61,9 @@ class MapReduceJob:
         """Names of the relations this job reads from HDFS."""
         raise NotImplementedError
 
-    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[Tuple[Key, object]]:
+    def map(self, relation: str, row: Tuple[object, ...]) -> Iterable[
+        Tuple[Key, object]
+    ]:
         """The map function, applied to every row of every input relation."""
         raise NotImplementedError
 

@@ -8,7 +8,7 @@ within a round run concurrently and compete for cluster slots.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from .job import MapReduceJob
 

@@ -12,7 +12,15 @@ from .relation import (
     Relation,
     SchemaError,
 )
-from .terms import Constant, Term, Variable, as_term, is_constant, is_variable, variables_in
+from .terms import (
+    Constant,
+    Term,
+    Variable,
+    as_term,
+    is_constant,
+    is_variable,
+    variables_in,
+)
 
 __all__ = [
     "Atom",

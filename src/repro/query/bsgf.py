@@ -20,7 +20,7 @@ semi-join equations ``X_i := pi_w̄(R(t̄) ⋉ κ_i)`` and the Boolean formula
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..model.atoms import Atom
@@ -146,9 +146,7 @@ class BSGFQuery:
         """
         atoms = self.conditional_atoms
         if len(names) != len(atoms):
-            raise ValueError(
-                f"expected {len(atoms)} names, got {len(names)}"
-            )
+            raise ValueError(f"expected {len(atoms)} names, got {len(names)}")
         mapping: Dict[Atom, Condition] = {
             atom: AtomCondition(Atom(names[i], self.projection))
             for i, atom in enumerate(atoms)

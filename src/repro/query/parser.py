@@ -72,7 +72,9 @@ _TOKEN_SPEC = [
     ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
 ]
 
-_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+_TOKEN_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC)
+)
 
 _KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT"}
 

@@ -1,0 +1,20 @@
+"""The serving subsystem: plan-caching, statistics-caching query service.
+
+See :class:`~repro.service.service.QueryService` for the entry point.
+"""
+
+from .cache import CacheStats, LRUCache
+from .fingerprint import canonical_text, query_fingerprint, schema_signature
+from .service import BatchResult, QueryService, ServiceResult, ServiceStats
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "LRUCache",
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+    "canonical_text",
+    "query_fingerprint",
+    "schema_signature",
+]

@@ -1,0 +1,111 @@
+"""A thread-safe LRU cache with hit/miss/eviction accounting.
+
+Backs the query service's plan cache (fingerprint → planned program) and is
+generic enough for any hashable-key cache the serving layer grows next.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import RLock
+from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "not cached" from a cached None.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping evicting the least recently used entry, thread-safe.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses) so the
+    service can be run cache-less for comparisons without special-casing.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = RLock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value (marked most recently used), or None on a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (counted as one invalidation); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += 1
+            return dropped
+
+    def keys(self) -> Tuple[K, ...]:
+        """The cached keys, LRU first (snapshot)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"LRUCache(size={len(self._entries)}/{self.capacity}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses})"
+            )

@@ -1,0 +1,43 @@
+"""Query fingerprinting: stable cache keys for the plan cache.
+
+Two submissions should share a cached plan exactly when they would plan
+identically, so the fingerprint combines
+
+* the *canonical text* of the query — the exact ``unparse`` round-trip form,
+  which normalises whitespace, parenthesisation and keyword case while
+  preserving subquery order and variable names; and
+* the *schema signature* of the database — relation names, arities and
+  per-field byte widths, which is everything planning reads that survives a
+  pure data refresh (statistics changes are handled by the service's explicit
+  version-based invalidation, not by the fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..model.database import Database
+from ..query.sgf import SGFQuery
+from ..query.unparse import unparse_sgf
+
+
+def canonical_text(query: SGFQuery) -> str:
+    """The canonical (parse ↔ unparse stable) text of *query*."""
+    return unparse_sgf(query)
+
+
+def schema_signature(database: Database) -> str:
+    """A stable signature of the database schema the planner sees."""
+    parts = []
+    for relation in database:
+        parts.append(f"{relation.name}/{relation.arity}/{relation.bytes_per_field}")
+    return ";".join(parts)
+
+
+def query_fingerprint(query: SGFQuery, database: Database) -> str:
+    """A stable hex digest identifying (canonical query, database schema)."""
+    digest = hashlib.sha256()
+    digest.update(canonical_text(query).encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(schema_signature(database).encode("utf-8"))
+    return digest.hexdigest()

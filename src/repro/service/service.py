@@ -1,0 +1,404 @@
+"""The query service: plan-caching, statistics-caching, concurrent serving.
+
+:class:`QueryService` is the serving layer on top of the
+:class:`~repro.core.gumbo.Gumbo` planner/executor.  Where ``Gumbo.execute``
+re-collects statistics and re-plans on every call, the service makes repeated
+and high-volume workloads cheap:
+
+* **plan cache** — an LRU mapping query fingerprints (canonical query text +
+  database schema, see :mod:`repro.service.fingerprint`) to planned programs,
+  so a repeated query skips statistics collection, strategy selection and
+  plan construction entirely;
+* **statistics cache** — one :class:`~repro.core.costing.PlanCostEstimator`
+  (and its :class:`~repro.cost.estimates.StatisticsCatalog`) is shared by
+  every planning miss until the database changes;
+* **explicit invalidation** — :meth:`invalidate` (or any mutation routed
+  through :meth:`mutate` / :meth:`add_tuples` / :meth:`replace_database`)
+  bumps the database version and drops both caches, so stale plans are never
+  served;
+* **concurrent execution** — queries submitted through :meth:`submit` /
+  :meth:`submit_many` run on a thread pool against the shared execution
+  backend (the serial simulated backend is pure and runs concurrently;
+  other backends are serialised with a lock), with per-query metrics.
+
+The default strategy is ``AUTO`` — cost-based selection over every applicable
+strategy — because a serving layer should not require callers to name one.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import Lock, RLock
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.costing import PlanCostEstimator
+from ..core.gumbo import Gumbo, GumboResult, PlannedQuery, QueryLike
+from ..core.options import GumboOptions
+from ..core.strategies import AUTO, normalise_strategy
+from ..exec.base import ExecutionBackend, SERIAL
+from ..mapreduce.counters import ProgramMetrics
+from ..model.database import Database
+from ..model.relation import Relation
+from ..query.sgf import SGFQuery
+from .cache import CacheStats, LRUCache
+from .fingerprint import query_fingerprint
+
+#: Plan-cache key: (query fingerprint, normalised requested strategy).
+PlanKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One served query: the execution result plus serving-layer metrics."""
+
+    result: GumboResult
+    fingerprint: str
+    requested_strategy: str
+    plan_cached: bool
+    plan_s: float
+    exec_s: float
+
+    @property
+    def strategy(self) -> str:
+        """The strategy that actually ran (AUTO resolves to its winner)."""
+        return self.result.strategy
+
+    @property
+    def query(self) -> SGFQuery:
+        return self.result.query
+
+    @property
+    def outputs(self) -> Dict[str, Relation]:
+        return self.result.outputs
+
+    @property
+    def metrics(self) -> ProgramMetrics:
+        return self.result.metrics
+
+    @property
+    def total_s(self) -> float:
+        return self.plan_s + self.exec_s
+
+    def output(self, name: Optional[str] = None) -> Relation:
+        return self.result.output(name)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a batched submission, with aggregate serving metrics."""
+
+    results: Tuple[ServiceResult, ...]
+    elapsed_s: float
+
+    @property
+    def throughput_qps(self) -> float:
+        return len(self.results) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.plan_cached)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "queries": len(self.results),
+            "elapsed_s": self.elapsed_s,
+            "throughput_qps": self.throughput_qps,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_s_total": sum(r.plan_s for r in self.results),
+            "exec_s_total": sum(r.exec_s for r in self.results),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A snapshot of the service's serving-layer counters."""
+
+    queries_served: int
+    plan_cache: CacheStats
+    plan_cache_size: int
+    database_version: int
+    statistics_rebuilds: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "queries_served": self.queries_served,
+            "plan_cache": self.plan_cache.as_dict(),
+            "plan_cache_size": self.plan_cache_size,
+            "database_version": self.database_version,
+            "statistics_rebuilds": self.statistics_rebuilds,
+        }
+
+
+class QueryService:
+    """Serve (B)SGF queries over one database with plan and statistics caching.
+
+    Parameters
+    ----------
+    database:
+        The database served.  The service assumes it is only mutated through
+        the service's own mutation helpers (or that :meth:`invalidate` is
+        called after any out-of-band change).
+    gumbo:
+        The planner/executor to serve with; a fresh one (with *backend* /
+        *workers* / *options*) is created — and owned, i.e. closed with the
+        service — when omitted.
+    strategy:
+        Default strategy for calls that do not name one (default ``AUTO``).
+    plan_cache_size:
+        Maximum cached plans (0 disables plan caching).
+    max_workers:
+        Thread-pool size for concurrent submissions.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        gumbo: Optional[Gumbo] = None,
+        *,
+        strategy: str = AUTO,
+        plan_cache_size: int = 256,
+        max_workers: int = 4,
+        backend: Union[str, ExecutionBackend, None] = None,
+        workers: Optional[int] = None,
+        options: Optional[GumboOptions] = None,
+    ) -> None:
+        self._owns_gumbo = gumbo is None
+        if gumbo is None:
+            gumbo = Gumbo(options=options, backend=backend, workers=workers)
+        self.gumbo = gumbo
+        self.database = database
+        self.default_strategy = strategy
+        self.plan_cache: LRUCache[PlanKey, PlannedQuery] = LRUCache(plan_cache_size)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, max_workers), thread_name_prefix="repro-service"
+        )
+        self._plan_lock = RLock()
+        self._state_lock = Lock()
+        # The serial backend is pure (every run works on a copy of the
+        # database), so it is safe to run concurrently; other backends share
+        # worker pools and are serialised.
+        self._exec_lock: Optional[Lock] = (
+            None if gumbo.backend.name == SERIAL else Lock()
+        )
+        self._version = 0
+        self._queries_served = 0
+        self._statistics_rebuilds = 0
+        self._estimator: Optional[PlanCostEstimator] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the thread pool down and release an owned Gumbo's backend."""
+        self._pool.shutdown(wait=True)
+        if self._owns_gumbo:
+            self.gumbo.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- fingerprints and cached statistics --------------------------------------
+
+    def fingerprint(self, query: QueryLike) -> str:
+        """The plan-cache fingerprint of *query* over the current database."""
+        return query_fingerprint(Gumbo.as_sgf(query), self.database)
+
+    def estimator(self) -> PlanCostEstimator:
+        """The cached cost estimator (statistics catalog) for this version."""
+        with self._plan_lock:
+            if self._estimator is None:
+                self._estimator = self.gumbo.estimator(self.database)
+                self._statistics_rebuilds += 1
+            return self._estimator
+
+    # -- planning ----------------------------------------------------------------
+
+    def _normalise_strategy(self, strategy: Optional[str]) -> str:
+        name = strategy if strategy is not None else self.default_strategy
+        return normalise_strategy(name)
+
+    def plan(
+        self, query: QueryLike, strategy: Optional[str] = None
+    ) -> Tuple[PlannedQuery, bool]:
+        """The (possibly cached) plan for *query*: ``(planned, was_cached)``."""
+        planned, was_cached, _ = self._plan(query, strategy, self.database)
+        return planned, was_cached
+
+    def _plan(
+        self,
+        query: QueryLike,
+        strategy: Optional[str],
+        database: Database,
+    ) -> Tuple[PlannedQuery, bool, str]:
+        """Plan *query* against *database*: ``(planned, was_cached, fingerprint)``.
+
+        On a miss the query is planned with the cached statistics catalog —
+        through a scratch copy, so the intermediate-size estimates one query
+        registers while planning (whose names may collide with another
+        query's outputs) never pollute the shared catalog — and the result is
+        stored under ``(fingerprint, requested strategy)``.  The *requested*
+        name keys the cache, so ``"auto"`` and an explicit ``"greedy"`` do
+        not collide even when AUTO happens to choose greedy.
+        """
+        requested = self._normalise_strategy(strategy)
+        sgf = Gumbo.as_sgf(query)
+        fingerprint = query_fingerprint(sgf, database)
+        key = (fingerprint, requested)
+        # One lookup per call, under the planning lock: hit/miss counters
+        # stay exact and concurrent misses for the same query plan only
+        # once.  Execution (the expensive part) is never serialised here.
+        with self._plan_lock:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached, True, fingerprint
+            planned = self.gumbo.plan_with(
+                sgf,
+                database,
+                requested,
+                estimator=self.estimator().scratch_copy(),
+            )
+            # Only cache when the served database is still the one this plan
+            # was built for (invalidate() also takes the planning lock, so a
+            # swap can only have happened before we acquired it).
+            if database is self.database:
+                self.plan_cache.put(key, planned)
+        return planned, False, fingerprint
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self, query: QueryLike, strategy: Optional[str] = None
+    ) -> ServiceResult:
+        """Serve one query synchronously (plan from cache when possible).
+
+        The database reference is snapshotted once per request, so a
+        concurrent :meth:`replace_database` never splits one request between
+        two databases: the plan, the execution and the reported fingerprint
+        all refer to the same snapshot.  (In-place mutation of the *current*
+        database while queries are in flight remains the caller's
+        responsibility — route changes through :meth:`mutate`.)
+        """
+        requested = self._normalise_strategy(strategy)
+        database = self.database
+        plan_start = perf_counter()
+        planned, was_cached, fingerprint = self._plan(query, requested, database)
+        plan_s = perf_counter() - plan_start
+        exec_start = perf_counter()
+        if self._exec_lock is not None:
+            with self._exec_lock:
+                result = self._run(planned, database)
+        else:
+            result = self._run(planned, database)
+        exec_s = perf_counter() - exec_start
+        with self._state_lock:
+            self._queries_served += 1
+        return ServiceResult(
+            result=result,
+            fingerprint=fingerprint,
+            requested_strategy=requested,
+            plan_cached=was_cached,
+            plan_s=plan_s,
+            exec_s=exec_s,
+        )
+
+    def _run(self, planned: PlannedQuery, database: Database) -> GumboResult:
+        return self.gumbo.execute_program(
+            planned.query,
+            database,
+            planned.program,
+            strategy=planned.strategy,
+            choice=planned.choice,
+        )
+
+    def submit(
+        self, query: QueryLike, strategy: Optional[str] = None
+    ) -> "Future[ServiceResult]":
+        """Serve one query on the thread pool; returns a future."""
+        return self._pool.submit(self.execute, query, strategy)
+
+    def submit_many(
+        self,
+        queries: Iterable[QueryLike],
+        strategy: Optional[str] = None,
+    ) -> List["Future[ServiceResult]"]:
+        """Submit a batch of queries; futures preserve submission order."""
+        return [self.submit(query, strategy) for query in queries]
+
+    def execute_many(
+        self,
+        queries: Iterable[QueryLike],
+        strategy: Optional[str] = None,
+    ) -> BatchResult:
+        """Submit a batch, wait for every result, and report batch metrics."""
+        start = perf_counter()
+        futures = self.submit_many(queries, strategy)
+        results = tuple(future.result() for future in futures)
+        return BatchResult(results=results, elapsed_s=perf_counter() - start)
+
+    # -- mutation and invalidation ------------------------------------------------
+
+    def invalidate(self) -> int:
+        """Drop cached plans and statistics; returns the number of plans dropped.
+
+        Call after any out-of-band database mutation.  The database version
+        is bumped so stale statistics are never reused.
+        """
+        with self._plan_lock:
+            self._estimator = None
+            with self._state_lock:
+                self._version += 1
+            return self.plan_cache.clear()
+
+    def mutate(self, mutator: Callable[[Database], None]) -> None:
+        """Apply *mutator* to the database, then invalidate the caches."""
+        mutator(self.database)
+        self.invalidate()
+
+    def add_tuples(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
+        """Append facts to a relation (creating it from the rows if needed)."""
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return
+
+        def _apply(database: Database) -> None:
+            existing = database.get(relation)
+            if existing is None:
+                existing = database.ensure_relation(relation, len(rows[0]))
+            for row in rows:
+                existing.add(row)
+
+        self.mutate(_apply)
+
+    def replace_database(self, database: Database) -> None:
+        """Swap the served database and invalidate the caches."""
+        self.database = database
+        self.invalidate()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def database_version(self) -> int:
+        return self._version
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the serving-layer counters."""
+        with self._state_lock:
+            return ServiceStats(
+                queries_served=self._queries_served,
+                plan_cache=CacheStats(**vars(self.plan_cache.stats)),
+                plan_cache_size=len(self.plan_cache),
+                database_version=self._version,
+                statistics_rebuilds=self._statistics_rebuilds,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(relations={len(self.database)}, "
+            f"strategy={self.default_strategy!r}, "
+            f"backend={self.gumbo.backend.name!r}, cache={self.plan_cache!r})"
+        )

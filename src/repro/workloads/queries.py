@@ -48,7 +48,9 @@ def _guard(name: str) -> Atom:
     return Atom(name, _XBAR)
 
 
-def _star_condition(relations: Sequence[str], variables: Sequence[Variable]) -> Condition:
+def _star_condition(
+    relations: Sequence[str], variables: Sequence[Variable]
+) -> Condition:
     return conjunction([_atom(rel, var) for rel, var in zip(relations, variables)])
 
 
@@ -153,11 +155,27 @@ def query_c1() -> SGFQuery:
     """C1 — two independent two-level chains whose leaves share conditionals."""
     return SGFQuery(
         (
-            BSGFQuery("Z1", (_X,), _guard("R"), conjunction([_atom("S", _X), _atom("S", _Y)])),
-            BSGFQuery("Z2", (_X,), _guard("G"), conjunction([_atom("T", _X), _atom("T", _Y)])),
-            BSGFQuery("Z3", (_X,), _guard("H"), conjunction([_atom("U", _X), _atom("U", _Y)])),
-            BSGFQuery("Z4", (_X,), _guard("G"), disjunction([_atom("Z1", _Z), _atom("Z1", _W)])),
-            BSGFQuery("Z5", (_X,), _guard("H"), disjunction([_atom("Z3", _Z), _atom("Z3", _W)])),
+            BSGFQuery(
+                "Z1", (_X,), _guard("R"), conjunction([_atom("S", _X), _atom("S", _Y)])
+            ),
+            BSGFQuery(
+                "Z2", (_X,), _guard("G"), conjunction([_atom("T", _X), _atom("T", _Y)])
+            ),
+            BSGFQuery(
+                "Z3", (_X,), _guard("H"), conjunction([_atom("U", _X), _atom("U", _Y)])
+            ),
+            BSGFQuery(
+                "Z4",
+                (_X,),
+                _guard("G"),
+                disjunction([_atom("Z1", _Z), _atom("Z1", _W)]),
+            ),
+            BSGFQuery(
+                "Z5",
+                (_X,),
+                _guard("H"),
+                disjunction([_atom("Z3", _Z), _atom("Z3", _W)]),
+            ),
         ),
         name="C1",
     )
@@ -167,12 +185,33 @@ def query_c2() -> SGFQuery:
     """C2 — three base subqueries feeding three second-level subqueries."""
     return SGFQuery(
         (
-            BSGFQuery("Z1", (_X,), _guard("R"), conjunction([_atom("S", _X), _atom("S", _Y)])),
-            BSGFQuery("Z2", (_X,), _guard("G"), conjunction([_atom("T", _X), _atom("T", _Y)])),
-            BSGFQuery("Z3", (_X,), _guard("H"), conjunction([_atom("U", _X), _atom("U", _Y)])),
-            BSGFQuery("Z4", (_X,), _guard("G"), conjunction([_atom("Z1", _X), _atom("Z1", _Y)])),
-            BSGFQuery("Z5", (_X,), _guard("H"), conjunction([_atom("Z2", _X), _atom("Z2", _Y)])),
-            BSGFQuery("Z6", (_X,), _guard("R"), conjunction([_atom("Z3", _X), _atom("Z3", _Y)])),
+            BSGFQuery(
+                "Z1", (_X,), _guard("R"), conjunction([_atom("S", _X), _atom("S", _Y)])
+            ),
+            BSGFQuery(
+                "Z2", (_X,), _guard("G"), conjunction([_atom("T", _X), _atom("T", _Y)])
+            ),
+            BSGFQuery(
+                "Z3", (_X,), _guard("H"), conjunction([_atom("U", _X), _atom("U", _Y)])
+            ),
+            BSGFQuery(
+                "Z4",
+                (_X,),
+                _guard("G"),
+                conjunction([_atom("Z1", _X), _atom("Z1", _Y)]),
+            ),
+            BSGFQuery(
+                "Z5",
+                (_X,),
+                _guard("H"),
+                conjunction([_atom("Z2", _X), _atom("Z2", _Y)]),
+            ),
+            BSGFQuery(
+                "Z6",
+                (_X,),
+                _guard("R"),
+                conjunction([_atom("Z3", _X), _atom("Z3", _Y)]),
+            ),
         ),
         name="C2",
     )
@@ -182,21 +221,32 @@ def query_c3() -> SGFQuery:
     """C3 — a complex three-level query with many distinct atoms."""
     return SGFQuery(
         (
-            BSGFQuery("Z11", (_Z,), _guard("R"), conjunction([_atom("S", _X), _atom("T", _Y)])),
+            BSGFQuery(
+                "Z11", (_Z,), _guard("R"), conjunction([_atom("S", _X), _atom("T", _Y)])
+            ),
             BSGFQuery("Z12", (_Z,), _guard("R"), _atom("T", _Y)),
             BSGFQuery("Z13", (_Z,), _guard("I"), Not(_atom("S", _W))),
-            BSGFQuery("Z21", (_Z,), _guard("G"), conjunction([_atom("Z11", _X), _atom("U", _Y)])),
+            BSGFQuery(
+                "Z21",
+                (_Z,),
+                _guard("G"),
+                conjunction([_atom("Z11", _X), _atom("U", _Y)]),
+            ),
             BSGFQuery(
                 "Z22",
                 (_Z,),
                 _guard("H"),
-                conjunction([disjunction([_atom("U", _Y), _atom("V", _Y)]), _atom("Z12", _X)]),
+                conjunction(
+                    [disjunction([_atom("U", _Y), _atom("V", _Y)]), _atom("Z12", _X)]
+                ),
             ),
             BSGFQuery(
                 "Z23",
                 (_Z,),
                 _guard("R"),
-                conjunction([_atom("U", _X), _atom("T", _Y), _atom("V", _Z), _atom("Z13", _W)]),
+                conjunction(
+                    [_atom("U", _X), _atom("T", _Y), _atom("V", _Z), _atom("Z13", _W)]
+                ),
             ),
             BSGFQuery(
                 "Z31",
@@ -213,16 +263,29 @@ def query_c4() -> SGFQuery:
     """C4 — two levels with many overlapping atoms across the first level."""
     return SGFQuery(
         (
-            BSGFQuery("Z11", (_Y,), _guard("R"), disjunction([_atom("S", _X), _atom("T", _Y)])),
-            BSGFQuery("Z12", (_Y,), _guard("R"), disjunction([_atom("U", _Z), _atom("S", _X)])),
-            BSGFQuery("Z13", (_Y,), _guard("G"), disjunction([_atom("U", _X), _atom("V", _Y)])),
-            BSGFQuery("Z14", (_Y,), _guard("G"), disjunction([_atom("S", _Z), _atom("U", _X)])),
+            BSGFQuery(
+                "Z11", (_Y,), _guard("R"), disjunction([_atom("S", _X), _atom("T", _Y)])
+            ),
+            BSGFQuery(
+                "Z12", (_Y,), _guard("R"), disjunction([_atom("U", _Z), _atom("S", _X)])
+            ),
+            BSGFQuery(
+                "Z13", (_Y,), _guard("G"), disjunction([_atom("U", _X), _atom("V", _Y)])
+            ),
+            BSGFQuery(
+                "Z14", (_Y,), _guard("G"), disjunction([_atom("S", _Z), _atom("U", _X)])
+            ),
             BSGFQuery(
                 "Z21",
                 (_Y,),
                 _guard("H"),
                 disjunction(
-                    [_atom("Z11", _X), _atom("Z12", _Y), _atom("Z13", _Z), _atom("Z14", _W)]
+                    [
+                        _atom("Z11", _X),
+                        _atom("Z12", _Y),
+                        _atom("Z13", _Z),
+                        _atom("Z14", _W),
+                    ]
                 ),
             ),
         ),
@@ -257,6 +320,27 @@ def sgf_query(query_id: str) -> SGFQuery:
     if key not in builders:
         raise KeyError(f"unknown SGF query id {query_id!r}")
     return builders[key]()
+
+
+def workload_query(query_id: str) -> SGFQuery:
+    """Any Section 5 workload query (A1–A5, B1–B2, C1–C4) as an SGF query.
+
+    BSGF query *sets* are wrapped into a flat (dependency-free) SGF query, so
+    every workload can be fed uniformly to :class:`~repro.core.gumbo.Gumbo`,
+    the AUTO strategy selector and the query service.
+    """
+    key = query_id.upper()
+    if key in SGF_QUERY_IDS:
+        return sgf_query(key)
+    return SGFQuery(tuple(bsgf_query_set(key)), name=key)
+
+
+def section5_workloads() -> List[Tuple[str, SGFQuery]]:
+    """Every Section 5 workload query, as (identifier, SGF query) pairs."""
+    return [
+        (query_id, workload_query(query_id))
+        for query_id in (*BSGF_QUERY_IDS, *SGF_QUERY_IDS)
+    ]
 
 
 def schema_for(

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
-
-from repro.model.atoms import Atom
 from repro.model.database import Database
 from repro.model.terms import Variable
 from repro.query.bsgf import BSGFQuery

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.baselines.jobs import BaselineCombineJob, BaselineSemiJoinJob, HiveOuterJoinJob
+from repro.baselines.jobs import (
+    BaselineCombineJob,
+    BaselineSemiJoinJob,
+    HiveOuterJoinJob,
+)
 from repro.baselines.plans import (
     BASELINE_STRATEGIES,
     HIVE_INPUT_MB_PER_REDUCER,
@@ -22,7 +26,7 @@ from repro.query.bsgf import SemiJoinSpec
 from repro.query.reference import evaluate_bsgf
 from repro.workloads.queries import bsgf_query_set, database_for
 
-from helpers import as_set, shared_key_query, star_database, star_query
+from helpers import as_set, star_database, star_query
 
 
 @pytest.fixture
@@ -47,7 +51,9 @@ class TestBaselineJobs:
         renamed = SemiJoinSpec("X", spec.guard, spec.conditional, spec.projection)
         result = engine.run_job(BaselineSemiJoinJob("join", renamed), star_database())
         matching = {
-            row for row in star_database()["R"] if any(row[0] == s[0] for s in star_database()["S"])
+            row for row in star_database()["R"] if any(
+                row[0] == s[0] for s in star_database()["S"]
+            )
         }
         assert as_set(result.outputs["X"]) == frozenset(matching)
 

@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import os
-
 import pytest
 
 from repro.cli import build_parser, main
@@ -97,9 +95,7 @@ class TestQueryCommand:
 
 class TestPlanCommand:
     def test_plan_describes_jobs(self, data_dir, capsys):
-        code = main(
-            ["plan", "--query", QUERY, "--data", data_dir, "--strategy", "par"]
-        )
+        code = main(["plan", "--query", QUERY, "--data", data_dir, "--strategy", "par"])
         out = capsys.readouterr().out
         assert code == 0
         assert "MSJJob" in out
@@ -152,9 +148,7 @@ class TestGenerateCommand:
 
 class TestExperimentCommand:
     def test_experiment_figure3(self, capsys):
-        code = main(
-            ["experiment", "figure3", "--scale", "5e-7", "--nodes", "10"]
-        )
+        code = main(["experiment", "figure3", "--scale", "5e-7", "--nodes", "10"])
         out = capsys.readouterr().out
         assert code == 0
         assert "Figure 3" in out
@@ -165,3 +159,77 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "selectivity" in out
+
+
+class TestAutoCommand:
+    def test_auto_prints_costs_and_winner(self, capsys):
+        code = main(["auto", "A3", "--guard-tuples", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AUTO chose" in out
+        # Every applicable BSGF strategy shows up with a cost.
+        for name in ("seq", "par", "greedy", "1-round"):
+            assert name in out
+
+    def test_auto_show_plan(self, capsys):
+        code = main(["auto", "A1", "--guard-tuples", "200", "--show-plan"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MR program" in out
+
+    def test_query_strategy_auto(self, data_dir, capsys):
+        code = main(
+            ["query", "--query", QUERY, "--data", data_dir, "--strategy", "auto"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Z: 3 tuples" in out
+
+
+class TestServeCommand:
+    def test_serve_reports_cache_and_verifies(self, capsys):
+        code = main(
+            (
+                "serve",
+                "--query-ids",
+                "A1,A3",
+                "--requests",
+                "8",
+                "--clients",
+                "2",
+                "--guard-tuples",
+                "150",
+                "--verify",
+            )
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan-cache hit rate" in out
+        assert "all match" in out
+
+    def test_serve_mixed_nested_workloads(self, capsys):
+        # C1 and C2 reuse output names (Z1..Z5); queries are served
+        # independently so the shared names must not interfere.
+        code = main(
+            (
+                "serve",
+                "--query-ids",
+                "C1,C2",
+                "--requests",
+                "4",
+                "--clients",
+                "2",
+                "--guard-tuples",
+                "80",
+                "--strategy",
+                "greedy",
+                "--verify",
+            )
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all match" in out
+
+    def test_serve_rejects_empty_ids(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--query-ids", " , ", "--requests", "2"])

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.chain import Literal, SemiJoinChainJob, UnionProjectJob, to_dnf
-from repro.core.options import GumboOptions
 from repro.core.plan import (
     BasicPlan,
     build_one_round_program,
@@ -16,7 +15,7 @@ from repro.mapreduce.engine import MapReduceEngine
 from repro.model.atoms import Atom
 from repro.model.database import Database
 from repro.model.terms import Variable
-from repro.query.conditions import TRUE, And, AtomCondition, Not, Or, atom
+from repro.query.conditions import TRUE, And, Not, Or, atom
 from repro.query.parser import parse_bsgf
 from repro.query.reference import evaluate_bsgf
 

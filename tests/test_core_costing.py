@@ -61,8 +61,12 @@ class TestMSJEstimates:
 
     def test_tuple_reference_lowers_estimated_output(self, catalog):
         spec = star_query().semijoin_specs()[0]
-        with_ref = PlanCostEstimator(catalog, options=GumboOptions(tuple_reference=True))
-        without_ref = PlanCostEstimator(catalog, options=GumboOptions(tuple_reference=False))
+        with_ref = PlanCostEstimator(
+            catalog, options=GumboOptions(tuple_reference=True)
+        )
+        without_ref = PlanCostEstimator(
+            catalog, options=GumboOptions(tuple_reference=False)
+        )
         assert with_ref.semijoin_output_mb(spec) < without_ref.semijoin_output_mb(spec)
 
     def test_estimated_intermediate_tracks_execution(self):
@@ -107,7 +111,9 @@ class TestEvalAndProgramEstimates:
         query = star_query()
         specs = query.semijoin_specs()
         groups = [[s] for s in specs]
-        assert estimator.basic_program_cost([query], groups) > estimator.separate_cost(specs)
+        assert estimator.basic_program_cost([query], groups) > estimator.separate_cost(
+            specs
+        )
 
     def test_one_round_estimate_cheaper_than_two_round(self, estimator):
         query = shared_key_query()

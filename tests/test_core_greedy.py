@@ -24,7 +24,7 @@ from repro.core.greedy_sgf import (
 from repro.core.options import GumboOptions
 from repro.cost.estimates import StatisticsCatalog
 from repro.query.dependency import DependencyGraph
-from repro.workloads.queries import database_for, query_a1, query_a4, sgf_query
+from repro.workloads.queries import database_for, query_a4, sgf_query
 
 from helpers import star_database, star_query
 
@@ -46,7 +46,9 @@ def estimator():
 
 
 class TestSetPartitions:
-    @pytest.mark.parametrize("n, expected", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52)])
+    @pytest.mark.parametrize(
+        "n, expected", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]
+    )
     def test_counts_are_bell_numbers(self, n, expected):
         assert expected == _bell(n)
         assert len(list(set_partitions(list(range(n))))) == expected

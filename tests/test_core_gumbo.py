@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.core.gumbo import Gumbo, GumboResult
+from repro.core.gumbo import Gumbo
 from repro.core.options import GumboOptions
 from repro.cost.models import GumboCostModel, WangCostModel
 from repro.mapreduce.engine import MapReduceEngine
-from repro.query.parser import parse_bsgf, parse_sgf
+from repro.query.parser import parse_bsgf
 from repro.query.reference import evaluate_bsgf, evaluate_sgf
 from repro.query.sgf import SGFQuery
 

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core.costing import PlanCostEstimator
-from repro.core.greedy_bsgf import greedy_partition
-from repro.core.greedy_sgf import greedy_multiway_sort, optimal_multiway_sort, sort_cost
+from repro.core.greedy_sgf import optimal_multiway_sort, sort_cost
 from repro.core.hardness import (
     SPECIAL,
     SubsetCostInstance,
@@ -75,9 +74,7 @@ class TestSGFReduction:
     def test_pair_cost_is_additive(self, reduction):
         estimator = self._estimator(reduction)
         graph = DependencyGraph(reduction.query)
-        cost = sgf_group_cost(
-            [graph.subquery("f1"), graph.subquery("f2")], estimator
-        )
+        cost = sgf_group_cost([graph.subquery("f1"), graph.subquery("f2")], estimator)
         assert cost == pytest.approx(sum(reduction.items), rel=0.02)
 
     def test_grouping_with_fcirc_costs_gamma(self, reduction):

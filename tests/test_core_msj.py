@@ -214,7 +214,11 @@ class TestOptimisationEffects:
             for i, rel in enumerate(["S", "T", "U", "V"])
         ]
         engine = MapReduceEngine()
-        packed = engine.run_job(MSJJob("p", specs, GumboOptions(message_packing=True)), db)
-        plain = engine.run_job(MSJJob("q", specs, GumboOptions(message_packing=False)), db)
+        packed = engine.run_job(
+            MSJJob("p", specs, GumboOptions(message_packing=True)), db
+        )
+        plain = engine.run_job(
+            MSJJob("q", specs, GumboOptions(message_packing=False)), db
+        )
         for name in packed.outputs:
             assert set(packed.outputs[name]) == set(plain.outputs[name])

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.dynamic import DynamicSGFExecutor
 from repro.core.msj import MSJJob
-from repro.core.options import GumboOptions
 from repro.core.skew import (
     HeavyHitterReport,
     SkewAwareMSJJob,
@@ -101,7 +100,6 @@ class TestSkewAwareMSJ:
         )
 
     def test_salt_factor_one_behaves_like_plain(self):
-        db = skewed_database()
         specs = skewed_query().semijoin_specs()
         job = SkewAwareMSJJob("salted", specs, heavy_keys=[(7,)], salt_factor=1)
         pairs = list(job.map("R", (7, 1)))

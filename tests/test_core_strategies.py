@@ -15,8 +15,6 @@ from repro.core.strategies import (
 )
 from repro.cost.estimates import StatisticsCatalog
 from repro.mapreduce.engine import MapReduceEngine
-from repro.query.dependency import DependencyGraph
-from repro.query.parser import parse_sgf
 from repro.query.reference import evaluate_bsgf, evaluate_sgf
 from repro.workloads.queries import bsgf_query_set, database_for, sgf_query
 
@@ -33,7 +31,9 @@ from helpers import (
 
 
 def estimator_for(db):
-    return PlanCostEstimator(StatisticsCatalog(db, sample_size=200), options=GumboOptions())
+    return PlanCostEstimator(
+        StatisticsCatalog(db, sample_size=200), options=GumboOptions()
+    )
 
 
 class TestBSGFStrategies:

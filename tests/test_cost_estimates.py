@@ -107,7 +107,9 @@ class TestSelectivity:
     def test_selectivity_zero_when_nothing_conforms(self, db):
         catalog = StatisticsCatalog(db)
         conditional = Atom("S", (Constant("never"),))
-        assert catalog.semijoin_selectivity(Atom.of("R", "x", "y"), conditional) in (0.0, 1.0)
+        assert catalog.semijoin_selectivity(Atom.of("R", "x", "y"), conditional) in (
+            0.0, 1.0
+        )
 
     def test_selectivity_disjoint_variables_upper_bound(self, db):
         catalog = StatisticsCatalog(db)

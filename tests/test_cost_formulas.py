@@ -41,16 +41,22 @@ class TestMergePasses:
 
 class TestMapCost:
     def test_small_partition_has_no_merge_cost(self):
-        partition = MapPartition(input_mb=100, intermediate_mb=100, records=10, mappers=1)
+        partition = MapPartition(
+            input_mb=100, intermediate_mb=100, records=10, mappers=1
+        )
         expected = C.hdfs_read * 100 + C.local_write * 100
         assert map_cost(partition, C) == pytest.approx(expected)
 
     def test_metadata_is_16_bytes_per_record(self):
-        partition = MapPartition(input_mb=0, intermediate_mb=0, records=1024 * 1024, mappers=1)
+        partition = MapPartition(
+            input_mb=0, intermediate_mb=0, records=1024 * 1024, mappers=1
+        )
         assert partition.metadata_mb == pytest.approx(16.0)
 
     def test_large_partition_pays_merge_cost(self):
-        partition = MapPartition(input_mb=128, intermediate_mb=1000, records=0, mappers=1)
+        partition = MapPartition(
+            input_mb=128, intermediate_mb=1000, records=0, mappers=1
+        )
         base = C.hdfs_read * 128 + C.local_write * 1000
         assert map_cost(partition, C) > base
 
@@ -67,7 +73,9 @@ class TestMapCost:
 
 class TestAggregationModes:
     def test_equal_for_single_partition(self):
-        partitions = [MapPartition(input_mb=50, intermediate_mb=70, records=5, mappers=1)]
+        partitions = [
+            MapPartition(input_mb=50, intermediate_mb=70, records=5, mappers=1)
+        ]
         assert map_cost_per_partition(partitions, C) == pytest.approx(
             map_cost_aggregated(partitions, C)
         )

@@ -4,9 +4,9 @@ import os
 import subprocess
 import sys
 
-import pytest
-
-EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
 SRC_DIR = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
 
 

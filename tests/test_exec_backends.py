@@ -203,9 +203,7 @@ class TestSkewPathParity:
     def test_skew_aware_msj_job(self, serial_backend, parallel_backend):
         # A heavily skewed guard: most rows share join key 1.
         rows = [(1, i) for i in range(120)] + [(i, i) for i in range(2, 30)]
-        database = Database.from_dict(
-            {"R": rows, "S": [(1,), (5,), (7,)]}
-        )
+        database = Database.from_dict({"R": rows, "S": [(1,), (5,), (7,)]})
         query = parse_bsgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
         specs = query.semijoin_specs()
         catalog = StatisticsCatalog(database, sample_size=200)

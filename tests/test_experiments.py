@@ -139,7 +139,9 @@ class TestFigureDrivers:
 
     def test_figure3_shape(self):
         result = run_figure3(
-            TINY, query_ids=("A1",), strategies=("seq", "par", "greedy"),
+            TINY,
+            query_ids=("A1",),
+            strategies=("seq", "par", "greedy"),
             include_one_round=False,
         )
         seq = result.record("A1", "seq")
@@ -161,7 +163,9 @@ class TestFigureDrivers:
 
     def test_figure4_shape(self):
         result = run_figure4(
-            TINY, query_ids=("B1",), strategies=("seq", "par", "greedy"),
+            TINY,
+            query_ids=("B1",),
+            strategies=("seq", "par", "greedy"),
             include_one_round=False,
         )
         seq = result.record("B1", "seq")
@@ -228,7 +232,9 @@ class TestFigureDrivers:
 
     def test_table3_selectivity(self):
         result = run_table3(
-            TINY, query_ids=("A3",), strategies=("seq", "greedy"),
+            TINY,
+            query_ids=("A3",),
+            strategies=("seq", "greedy"),
             selectivities=(0.1, 0.9),
         )
         rows = selectivity_increases(result)
@@ -238,8 +244,11 @@ class TestFigureDrivers:
 
     def test_cost_model_experiment(self):
         comparison = run_cost_model_experiment(
-            SMALL, include_ranking=False, include_estimation_error=True,
-            groups=2, keys=4,
+            SMALL,
+            include_ranking=False,
+            include_estimation_error=True,
+            groups=2,
+            keys=4,
         )
         errors = comparison.estimation_error
         assert set(errors) == {"gumbo", "wang"}

@@ -154,9 +154,7 @@ def test_degenerate_profile_can_produce_multi_tuple_relations():
 def test_shrinker_converges_to_floor_under_always_true_predicate():
     """With an always-true predicate the shrinker reaches the minimal case."""
     case = generate_case(5, 2, FuzzConfig(max_statements=6))
-    program, database = shrink_case(
-        case.program, case.database, lambda p, d: True
-    )
+    program, database = shrink_case(case.program, case.database, lambda p, d: True)
     assert len(program) == 1
     assert program[0].condition is TRUE
     assert sum(len(relation) for relation in database) == 0
@@ -195,7 +193,9 @@ def test_corrupted_partition_strategy_is_detected_and_shrunk(monkeypatch):
     monkeypatch.setattr(strategies, "singleton_partition", corrupted)
     report = run_fuzz(
         FuzzOptions(
-            seed=3, iterations=20, config=FuzzConfig(max_statements=1),
+            seed=3,
+            iterations=20,
+            config=FuzzConfig(max_statements=1),
             backends=("serial",),
         )
     )
@@ -211,9 +211,7 @@ def test_corrupted_partition_strategy_is_detected_and_shrunk(monkeypatch):
 
 def test_corrupted_one_round_job_is_isolated_to_that_strategy(monkeypatch):
     """A fused job that swallows outputs diverges on 1-ROUND and nowhere else."""
-    monkeypatch.setattr(
-        FusedOneRoundJob, "reduce", lambda self, key, values: iter(())
-    )
+    monkeypatch.setattr(FusedOneRoundJob, "reduce", lambda self, key, values: iter(()))
     program = parse_sgf("Z := SELECT (x) FROM R(x, y) WHERE S(x);")
     database = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)]})
     with DifferentialOracle(backends=("serial",)) as oracle:
@@ -242,7 +240,9 @@ def test_repro_script_is_executable_python(monkeypatch, tmp_path):
     monkeypatch.setattr(strategies, "singleton_partition", lambda s: real(s)[:-1])
     report = run_fuzz(
         FuzzOptions(
-            seed=3, iterations=10, config=FuzzConfig(max_statements=1),
+            seed=3,
+            iterations=10,
+            config=FuzzConfig(max_statements=1),
             backends=("serial",),
         )
     )

@@ -45,7 +45,9 @@ class TestBSGFWorkloads:
     def test_selectivity_extremes_still_correct(self):
         queries = bsgf_query_set("A1")
         for selectivity in (0.0, 1.0):
-            db = database_for(queries, guard_tuples=80, selectivity=selectivity, seed=23)
+            db = database_for(
+                queries, guard_tuples=80, selectivity=selectivity, seed=23
+            )
             result = gumbo().execute(queries, db, "greedy")
             reference = evaluate_bsgf(queries[0], db)
             assert as_set(result.output()) == as_set(reference)

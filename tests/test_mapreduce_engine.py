@@ -66,9 +66,7 @@ def engine():
 class TestRunJob:
     def test_wordcount_results(self, engine):
         db = Database.from_dict({"Words": [(w, i) for i, w in enumerate("aabca")]})
-        job = WordCountJob()
-        job_for_unary = WordCountJob()
-        result = engine.run_job(job_for_unary, db)
+        result = engine.run_job(WordCountJob(), db)
         counts = dict(result.outputs["Counts"].tuples())
         assert counts == {"a": 3, "b": 1, "c": 1}
 

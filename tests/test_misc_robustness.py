@@ -101,7 +101,9 @@ class TestQueryEdgeCases:
         db = Database.from_dict({"R": [(1,), (2,)], "Flag": [("on",)]})
         query = parse_bsgf('Z := SELECT x FROM R(x) WHERE Flag("on");')
         result = Gumbo().execute(query, db, "par")
-        assert as_set(result.output()) == as_set(evaluate_bsgf(query, db)) == {(1,), (2,)}
+        assert as_set(result.output()) == as_set(evaluate_bsgf(query, db)) == {
+            (1,), (2,)
+        }
 
         db_without = Database.from_dict({"R": [(1,), (2,)], "Flag": [("off",)]})
         result_without = Gumbo().execute(query, db_without, "par")
@@ -140,7 +142,5 @@ class TestQueryEdgeCases:
         rows = [(1, i) for i in range(500)]
         db = Database.from_dict({"R": rows, "S": [(1,)]})
         query = parse_bsgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
-        result = MapReduceEngine().run_program(
-            Gumbo().plan(query, db, "1-round"), db
-        )
+        result = MapReduceEngine().run_program(Gumbo().plan(query, db, "1-round"), db)
         assert len(result.outputs["Z"]) == 500

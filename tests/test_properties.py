@@ -16,7 +16,7 @@ from repro.model.database import Database
 from repro.model.relation import Relation
 from repro.model.terms import Constant, Variable
 from repro.query.bsgf import BSGFQuery
-from repro.query.conditions import And, AtomCondition, Condition, Not, Or
+from repro.query.conditions import And, AtomCondition, Not, Or
 from repro.query.dependency import DependencyGraph
 from repro.query.parser import parse_bsgf
 from repro.query.reference import evaluate_bsgf, evaluate_semijoin
@@ -105,7 +105,10 @@ def conditions(draw, depth=3):
 @given(conditions(), st.sets(st.integers(min_value=0, max_value=3)))
 def test_double_negation_preserves_evaluation(condition, true_indices):
     ordered = condition.atoms()
-    assignment = lambda a: ordered.index(a) in true_indices
+
+    def assignment(a):
+        return ordered.index(a) in true_indices
+
     assert condition.evaluate(assignment) == Not(Not(condition)).evaluate(assignment)
 
 
@@ -132,7 +135,10 @@ def test_condition_str_reparses_equivalently(condition):
     assert reparsed.atoms() == ordered
     for mask in range(2 ** min(len(ordered), 4)):
         true_atoms = {a for i, a in enumerate(ordered) if mask & (1 << i)}
-        assignment = lambda a: a in true_atoms
+
+        def assignment(a, true_atoms=true_atoms):
+            return a in true_atoms
+
         assert condition.evaluate(assignment) == reparsed.evaluate(assignment)
 
 
@@ -214,7 +220,9 @@ def test_msj_matches_reference_on_random_databases(r_rows, s_rows, t_rows):
 
 @FAST
 @given(conditions(depth=2), rows2, rows1, rows1)
-def test_parallel_and_sequential_plans_match_reference(condition, r_rows, s_rows, t_rows):
+def test_parallel_and_sequential_plans_match_reference(
+    condition, r_rows, s_rows, t_rows
+):
     db = Database()
     db.add_relation(Relation.from_tuples("R", r_rows, arity=2))
     db.add_relation(Relation.from_tuples("S", s_rows, arity=1))
@@ -225,13 +233,15 @@ def test_parallel_and_sequential_plans_match_reference(condition, r_rows, s_rows
     reference = frozenset(evaluate_bsgf(query, db).tuples())
 
     engine = MapReduceEngine()
-    two_round = build_two_round_program(
-        [query], [[s] for s in query.semijoin_specs()]
-    )
-    assert frozenset(engine.run_program(two_round, db).outputs["Z"].tuples()) == reference
+    two_round = build_two_round_program([query], [[s] for s in query.semijoin_specs()])
+    assert frozenset(
+        engine.run_program(two_round, db).outputs["Z"].tuples()
+    ) == reference
 
     sequential = build_sequential_program(query)
-    assert frozenset(engine.run_program(sequential, db).outputs["Z"].tuples()) == reference
+    assert frozenset(
+        engine.run_program(sequential, db).outputs["Z"].tuples()
+    ) == reference
 
 
 # -- dependency graphs -------------------------------------------------------------------------
@@ -245,7 +255,9 @@ def random_sgf_queries(draw):
     for index in range(count):
         candidates = ["R", "G"] + [f"Z{j}" for j in range(index)]
         guard_name = draw(st.sampled_from(candidates))
-        conditional_name = draw(st.sampled_from(["S", "T", "U"] + [f"Z{j}" for j in range(index)]))
+        conditional_name = draw(
+            st.sampled_from(["S", "T", "U"] + [f"Z{j}" for j in range(index)])
+        )
         subqueries.append(
             BSGFQuery(
                 f"Z{index}",

@@ -42,7 +42,9 @@ class TestValidation:
     def test_example_query_from_introduction(self):
         # SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z)
         condition = And(
-            AtomCondition(Atom.of("S", "x", "y")) | AtomCondition(Atom.of("S", "y", "x")),
+            AtomCondition(Atom.of("S", "x", "y")) | AtomCondition(
+                Atom.of("S", "y", "x")
+            ),
             AtomCondition(Atom.of("T", "x", "z")),
         )
         query = make_query(condition)

@@ -1,7 +1,5 @@
 """Unit tests for repro.query.conditions."""
 
-import pytest
-
 from repro.model.atoms import Atom
 from repro.query.conditions import (
     TRUE,
@@ -93,7 +91,9 @@ class TestStructure:
 
     def test_map_atoms_substitution(self):
         cond = And(S_X, Not(T_Y))
-        replaced = cond.map_atoms(lambda a: AtomCondition(Atom("X_" + a.relation, a.terms)))
+        replaced = cond.map_atoms(
+            lambda a: AtomCondition(Atom("X_" + a.relation, a.terms))
+        )
         names = {a.relation for a in replaced.atoms()}
         assert names == {"X_S", "X_T"}
 

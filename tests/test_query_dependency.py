@@ -13,7 +13,9 @@ X, Y = Variable("x"), Variable("y")
 
 
 def bsgf(output, guard_name, cond_name):
-    return BSGFQuery(output, (X, Y), Atom.of(guard_name, "x", "y"), atom(cond_name, "x"))
+    return BSGFQuery(
+        output, (X, Y), Atom.of(guard_name, "x", "y"), atom(cond_name, "x")
+    )
 
 
 def example5_query() -> SGFQuery:
@@ -94,9 +96,7 @@ class TestMultiwaySorts:
         )
 
     def test_validity_rejects_edge_within_group(self, graph):
-        assert not graph.is_valid_multiway_sort(
-            [["Q1", "Q2"], ["Q3", "Q4"], ["Q5"]]
-        )
+        assert not graph.is_valid_multiway_sort([["Q1", "Q2"], ["Q3", "Q4"], ["Q5"]])
 
     def test_validity_rejects_edge_going_backwards(self, graph):
         assert not graph.is_valid_multiway_sort(

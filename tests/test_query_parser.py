@@ -4,7 +4,7 @@ import pytest
 
 from repro.model.atoms import Atom
 from repro.model.terms import Constant, Variable
-from repro.query.conditions import And, AtomCondition, Not, Or
+from repro.query.conditions import And, Not, Or
 from repro.query.parser import (
     ParseError,
     parse_atom,

@@ -4,9 +4,8 @@ import pytest
 
 from repro.model.atoms import Atom
 from repro.model.database import Database
-from repro.model.terms import Constant, Variable
+from repro.model.terms import Variable
 from repro.query.bsgf import BSGFQuery
-from repro.query.conditions import And, AtomCondition, Not, Or, atom
 from repro.query.parser import parse_bsgf, parse_sgf
 from repro.query.reference import (
     evaluate_bsgf,
@@ -26,9 +25,7 @@ class TestExampleOne:
 
     @pytest.fixture
     def db(self):
-        return Database.from_dict(
-            {"R": [(1,), (2,), (3,)], "S": [(2,), (3,), (4,)]}
-        )
+        return Database.from_dict({"R": [(1,), (2,), (3,)], "S": [(2,), (3,), (4,)]})
 
     def test_intersection(self, db):
         query = parse_bsgf("Z1 := SELECT x FROM R(x) WHERE S(x);")

@@ -12,7 +12,9 @@ X, Y = Variable("x"), Variable("y")
 
 
 def bsgf(output, guard_name, cond_name=None, cond_vars=("x",)):
-    condition = atom(cond_name, *cond_vars) if cond_name else AtomCondition(Atom.of("S", "x"))
+    condition = atom(cond_name, *cond_vars) if cond_name else AtomCondition(
+        Atom.of("S", "x")
+    )
     return BSGFQuery(output, (X, Y), Atom.of(guard_name, "x", "y"), condition)
 
 

@@ -1,8 +1,6 @@
 """Tests for the workload generators, experiment queries and scaled environment."""
 
 import pytest
-
-from repro.model.database import Database
 from repro.query.reference import evaluate_bsgf
 from repro.query.sgf import SGFQuery
 from repro.workloads.generator import (
