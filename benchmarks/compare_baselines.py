@@ -1,0 +1,125 @@
+"""Compare emitted benchmark JSON artifacts against committed baselines.
+
+The ``bench-regression`` CI job runs the benchmark suites (which emit
+``BENCH_service.json`` / ``BENCH_incremental.json``) and then this script,
+which fails the build when any gated metric regresses more than the
+tolerance below its committed floor in ``benchmarks/baselines/*.json``.
+
+Every gated metric is **higher-is-better**; a baseline file has the shape::
+
+    {"artifact": "BENCH_service.json", "metrics": {"plan_cache_speedup": 30.0}}
+
+Usage::
+
+    python benchmarks/compare_baselines.py \
+        --baseline-dir benchmarks/baselines --tolerance 0.30
+
+Exit code 0 when every metric clears ``baseline * (1 - tolerance)``, 1
+otherwise (and 2 for missing/garbled files — a broken gate must not pass
+silently).  Baselines are deliberately conservative floors, not last-run
+snapshots: update them in the same PR as the change that moved them (see
+README, "Benchmark baselines").  Commits whose message contains
+``[bench-skip]`` skip the CI job entirely (the escape hatch for known-noisy
+infrastructure changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+
+def compare(baseline_dir: str, artifact_dir: str, tolerance: float) -> int:
+    baselines = sorted(
+        name for name in os.listdir(baseline_dir) if name.endswith(".json")
+    )
+    if not baselines:
+        print(f"error: no baseline files in {baseline_dir}", file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    rows: List[str] = []
+    for name in baselines:
+        path = os.path.join(baseline_dir, name)
+        try:
+            with open(path) as handle:
+                baseline = json.load(handle)
+            artifact_path = os.path.join(artifact_dir, baseline["artifact"])
+            metrics = baseline["metrics"]
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"error: unreadable baseline {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            with open(artifact_path) as handle:
+                current = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: missing/garbled artifact {artifact_path} "
+                f"(did the benchmark run?): {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        for metric, floor in sorted(metrics.items()):
+            value = current.get(metric)
+            if value is None:
+                failures.append(f"{baseline['artifact']}: metric {metric!r} missing")
+                continue
+            gate = floor * (1.0 - tolerance)
+            status = "ok" if value >= gate else "REGRESSION"
+            rows.append(
+                f"  {baseline['artifact']:<24} {metric:<24} "
+                f"{value:>12.3f}  floor {floor:>10.3f}  gate {gate:>10.3f}  "
+                f"{status}"
+            )
+            if value < gate:
+                failures.append(
+                    f"{baseline['artifact']}: {metric} = {value:.3f} is more "
+                    f"than {tolerance:.0%} below the committed floor "
+                    f"{floor:.3f} (gate {gate:.3f})"
+                )
+    print(f"benchmark regression gate (tolerance {tolerance:.0%}):")
+    for row in rows:
+        print(row)
+    if failures:
+        print()
+        print("FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print()
+        print(
+            "If this movement is expected, update benchmarks/baselines/ in "
+            "this PR (see README, 'Benchmark baselines'); for known-noisy "
+            "infrastructure commits use the [bench-skip] commit-message "
+            "escape hatch."
+        )
+        return 1
+    print("all gated metrics clear their floors")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="directory of committed baseline JSON files",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=".",
+        help="directory the benchmarks wrote their BENCH_*.json into",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fraction below the committed floor (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    return compare(args.baseline_dir, args.artifact_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

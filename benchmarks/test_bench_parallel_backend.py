@@ -83,7 +83,10 @@ def test_bench_parallel_backend_speedup(capsys):
                 f"{label:<14} {metrics.total_time:>10.1f} "
                 f"{metrics.net_time:>10.1f} {metrics.wall_elapsed_s:>10.3f}"
             )
-        print(f"wall-clock speedup parallel[{PARALLEL_WORKERS}] vs parallel[1]: {speedup:.2f}x")
+        print(
+            f"wall-clock speedup parallel[{PARALLEL_WORKERS}] "
+            f"vs parallel[1]: {speedup:.2f}x"
+        )
 
     # Byte-identical results on every backend and worker count.
     for result in (single, many):
@@ -110,7 +113,9 @@ def test_bench_parallel_backend_speedup(capsys):
         else cpus >= 4 and DEFAULT_TUPLES >= 8_000
     )
     if strict:
-        assert speedup >= 1.5, f"expected >= 1.5x speedup on {cpus} CPUs, got {speedup:.2f}x"
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup on {cpus} CPUs, got {speedup:.2f}x"
+        )
     # On a single core (or a deliberately small workload) there is nothing to
     # parallelise over; the measurement is still recorded above so the
     # speedup curve has its baseline point.

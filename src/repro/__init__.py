@@ -41,6 +41,7 @@ from .cost.constants import CostConstants, HadoopSettings
 from .cost.models import GumboCostModel, WangCostModel
 from .exec import ExecutionBackend, ParallelBackend, SimulatedBackend, make_backend
 from .fuzz import DifferentialOracle, FuzzConfig, FuzzOptions, run_fuzz
+from .incremental import DeltaResult, IncrementalError, Materialization
 from .io import load_database, load_relation, save_database, save_relation
 from .mapreduce.cluster import ClusterConfig
 from .mapreduce.engine import MapReduceEngine
@@ -65,8 +66,11 @@ __all__ = [
     "Constant",
     "CostConstants",
     "Database",
+    "DeltaResult",
     "DifferentialOracle",
     "DynamicSGFExecutor",
+    "IncrementalError",
+    "Materialization",
     "ExecutionBackend",
     "Fact",
     "FuzzConfig",

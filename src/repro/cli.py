@@ -43,13 +43,23 @@ Eight subcommands are provided (``python -m repro <command> --help``):
     applicable strategy on every selected backend (plus the dynamic
     executor).  Divergences are shrunk to minimal counterexamples and
     printed as standalone repro scripts; the exit code is non-zero when any
-    divergence was found.
+    divergence was found.  ``--incremental`` switches to the incremental
+    oracle: every case additionally gets a random insert batch, and the
+    incremental refresh of every strategy × backend must equal a full
+    recompute.
+
+``delta``
+    Incremental delta evaluation, head to head: materialize a paper workload
+    query, apply a small insert batch incrementally, and compare the refresh
+    time against a full re-execution (statistics + planning + run) — while
+    verifying the refreshed output matches the recomputed one exactly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .core.gumbo import Gumbo
@@ -216,6 +226,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also check every served answer against a direct Gumbo execution",
     )
+    serve.add_argument(
+        "--incremental",
+        action="store_true",
+        help="materialize the served queries, apply an insert batch with "
+        "incremental delta refresh (instead of invalidating), and serve the "
+        "stream again from the refreshed materializations",
+    )
+    serve.add_argument(
+        "--insert-tuples",
+        type=int,
+        default=16,
+        help="tuples inserted by the --incremental mutation batch (default 16)",
+    )
+
+    delta = subparsers.add_parser(
+        "delta", help="incremental delta refresh vs full re-execution"
+    )
+    delta.add_argument(
+        "--query-id", default="A3", help="paper workload (A1-A5, B1-B2, C1-C4)"
+    )
+    delta.add_argument("--guard-tuples", type=int, default=4_000)
+    delta.add_argument("--selectivity", type=float, default=0.5)
+    delta.add_argument("--seed", type=int, default=0)
+    delta.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    delta.add_argument(
+        "--strategy",
+        default="auto",
+        help="strategy for the materialized run and the recompute (default auto)",
+    )
+    delta.add_argument(
+        "--backend",
+        default="serial",
+        choices=list(BACKEND_NAMES),
+        help="execution backend for both paths (default serial)",
+    )
+    delta.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel-backend worker processes (default: CPU count)",
+    )
+    delta.add_argument(
+        "--insert-fraction",
+        type=float,
+        default=0.01,
+        help="insert batch size as a fraction of the guard relation "
+        "(default 0.01 = 1%%)",
+    )
+    delta.add_argument(
+        "--mode",
+        default="engine",
+        choices=["engine", "direct"],
+        help="refresh mode: restricted MR programs on the backend (engine) "
+        "or the maintained indexes (direct)",
+    )
 
     fuzz = subparsers.add_parser(
         "fuzz", help="differential-fuzz the strategies and backends"
@@ -273,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going",
         action="store_true",
         help="continue the campaign after the first divergence",
+    )
+    fuzz.add_argument(
+        "--incremental",
+        action="store_true",
+        help="incremental oracle mode: apply a random insert batch per case "
+        "and require incremental refresh == full recompute for every "
+        "strategy x backend (plus the direct index mode)",
     )
     fuzz.add_argument(
         "--artifact",
@@ -347,7 +419,10 @@ def _gumbo_for(args: argparse.Namespace) -> Gumbo:
 
 
 def _describe_program(program) -> str:
-    lines = [f"MR program {program.name!r}: {len(program)} jobs, {program.rounds()} rounds"]
+    lines = [
+        f"MR program {program.name!r}: {len(program)} jobs, "
+        f"{program.rounds()} rounds"
+    ]
     for level_index, level in enumerate(program.levels()):
         for job in level:
             inputs = ", ".join(job.input_relations())
@@ -478,7 +553,10 @@ def _command_bench(args: argparse.Namespace) -> int:
         and result.summary() == reference.summary()
         for _, result in runs[1:]
     )
-    print(f"outputs and simulated metrics identical across backends: {'yes' if identical else 'NO'}")
+    print(
+        f"outputs and simulated metrics identical across backends: "
+        f"{'yes' if identical else 'NO'}"
+    )
     return 0 if identical else 1
 
 
@@ -538,6 +616,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     requests = [queries[i % len(queries)] for i in range(args.requests)]
     environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
     gumbo = Gumbo(engine=environment.engine())
+    incremental_report: List[str] = []
     with QueryService(
         database,
         gumbo,
@@ -545,7 +624,60 @@ def _command_serve(args: argparse.Namespace) -> int:
         plan_cache_size=args.plan_cache,
         max_workers=args.clients,
     ) as service:
+        if args.incremental:
+            for query in queries:
+                service.materialize(query)
         batch = service.execute_many(requests)
+        if args.incremental:
+            guard_name = queries[0].subqueries[0].guard.relation
+            guard_relation = database[guard_name]
+            ceiling = 1 + max(
+                (
+                    v
+                    for row in guard_relation.sorted_tuples()
+                    for v in row
+                    if isinstance(v, int)
+                ),
+                default=0,
+            )
+            arity = guard_relation.arity
+            rows = [
+                tuple(ceiling + i * arity + j for j in range(arity))
+                for i in range(max(1, args.insert_tuples))
+            ]
+            refresh_start = perf_counter()
+            deltas = service.add_tuples(guard_name, rows, incremental=True)
+            refresh_s = perf_counter() - refresh_start
+            rerun = service.execute_many(requests)
+            verified = all(
+                frozenset(result.result.output().tuples())
+                == frozenset(
+                    gumbo.execute(query, service.database, result.strategy)
+                    .output()
+                    .tuples()
+                )
+                for query, result in zip(requests[: len(queries)], rerun.results)
+            )
+            verdict = (
+                "refreshed results match direct execution"
+                if verified
+                else "MISMATCH"
+            )
+            incremental_report = [
+                f"  insert batch:        {len(rows)} tuples into {guard_name} "
+                f"(incremental, no invalidation)",
+                f"  delta refresh:       {refresh_s * 1e3:.3f} ms over "
+                f"{len(deltas)} materialization(s), "
+                f"+{sum(d.added_count() for d in deltas)}"
+                f"/-{sum(d.removed_count() for d in deltas)} output tuples",
+                f"  re-serve:            {rerun.throughput_qps:.1f} queries/s "
+                f"(all from refreshed materializations)",
+                f"  verification:        {verdict}",
+            ]
+            if not verified:
+                for line in incremental_report:
+                    print(line)
+                return 1
         stats = service.stats()
 
     strategies_run: Dict[str, int] = {}
@@ -565,6 +697,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"{name}×{count}" for name, count in sorted(strategies_run.items())
     )
     print(f"  strategies run:      {strategies}")
+    if incremental_report:
+        print(
+            f"  materialized:        {stats.materialized_results} result(s), "
+            f"{stats.materialized_hits} served from materialization, "
+            f"{stats.incremental_refreshes} incremental refresh(es)"
+        )
+        for line in incremental_report:
+            print(line)
 
     if args.verify:
         mismatches = 0
@@ -583,6 +723,108 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"  verification:        {status}")
         return 0 if mismatches == 0 else 1
     return 0
+
+
+def _insert_batch_for(
+    database, query, fraction: float, seed: int
+) -> Dict[str, List[tuple]]:
+    """A mixed insert batch: new guard tuples + conditional-key flips.
+
+    Half the batch is fresh guard rows (values beyond the stored domain, so
+    they are genuinely new); the other half inserts into the first
+    conditional relation join-key values drawn from stored guard rows, so
+    existing guard tuples flip.  Total size ≈ ``fraction`` of the guard.
+    """
+    import random as _random
+
+    rng = _random.Random(f"repro-delta-cli:{seed}")
+    first = query.subqueries[0]
+    guard_name = first.guard.relation
+    guard_relation = database[guard_name]
+    count = max(2, int(len(guard_relation) * fraction))
+    stored = guard_relation.sorted_tuples()
+    ceiling = 1 + max(
+        (v for row in stored for v in row if isinstance(v, int)), default=0
+    )
+    batch: Dict[str, List[tuple]] = {
+        guard_name: [
+            tuple(
+                ceiling + rng.randrange(10 * count)
+                for _ in range(guard_relation.arity)
+            )
+            for _ in range(count - count // 2)
+        ]
+    }
+    conditionals = [
+        atom
+        for atom in first.conditional_atoms
+        if atom.relation != guard_name and atom.relation in database
+    ]
+    if conditionals and count // 2:
+        atom = conditionals[0]
+        relation = database[atom.relation]
+        keys = [rng.choice(stored)[0] for _ in range(count // 2)]
+        batch[atom.relation] = [
+            (key,) * relation.arity if relation.arity > 1 else (key,)
+            for key in keys
+        ]
+    return batch
+
+
+def _command_delta(args: argparse.Namespace) -> int:
+    """Materialize a workload, refresh it incrementally, race a recompute."""
+    query = workload_query(args.query_id)
+    database = database_for(
+        query,
+        guard_tuples=args.guard_tuples,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    batch = _insert_batch_for(database, query, args.insert_fraction, args.seed)
+    inserted = sum(len(rows) for rows in batch.values())
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    backend = make_backend(
+        args.backend, engine=environment.engine(), workers=args.workers
+    )
+    gumbo = Gumbo(backend=backend)
+    try:
+        # Full re-execution path: statistics + planning + run on the
+        # post-batch database (what an invalidating service would do).
+        from .incremental import apply_inserts, dedupe_inserts
+
+        recompute_db = database.copy()
+        apply_inserts(recompute_db, dedupe_inserts(recompute_db, batch))
+        full_start = perf_counter()
+        full = gumbo.execute(query, recompute_db, args.strategy)
+        full_s = perf_counter() - full_start
+
+        # Incremental path: materialize once, refresh with the delta.
+        materialization = gumbo.materialize(query, database, args.strategy)
+        delta = gumbo.execute_delta(materialization, batch, mode=args.mode)
+    finally:
+        gumbo.close()
+
+    expected = {
+        name: frozenset(rel.tuples()) for name, rel in full.all_outputs.items()
+    }
+    matches = materialization.answers() == expected
+    speedup = full_s / delta.wall_s if delta.wall_s > 0 else float("inf")
+    print(
+        f"workload {args.query_id.upper()} "
+        f"({args.guard_tuples} guard tuples, strategy {full.strategy}, "
+        f"backend {args.backend}, mode {args.mode})"
+    )
+    print(f"  insert batch:          {inserted} tuples over "
+          f"{', '.join(sorted(batch))}")
+    print(f"  affected guard tuples: {delta.affected_guard_tuples}")
+    print(f"  output delta:          +{delta.added_count()} / "
+          f"-{delta.removed_count()} tuples")
+    print(f"  full re-execution:     {full_s * 1e3:9.3f} ms")
+    print(f"  incremental refresh:   {delta.wall_s * 1e3:9.3f} ms "
+          f"({delta.engine_runs} restricted MR runs)")
+    print(f"  speedup:               {speedup:9.1f}x")
+    print(f"  outputs identical:     {'yes' if matches else 'NO'}")
+    return 0 if matches else 1
 
 
 def _command_fuzz(args: argparse.Namespace) -> int:
@@ -605,6 +847,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         stop_on_failure=not args.keep_going,
         include_dynamic=not args.no_dynamic,
         include_auto=not args.no_auto,
+        incremental=args.incremental,
     )
     report = run_fuzz(options)
     print(report.format())
@@ -619,10 +862,12 @@ def _command_fuzz(args: argparse.Namespace) -> int:
             handle.write(report.counterexamples[0].script())
         print(f"wrote repro script to {args.artifact}")
     if report.ok:
-        print(
-            f"all {report.combinations_checked} strategy x backend combinations "
-            f"agree with the reference evaluator"
+        oracle_kind = (
+            "incremental refreshes agree with full recomputes"
+            if args.incremental
+            else "combinations agree with the reference evaluator"
         )
+        print(f"all {report.combinations_checked} strategy x backend {oracle_kind}")
     return 0 if report.ok else 1
 
 
@@ -659,6 +904,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _command_experiment,
         "bench": _command_bench,
         "fuzz": _command_fuzz,
+        "delta": _command_delta,
     }
     return commands[args.command](args)
 

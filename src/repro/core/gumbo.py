@@ -263,9 +263,7 @@ class Gumbo:
                 None,
             )
         return (
-            build_bsgf_program(
-                list(sgf.subqueries), resolved, estimator, self.options
-            ),
+            build_bsgf_program(list(sgf.subqueries), resolved, estimator, self.options),
             resolved,
             None,
         )
@@ -335,6 +333,51 @@ class Gumbo:
             all_outputs=all_outputs,
             metrics=result.metrics,
             choice=choice,
+        )
+
+    # -- incremental delta evaluation ---------------------------------------------
+
+    def materialize(
+        self,
+        query: QueryLike,
+        database: Database,
+        strategy: Optional[str] = None,
+    ):
+        """Execute *query* and keep the state needed for incremental refreshes.
+
+        Returns a :class:`~repro.incremental.materialize.Materialization`
+        whose output relations are maintained **in place** by
+        :meth:`execute_delta`; the materialized outputs are verified against
+        the planned program's outputs at construction time.
+        """
+        from ..incremental.engine import materialize_query
+
+        return materialize_query(self, query, database, strategy)
+
+    def execute_delta(
+        self,
+        materialization,
+        inserts,
+        mode: str = "engine",
+    ):
+        """Apply a batch of inserted tuples to a materialized result.
+
+        *inserts* maps relation names to tuples; the batch is applied to the
+        materialization's database and the output delta — only the
+        consequences of the batch, not the whole program — is computed and
+        merged.  In the default ``"engine"`` mode the affected guard tuples
+        are re-evaluated by restricted MR programs on this Gumbo's execution
+        backend; ``"direct"`` evaluates against the maintained indexes.
+        Returns a :class:`~repro.incremental.engine.DeltaResult`.
+        """
+        from ..incremental.engine import refresh
+
+        return refresh(
+            materialization,
+            inserts,
+            backend=self.backend,
+            mode=mode,
+            options=self.options,
         )
 
     def compare_strategies(

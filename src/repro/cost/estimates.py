@@ -108,6 +108,31 @@ class StatisticsCatalog:
         """
         self._relation_stats[stats.name] = stats
 
+    def refresh_relation(self, name: str) -> None:
+        """Recompute the stats of one relation in place after a data change.
+
+        The incremental serving path keeps the catalog alive across insert
+        batches instead of rebuilding it: the mutated relation's cardinality
+        and size are re-read from the live database, and the derived caches
+        that depend on its contents — its sample and every conforming
+        fraction of an atom over it — are dropped so they are lazily
+        re-derived.  Other relations' statistics are untouched.
+        """
+        relation = self._database.get(name)
+        if relation is None:
+            self._relation_stats.pop(name, None)
+        else:
+            self._relation_stats[name] = RelationStats(
+                name=relation.name,
+                tuples=len(relation),
+                arity=relation.arity,
+                size_mb=relation.size_mb(),
+                bytes_per_field=relation.bytes_per_field,
+            )
+        self._samples.pop(name, None)
+        for atom in [a for a in self._fraction_cache if a.relation == name]:
+            del self._fraction_cache[atom]
+
     def scratch_copy(self) -> "StatisticsCatalog":
         """A copy whose registered estimates do not leak back into this catalog.
 

@@ -31,9 +31,10 @@ from .generator import (
     case_rng,
     generate_case,
     generate_database,
+    generate_insert_batch,
     generate_program,
 )
-from .oracle import DYNAMIC, DifferentialOracle, Divergence
+from .oracle import DIRECT, DYNAMIC, DifferentialOracle, Divergence
 from .profiles import (
     PROFILE_NAMES,
     PROFILES,
@@ -49,6 +50,7 @@ from .runner import Counterexample, FuzzOptions, FuzzReport, repro_script, run_f
 from .shrink import case_size, shrink_case
 
 __all__ = [
+    "DIRECT",
     "DYNAMIC",
     "PROFILES",
     "PROFILE_NAMES",
@@ -69,6 +71,7 @@ __all__ = [
     "case_size",
     "generate_case",
     "generate_database",
+    "generate_insert_batch",
     "generate_program",
     "make_profile",
     "repro_script",

@@ -307,6 +307,40 @@ def _base_arities(program: SGFQuery) -> Dict[str, int]:
     return arities
 
 
+def generate_insert_batch(
+    seed: int,
+    index: int,
+    program: SGFQuery,
+    config: Optional[FuzzConfig] = None,
+) -> Dict[str, List[Tuple[object, ...]]]:
+    """A deterministic random insert batch for the incremental oracle mode.
+
+    Rows are drawn for a random subset of the program's base relations, with
+    values slightly *beyond* the generation domain as well as inside it — so
+    batches both create fresh join keys (new guard tuples, new conditional
+    keys) and hit existing ones (truth flips for already-stored guard
+    tuples).  The batch RNG is independent of the case RNG: the same
+    ``(seed, index)`` always yields the same (program, database, batch)
+    triple without perturbing ordinary case generation.
+    """
+    config = config or FuzzConfig()
+    rng = random.Random(f"repro-fuzz-delta:{seed}:{index}")
+    arities = _base_arities(program)
+    names = sorted(arities)
+    if not names:
+        return {}
+    chosen = rng.sample(names, rng.randint(1, len(names)))
+    batch: Dict[str, List[Tuple[object, ...]]] = {}
+    for name in sorted(chosen):
+        count = rng.randint(1, max(1, config.max_tuples // 2))
+        rows = {
+            tuple(rng.randrange(config.domain + 2) for _ in range(arities[name]))
+            for _ in range(count)
+        }
+        batch[name] = sorted(rows)
+    return batch
+
+
 def generate_case(
     seed: int, index: int, config: Optional[FuzzConfig] = None
 ) -> FuzzCase:

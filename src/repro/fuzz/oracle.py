@@ -36,6 +36,10 @@ from ..exec.base import make_backend, normalise_backend
 #: Pseudo-strategy name under which the dynamic executor is reported.
 DYNAMIC = "dynamic"
 
+#: Pseudo-backend name under which the index-based ("direct") refresh mode of
+#: the incremental oracle is reported.
+DIRECT = "direct"
+
 #: Tuples of one output relation.
 Answer = FrozenSet[Tuple[object, ...]]
 
@@ -47,7 +51,7 @@ Mismatch = Tuple[str, Tuple[Tuple[object, ...], ...], Tuple[Tuple[object, ...], 
 class Divergence:
     """One disagreement between an execution and the reference answer."""
 
-    kind: str  # "mismatch" | "error" | "metrics"
+    kind: str  # "mismatch" | "error" | "metrics" | "incremental"
     strategy: str
     backend: str
     detail: str
@@ -227,6 +231,105 @@ class DifferentialOracle:
                                 ),
                             )
                         )
+        return divergences
+
+    # -- incremental checking -----------------------------------------------------
+
+    def incremental_strategies(self, program: SGFQuery) -> List[str]:
+        """Strategies swept by the incremental oracle (no dynamic executor).
+
+        The dynamic executor re-plans mid-flight and has no materialization
+        notion; every plannable strategy — including AUTO — must however
+        produce a materialization whose incremental refresh matches a full
+        recompute.
+        """
+        names = list(
+            applicable_strategies(program, include_optimal=self.include_optimal)
+        )
+        if self.include_auto:
+            names.append(AUTO)
+        return names
+
+    def incremental_combinations(
+        self, program: SGFQuery
+    ) -> List[Tuple[str, str]]:
+        """Every (strategy, backend-or-direct) pair the incremental check runs."""
+        return [
+            (strategy, mode)
+            for strategy in self.incremental_strategies(program)
+            for mode in (*self._backends, DIRECT)
+        ]
+
+    def check_incremental(
+        self,
+        program: SGFQuery,
+        database: Database,
+        inserts: Dict[str, Sequence[Tuple[object, ...]]],
+        only: Optional[FrozenSet[Tuple[str, str]]] = None,
+        stop_at_first: bool = False,
+    ) -> List[Divergence]:
+        """Divergences of incremental refresh vs full recompute (empty = agreement).
+
+        For every applicable strategy the program is materialized over
+        *database*, the insert batch is applied through
+        :meth:`Gumbo.execute_delta <repro.core.gumbo.Gumbo.execute_delta>`,
+        and the refreshed outputs are compared against the reference
+        evaluator over the fully rebuilt database.  Engine-mode refreshes run
+        on every configured backend; one extra sweep uses the index-based
+        ``"direct"`` mode (reported under backend :data:`DIRECT`).  *only* /
+        *stop_at_first* mirror :meth:`check` for the shrinker.
+        """
+        from ..incremental import apply_inserts, dedupe_inserts
+
+        mutated = database.copy()
+        apply_inserts(mutated, dedupe_inserts(mutated, inserts))
+        expected = {
+            name: frozenset(relation.tuples())
+            for name, relation in evaluate_sgf(program, mutated).items()
+        }
+        divergences: List[Divergence] = []
+        for strategy in self.incremental_strategies(program):
+            if stop_at_first and divergences:
+                break
+            if only is not None and all(s != strategy for s, _ in only):
+                continue
+            for mode in (*self._backends, DIRECT):
+                if stop_at_first and divergences:
+                    break
+                if only is not None and (strategy, mode) not in only:
+                    continue
+                gumbo = self._gumbos[self.backend_names[0] if mode == DIRECT else mode]
+                try:
+                    materialization = gumbo.materialize(
+                        program, database.copy(), strategy
+                    )
+                    gumbo.execute_delta(
+                        materialization,
+                        inserts,
+                        mode="direct" if mode == DIRECT else "engine",
+                    )
+                    answers = materialization.answers()
+                except Exception as exc:  # a crashing refresh is a finding
+                    divergences.append(
+                        Divergence(
+                            kind="error",
+                            strategy=strategy,
+                            backend=mode,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                mismatch = _diff_answers(expected, answers)
+                if mismatch:
+                    divergences.append(
+                        Divergence(
+                            kind="incremental",
+                            strategy=strategy,
+                            backend=mode,
+                            detail=_describe_mismatch(mismatch),
+                            outputs=mismatch,
+                        )
+                    )
         return divergences
 
     def _run(

@@ -14,13 +14,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..model.database import Database
 from ..query.sgf import SGFQuery
-from .generator import FuzzCase, FuzzConfig, generate_case
+from .generator import FuzzCase, FuzzConfig, generate_case, generate_insert_batch
 from .oracle import DifferentialOracle, Divergence
 from .shrink import shrink_case
+
+#: An insert batch: relation name -> rows.
+InsertBatch = Dict[str, List[Tuple[object, ...]]]
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,10 @@ class FuzzOptions:
     include_optimal: bool = True
     include_auto: bool = True
     check_metrics: bool = True
+    #: Incremental oracle mode: every case additionally gets a random insert
+    #: batch, and the incremental refresh of every strategy × backend (plus
+    #: the index-based direct mode) must equal a full recompute.
+    incremental: bool = False
 
 
 @dataclass
@@ -49,6 +56,8 @@ class Counterexample:
     program: SGFQuery  # shrunk (== case.program when shrinking is off)
     database: Database  # shrunk
     shrunk_divergences: List[Divergence]
+    #: The insert batch of an incremental-mode divergence (None otherwise).
+    inserts: Optional[InsertBatch] = None
 
     def script(self) -> str:
         """A standalone Python script reproducing the divergence."""
@@ -65,7 +74,16 @@ class Counterexample:
         for relation in self.database:
             rows = ", ".join(repr(t) for t in relation.sorted_tuples()[:8])
             suffix = " ..." if len(relation) > 8 else ""
-            lines.append(f"  {relation.name}/{relation.arity}: {rows or '(empty)'}{suffix}")
+            lines.append(
+                f"  {relation.name}/{relation.arity}: "
+                f"{rows or '(empty)'}{suffix}"
+            )
+        if self.inserts is not None:
+            lines.append("insert batch:")
+            for name in sorted(self.inserts):
+                rows = ", ".join(repr(t) for t in self.inserts[name][:8])
+                suffix = " ..." if len(self.inserts[name]) > 8 else ""
+                lines.append(f"  {name}: {rows or '(empty)'}{suffix}")
         return "\n".join(lines)
 
 
@@ -132,12 +150,24 @@ def run_fuzz(
                 on_case(case)
             report.cases_run += 1
             report.statements_generated += len(case.program)
-            report.combinations_checked += len(oracle.combinations(case.program))
-            divergences = oracle.check(case.program, case.database)
+            inserts: Optional[InsertBatch] = None
+            if options.incremental:
+                inserts = generate_insert_batch(
+                    options.seed, index, case.program, options.config
+                )
+                report.combinations_checked += len(
+                    oracle.incremental_combinations(case.program)
+                )
+                divergences = oracle.check_incremental(
+                    case.program, case.database, inserts
+                )
+            else:
+                report.combinations_checked += len(oracle.combinations(case.program))
+                divergences = oracle.check(case.program, case.database)
             if not divergences:
                 continue
             report.counterexamples.append(
-                _build_counterexample(case, divergences, oracle, options)
+                _build_counterexample(case, divergences, oracle, options, inserts)
             )
             if options.stop_on_failure:
                 break
@@ -153,6 +183,7 @@ def _build_counterexample(
     divergences: List[Divergence],
     oracle: DifferentialOracle,
     options: FuzzOptions,
+    inserts: Optional[InsertBatch] = None,
 ) -> Counterexample:
     program, database = case.program, case.database
     shrunk_divergences = divergences
@@ -171,18 +202,34 @@ def _build_counterexample(
                 else (divergence.backend,)
             )
         )
-        program, database = shrink_case(
-            program,
-            database,
-            lambda p, d: bool(oracle.check(p, d, only=targets, stop_at_first=True)),
-        )
-        shrunk_divergences = oracle.check(program, database)
+        if inserts is not None:
+            # Incremental mode: the insert batch is held fixed while the
+            # program/database shrink (inserts into dropped relations simply
+            # recreate them, which preserves the check's semantics).
+            def probe(p: SGFQuery, d: Database) -> bool:
+                return bool(
+                    oracle.check_incremental(
+                        p, d, inserts, only=targets, stop_at_first=True
+                    )
+                )
+
+        else:
+
+            def probe(p: SGFQuery, d: Database) -> bool:
+                return bool(oracle.check(p, d, only=targets, stop_at_first=True))
+
+        program, database = shrink_case(program, database, probe)
+        if inserts is not None:
+            shrunk_divergences = oracle.check_incremental(program, database, inserts)
+        else:
+            shrunk_divergences = oracle.check(program, database)
     return Counterexample(
         case=case,
         divergences=divergences,
         program=program,
         database=database,
         shrunk_divergences=shrunk_divergences,
+        inserts=inserts,
     )
 
 
@@ -207,6 +254,17 @@ def repro_script(counterexample: Counterexample) -> str:
         for relation in counterexample.database
     )
     config = case.config
+    if counterexample.inserts is not None:
+        check_block = (
+            f"inserts = {counterexample.inserts!r}\n\n"
+            "with DifferentialOracle() as oracle:\n"
+            "    divergences = oracle.check_incremental(program, database, inserts)"
+        )
+    else:
+        check_block = (
+            "with DifferentialOracle() as oracle:\n"
+            "    divergences = oracle.check(program, database)"
+        )
     return f'''"""Fuzzer counterexample: {case.case_id}.
 
 Regenerate the unshrunk case with:
@@ -230,8 +288,7 @@ for name, arity, rows in [
         relation.add(row)
     database.add_relation(relation)
 
-with DifferentialOracle() as oracle:
-    divergences = oracle.check(program, database)
+{check_block}
 for divergence in divergences:
     print(divergence)
 if not divergences:

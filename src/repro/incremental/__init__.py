@@ -1,0 +1,49 @@
+"""Incremental delta evaluation for (B)SGF programs.
+
+Re-deriving a materialized query result after a batch of inserted tuples
+does not require re-running the whole MR program: only the *delta-affected*
+guard tuples — freshly inserted ones, plus existing ones whose join key
+flipped for some conditional atom — can change the output.  This package
+implements that semi-naive maintenance loop on top of the planning and
+execution machinery of the rest of the library:
+
+* :mod:`repro.incremental.delta`       — insert/delete batches;
+* :mod:`repro.incremental.materialize` — per-statement maintenance state
+  (conditional join-key indexes, guard indexes, output support counters);
+* :mod:`repro.incremental.engine`      — building materializations and
+  refreshing them, with the affected tuples re-evaluated by restricted MR
+  programs on an :class:`~repro.exec.base.ExecutionBackend` (``"engine"``
+  mode) or directly against the maintained indexes (``"direct"`` mode).
+
+Entry points: :meth:`Gumbo.materialize <repro.core.gumbo.Gumbo.materialize>`
+/ :meth:`Gumbo.execute_delta <repro.core.gumbo.Gumbo.execute_delta>`, and
+``QueryService.add_tuples(..., incremental=True)`` in the serving layer.
+Conditions may use negation and disjunction, so a batch of *inserts* can
+both add and remove output tuples; support counting over the guard tuples
+makes the removals exact.
+"""
+
+from .delta import Delta, apply_inserts, dedupe_inserts
+from .engine import (
+    DELTA_PREFIX,
+    MODES,
+    DeltaResult,
+    materialize_query,
+    refresh,
+    refresh_all,
+)
+from .materialize import IncrementalError, Materialization
+
+__all__ = [
+    "DELTA_PREFIX",
+    "Delta",
+    "DeltaResult",
+    "IncrementalError",
+    "MODES",
+    "Materialization",
+    "apply_inserts",
+    "dedupe_inserts",
+    "materialize_query",
+    "refresh",
+    "refresh_all",
+]

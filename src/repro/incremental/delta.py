@@ -1,0 +1,97 @@
+"""Delta batches: the unit of change incremental evaluation consumes.
+
+A :class:`Delta` records, per relation name, the set of tuples inserted into
+and deleted from that relation by one batch of mutations.  Externally only
+*insertions into base relations* are accepted (the serving layer's
+``add_tuples``); internally the delta evaluator also records the insertions
+and deletions of intermediate output relations as it propagates a batch
+through the statements of an SGF query — with negation in conditions, an
+insert into a base relation can *remove* tuples from an output, and that
+removal must flow into every downstream statement reading it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Set, Tuple
+
+from ..model.database import Database
+from ..model.relation import DEFAULT_BYTES_PER_FIELD, Relation
+
+#: A stored tuple.
+Row = Tuple[object, ...]
+
+#: External shape of an insert batch: relation name -> rows.
+InsertBatch = Mapping[str, Iterable[Sequence[object]]]
+
+
+@dataclass
+class Delta:
+    """Per-relation inserted/deleted tuple sets of one change batch."""
+
+    inserted: Dict[str, Set[Row]] = field(default_factory=dict)
+    deleted: Dict[str, Set[Row]] = field(default_factory=dict)
+
+    @classmethod
+    def from_inserts(cls, batch: InsertBatch) -> "Delta":
+        """A pure-insert delta from ``{"R": [(1, 2), ...], ...}``."""
+        inserted = {
+            name: {tuple(row) for row in rows} for name, rows in batch.items()
+        }
+        return cls(inserted={n: r for n, r in inserted.items() if r})
+
+    def is_empty(self) -> bool:
+        return not any(self.inserted.values()) and not any(self.deleted.values())
+
+    def record(self, relation: str, added: Set[Row], removed: Set[Row]) -> None:
+        """Record the output delta of a statement (for downstream readers)."""
+        if added:
+            self.inserted.setdefault(relation, set()).update(added)
+        if removed:
+            self.deleted.setdefault(relation, set()).update(removed)
+
+    def inserted_count(self) -> int:
+        return sum(len(rows) for rows in self.inserted.values())
+
+    def scoped(self) -> "Delta":
+        """A copy sharing the base row sets but with its own mappings.
+
+        Each materialization refreshed from one shared batch records its own
+        intermediate deltas; scoping keeps those from leaking across
+        materializations while the (read-only) base sets stay shared.
+        """
+        return Delta(inserted=dict(self.inserted), deleted=dict(self.deleted))
+
+
+def dedupe_inserts(database: Database, batch: InsertBatch) -> Dict[str, Set[Row]]:
+    """Rows of *batch* not already stored (per relation, duplicates dropped).
+
+    A row that is already present is not part of the delta — counting it
+    would corrupt the support counters — so the effective batch is computed
+    against the *pre-mutation* database.
+    """
+    effective: Dict[str, Set[Row]] = {}
+    for name, rows in batch.items():
+        relation = database.get(name)
+        fresh = {
+            row
+            for row in (tuple(r) for r in rows)
+            if relation is None or row not in relation
+        }
+        if fresh:
+            effective[name] = fresh
+    return effective
+
+
+def apply_inserts(database: Database, inserted: Mapping[str, Set[Row]]) -> None:
+    """Apply a deduped insert mapping, creating missing relations as needed."""
+    for name, rows in inserted.items():
+        if not rows:
+            continue
+        relation = database.get(name)
+        if relation is None:
+            arity = len(next(iter(rows)))
+            relation = Relation(name, arity, DEFAULT_BYTES_PER_FIELD)
+            database.add_relation(relation)
+        for row in rows:
+            relation.add(row)

@@ -5,12 +5,19 @@ See :class:`~repro.service.service.QueryService` for the entry point.
 
 from .cache import CacheStats, LRUCache
 from .fingerprint import canonical_text, query_fingerprint, schema_signature
-from .service import BatchResult, QueryService, ServiceResult, ServiceStats
+from .service import (
+    BatchResult,
+    QueryMetricsHistory,
+    QueryService,
+    ServiceResult,
+    ServiceStats,
+)
 
 __all__ = [
     "BatchResult",
     "CacheStats",
     "LRUCache",
+    "QueryMetricsHistory",
     "QueryService",
     "ServiceResult",
     "ServiceStats",

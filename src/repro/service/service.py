@@ -38,6 +38,9 @@ from ..core.gumbo import Gumbo, GumboResult, PlannedQuery, QueryLike
 from ..core.options import GumboOptions
 from ..core.strategies import AUTO, normalise_strategy
 from ..exec.base import ExecutionBackend, SERIAL
+from ..incremental.engine import DeltaResult, materialize_query, refresh_all
+from ..incremental.materialize import IncrementalError, Materialization
+from ..model.relation import SchemaError
 from ..mapreduce.counters import ProgramMetrics
 from ..model.database import Database
 from ..model.relation import Relation
@@ -111,6 +114,38 @@ class BatchResult:
         }
 
 
+@dataclass
+class QueryMetricsHistory:
+    """Cumulative serving metrics of one query fingerprint.
+
+    The history is *never* dropped: cache invalidations (mutations, database
+    swaps) clear plans and statistics, not the record of what was served.
+    """
+
+    fingerprint: str
+    queries: int = 0
+    plan_cache_hits: int = 0
+    materialized_hits: int = 0
+    plan_s_total: float = 0.0
+    exec_s_total: float = 0.0
+
+    def record(self, result: "ServiceResult", materialized: bool = False) -> None:
+        self.queries += 1
+        self.plan_cache_hits += 1 if result.plan_cached else 0
+        self.materialized_hits += 1 if materialized else 0
+        self.plan_s_total += result.plan_s
+        self.exec_s_total += result.exec_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "plan_cache_hits": self.plan_cache_hits,
+            "materialized_hits": self.materialized_hits,
+            "plan_s_total": self.plan_s_total,
+            "exec_s_total": self.exec_s_total,
+        }
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """A snapshot of the service's serving-layer counters."""
@@ -120,6 +155,10 @@ class ServiceStats:
     plan_cache_size: int
     database_version: int
     statistics_rebuilds: int
+    materialized_results: int = 0
+    materialized_hits: int = 0
+    incremental_refreshes: int = 0
+    metrics_histories: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -128,6 +167,10 @@ class ServiceStats:
             "plan_cache_size": self.plan_cache_size,
             "database_version": self.database_version,
             "statistics_rebuilds": self.statistics_rebuilds,
+            "materialized_results": self.materialized_results,
+            "materialized_hits": self.materialized_hits,
+            "incremental_refreshes": self.incremental_refreshes,
+            "metrics_histories": self.metrics_histories,
         }
 
 
@@ -186,6 +229,16 @@ class QueryService:
         self._queries_served = 0
         self._statistics_rebuilds = 0
         self._estimator: Optional[PlanCostEstimator] = None
+        #: Materialized results maintained incrementally, keyed like plans.
+        self._materialized: Dict[PlanKey, Materialization] = {}
+        self._materialized_hits = 0
+        self._incremental_refreshes = 0
+        #: Bumped by every incremental batch; materialize() uses it (together
+        #: with the invalidation version) to detect a mutation that landed
+        #: while it executed outside the locks, and retries on fresh state.
+        self._incremental_epoch = 0
+        #: Per-fingerprint cumulative serving metrics; survives invalidation.
+        self._history: Dict[str, QueryMetricsHistory] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -234,6 +287,7 @@ class QueryService:
         query: QueryLike,
         strategy: Optional[str],
         database: Database,
+        fingerprint: Optional[str] = None,
     ) -> Tuple[PlannedQuery, bool, str]:
         """Plan *query* against *database*: ``(planned, was_cached, fingerprint)``.
 
@@ -247,7 +301,8 @@ class QueryService:
         """
         requested = self._normalise_strategy(strategy)
         sgf = Gumbo.as_sgf(query)
-        fingerprint = query_fingerprint(sgf, database)
+        if fingerprint is None:
+            fingerprint = query_fingerprint(sgf, database)
         key = (fingerprint, requested)
         # One lookup per call, under the planning lock: hit/miss counters
         # stay exact and concurrent misses for the same query plan only
@@ -285,8 +340,15 @@ class QueryService:
         """
         requested = self._normalise_strategy(strategy)
         database = self.database
+        sgf = Gumbo.as_sgf(query)
+        fingerprint = query_fingerprint(sgf, database)
+        materialized = self._serve_materialized(fingerprint, requested)
+        if materialized is not None:
+            return materialized
         plan_start = perf_counter()
-        planned, was_cached, fingerprint = self._plan(query, requested, database)
+        planned, was_cached, fingerprint = self._plan(
+            sgf, requested, database, fingerprint
+        )
         plan_s = perf_counter() - plan_start
         exec_start = perf_counter()
         if self._exec_lock is not None:
@@ -295,15 +357,129 @@ class QueryService:
         else:
             result = self._run(planned, database)
         exec_s = perf_counter() - exec_start
-        with self._state_lock:
-            self._queries_served += 1
-        return ServiceResult(
+        served = ServiceResult(
             result=result,
             fingerprint=fingerprint,
             requested_strategy=requested,
             plan_cached=was_cached,
             plan_s=plan_s,
             exec_s=exec_s,
+        )
+        self._record(served)
+        return served
+
+    def _record(self, served: ServiceResult, materialized: bool = False) -> None:
+        with self._state_lock:
+            self._queries_served += 1
+            if materialized:
+                self._materialized_hits += 1
+            history = self._history.get(served.fingerprint)
+            if history is None:
+                history = self._history[served.fingerprint] = QueryMetricsHistory(
+                    served.fingerprint
+                )
+            history.record(served, materialized=materialized)
+
+    def _serve_materialized(
+        self, fingerprint: str, requested: str
+    ) -> Optional[ServiceResult]:
+        """Serve a query straight from its maintained materialization.
+
+        The materialized relations are mutated in place by incremental
+        refreshes, so the served result carries copies snapshotted under the
+        planning lock — callers never observe a half-applied delta.
+        """
+        start = perf_counter()
+        with self._plan_lock:
+            materialization = self._materialized.get((fingerprint, requested))
+            if materialization is None:
+                return None
+            snapshot = self._snapshot_result(materialization.result)
+        served = ServiceResult(
+            result=snapshot,
+            fingerprint=fingerprint,
+            requested_strategy=requested,
+            plan_cached=True,
+            plan_s=0.0,
+            exec_s=perf_counter() - start,
+        )
+        self._record(served, materialized=True)
+        return served
+
+    @staticmethod
+    def _snapshot_result(result: GumboResult) -> GumboResult:
+        copies = {name: rel.copy() for name, rel in result.all_outputs.items()}
+        return GumboResult(
+            query=result.query,
+            strategy=result.strategy,
+            program=result.program,
+            outputs={name: copies[name] for name in result.outputs},
+            all_outputs=copies,
+            metrics=result.metrics,
+            choice=result.choice,
+        )
+
+    def materialize(
+        self, query: QueryLike, strategy: Optional[str] = None
+    ) -> ServiceResult:
+        """Execute *query* and keep its result maintained under inserts.
+
+        The result is registered under ``(fingerprint, requested strategy)``;
+        subsequent :meth:`execute` calls for the same key are served from the
+        materialization without re-executing, and
+        :meth:`add_tuples(..., incremental=True) <add_tuples>` refreshes it
+        with delta evaluation instead of invalidating.  Planning reuses the
+        plan cache and the cached statistics catalog.
+        """
+        requested = self._normalise_strategy(strategy)
+        sgf = Gumbo.as_sgf(query)
+        for _ in range(5):
+            database = self.database
+            fingerprint = query_fingerprint(sgf, database)
+            existing = self._serve_materialized(fingerprint, requested)
+            if existing is not None:
+                return existing
+            with self._state_lock:
+                stamp = (self._incremental_epoch, self._version)
+            plan_start = perf_counter()
+            planned, was_cached, fingerprint = self._plan(
+                sgf, requested, database, fingerprint
+            )
+            plan_s = perf_counter() - plan_start
+            exec_start = perf_counter()
+            if self._exec_lock is not None:
+                with self._exec_lock:
+                    result = self._run(planned, database)
+            else:
+                result = self._run(planned, database)
+            # Build + register under the planning lock: incremental batches
+            # (add_tuples(..., incremental=True)) also hold it, so the state
+            # is never built over a half-applied mutation.  A batch or
+            # invalidation that landed while the query executed outside the
+            # locks is detected by the stamp; the result is then stale, so
+            # re-execute on the fresh state instead of registering it.
+            with self._plan_lock:
+                with self._state_lock:
+                    moved = stamp != (self._incremental_epoch, self._version)
+                if moved or database is not self.database:
+                    continue
+                materialization = materialize_query(
+                    self.gumbo, sgf, database, requested, result=result
+                )
+                self._materialized[(fingerprint, requested)] = materialization
+                served = ServiceResult(
+                    result=self._snapshot_result(materialization.result),
+                    fingerprint=fingerprint,
+                    requested_strategy=requested,
+                    plan_cached=was_cached,
+                    plan_s=plan_s,
+                    exec_s=perf_counter() - exec_start,
+                )
+            self._record(served)
+            return served
+        raise IncrementalError(
+            "materialize() could not observe a quiescent database in 5 "
+            "attempts (concurrent mutations kept landing mid-execution)"
         )
 
     def _run(self, planned: PlannedQuery, database: Database) -> GumboResult:
@@ -343,13 +519,17 @@ class QueryService:
     # -- mutation and invalidation ------------------------------------------------
 
     def invalidate(self) -> int:
-        """Drop cached plans and statistics; returns the number of plans dropped.
+        """Drop cached plans, statistics and materializations.
 
         Call after any out-of-band database mutation.  The database version
-        is bumped so stale statistics are never reused.
+        is bumped so stale statistics are never reused; returns the number of
+        plans dropped.  Cumulative serving metrics (:meth:`metrics_history`,
+        the plan cache's hit/miss counters) are preserved — invalidation
+        resets derived state, not the service's measurement record.
         """
         with self._plan_lock:
             self._estimator = None
+            self._materialized.clear()
             with self._state_lock:
                 self._version += 1
             return self.plan_cache.clear()
@@ -359,20 +539,92 @@ class QueryService:
         mutator(self.database)
         self.invalidate()
 
-    def add_tuples(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
-        """Append facts to a relation (creating it from the rows if needed)."""
+    def add_tuples(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[object]],
+        incremental: bool = False,
+    ) -> Optional[List[DeltaResult]]:
+        """Append facts to a relation (creating it from the rows if needed).
+
+        By default the mutation invalidates every cache, exactly as before.
+        With ``incremental=True`` the service instead *refreshes in place*:
+        the batch is propagated through every registered materialization by
+        delta evaluation (on the service's execution backend), the cached
+        statistics catalog is updated for the mutated relation, and cached
+        plans are kept — they remain correct; only their cost-optimality may
+        drift, which the refreshed statistics correct at the next planning
+        miss.  Returns the per-materialization
+        :class:`~repro.incremental.engine.DeltaResult` list (None on the
+        invalidation path).
+        """
         rows = [tuple(row) for row in rows]
         if not rows:
-            return
+            return [] if incremental else None
+        if not incremental:
 
-        def _apply(database: Database) -> None:
-            existing = database.get(relation)
-            if existing is None:
-                existing = database.ensure_relation(relation, len(rows[0]))
+            def _apply(database: Database) -> None:
+                existing = database.get(relation)
+                if existing is None:
+                    existing = database.ensure_relation(relation, len(rows[0]))
+                for row in rows:
+                    existing.add(row)
+
+            self.mutate(_apply)
+            return None
+        with self._plan_lock:
+            # Validate the batch up front so nothing is half-applied: every
+            # row must match the target relation's arity (or, for a new
+            # relation, the batch must agree with itself).
+            existing = self.database.get(relation)
+            arity = existing.arity if existing is not None else len(rows[0])
             for row in rows:
-                existing.add(row)
-
-        self.mutate(_apply)
+                if len(row) != arity:
+                    raise SchemaError(
+                        f"tuple {row!r} has arity {len(row)}, relation "
+                        f"{relation!r} expects {arity}"
+                    )
+            materializations = list(self._materialized.values())
+            # Bad-argument errors are raised before anything mutates (the
+            # fail-safe below is for crashes mid-batch, not for these).
+            for materialization in materializations:
+                if relation in materialization.query.output_names:
+                    raise IncrementalError(
+                        f"cannot insert into output relation {relation!r}; "
+                        f"outputs are derived, insert into base relations"
+                    )
+            try:
+                if self._exec_lock is not None:
+                    with self._exec_lock:
+                        results = refresh_all(
+                            materializations,
+                            self.database,
+                            {relation: rows},
+                            backend=self.gumbo.backend,
+                            options=self.gumbo.options,
+                        )
+                else:
+                    results = refresh_all(
+                        materializations,
+                        self.database,
+                        {relation: rows},
+                        backend=self.gumbo.backend,
+                        options=self.gumbo.options,
+                    )
+                if self._estimator is not None:
+                    self._estimator.catalog.refresh_relation(relation)
+            except Exception:
+                # Fail safe, not half-refreshed: a crash mid-batch (some
+                # materializations refreshed, others not, statistics not yet
+                # patched) must never leave stale results serveable — drop
+                # every derived cache and let callers re-plan from the
+                # database as it now stands.
+                self.invalidate()
+                raise
+            with self._state_lock:
+                self._incremental_refreshes += 1
+                self._incremental_epoch += 1
+        return results
 
     def replace_database(self, database: Database) -> None:
         """Swap the served database and invalidate the caches."""
@@ -394,7 +646,24 @@ class QueryService:
                 plan_cache_size=len(self.plan_cache),
                 database_version=self._version,
                 statistics_rebuilds=self._statistics_rebuilds,
+                materialized_results=len(self._materialized),
+                materialized_hits=self._materialized_hits,
+                incremental_refreshes=self._incremental_refreshes,
+                metrics_histories=len(self._history),
             )
+
+    def metrics_history(self) -> Dict[str, QueryMetricsHistory]:
+        """Cumulative per-fingerprint serving metrics (survives invalidation)."""
+        with self._state_lock:
+            return {
+                fingerprint: QueryMetricsHistory(**vars(history))
+                for fingerprint, history in self._history.items()
+            }
+
+    def materializations(self) -> Dict[PlanKey, Materialization]:
+        """The registered materializations (snapshot of the mapping)."""
+        with self._plan_lock:
+            return dict(self._materialized)
 
     def __repr__(self) -> str:
         return (

@@ -233,3 +233,69 @@ class TestServeCommand:
     def test_serve_rejects_empty_ids(self):
         with pytest.raises(SystemExit):
             main(["serve", "--query-ids", " , ", "--requests", "2"])
+
+
+class TestDeltaCommand:
+    def test_delta_incremental_matches_recompute(self, capsys):
+        code = main(
+            [
+                "delta",
+                "--query-id",
+                "A3",
+                "--guard-tuples",
+                "600",
+                "--insert-fraction",
+                "0.02",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outputs identical:     yes" in out
+        assert "incremental refresh" in out
+
+    def test_delta_direct_mode(self, capsys):
+        code = main(["delta", "--guard-tuples", "300", "--mode", "direct"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 restricted MR runs" in out
+
+
+class TestServeIncremental:
+    def test_serve_incremental_refreshes_and_verifies(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--query-ids",
+                "A1,A3",
+                "--requests",
+                "8",
+                "--guard-tuples",
+                "200",
+                "--incremental",
+                "--insert-tuples",
+                "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "incremental refresh(es)" in out
+        assert "refreshed results match direct execution" in out
+
+
+class TestFuzzIncrementalCommand:
+    def test_fuzz_incremental_smoke(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--incremental",
+                "--seed",
+                "2",
+                "--iterations",
+                "4",
+                "--backend",
+                "serial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "incremental refreshes agree with full recomputes" in out

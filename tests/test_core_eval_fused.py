@@ -203,8 +203,12 @@ class TestOneRoundCorrectness:
 
     def test_multiple_queries_in_one_fused_job(self, engine):
         db = star_database()
-        q1 = parse_bsgf("Z1 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE S(x) AND T(x);")
-        q2 = parse_bsgf("Z2 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE U(y) OR V(y);")
+        q1 = parse_bsgf(
+            "Z1 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE S(x) AND T(x);"
+        )
+        q2 = parse_bsgf(
+            "Z2 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE U(y) OR V(y);"
+        )
         result = engine.run_job(FusedOneRoundJob("fused", [q1, q2]), db)
         assert as_set(result.outputs["Z1"]) == as_set(evaluate_bsgf(q1, db))
         assert as_set(result.outputs["Z2"]) == as_set(evaluate_bsgf(q2, db))

@@ -1,0 +1,346 @@
+"""Incremental delta evaluation: unit rules, property tests, oracle campaign.
+
+Four layers are covered:
+
+* statement-level delta rules: inserts into guards, conditionals and both;
+  negation and disjunction (where inserts *remove* output tuples); support
+  counting across collapsing projections; multi-statement programs where
+  intermediate deltas (insertions and deletions) propagate into downstream
+  guards and conditionals;
+* the engine seam: engine mode (restricted MR programs on a backend) and
+  direct mode (maintained indexes) agree with each other and with a full
+  recompute, on both backends;
+* a hypothesis property: for random programs and random insert batches the
+  refreshed materialization equals the reference evaluation of the rebuilt
+  database;
+* the incremental oracle: a ≥200-case seeded campaign over every applicable
+  strategy × both backends (plus direct mode) shows zero divergence, and a
+  deliberately corrupted delta rule is detected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, Gumbo
+from repro.fuzz import (
+    DifferentialOracle,
+    FuzzOptions,
+    generate_case,
+    generate_insert_batch,
+    run_fuzz,
+)
+from repro.incremental import (
+    IncrementalError,
+    apply_inserts,
+    dedupe_inserts,
+)
+from repro.query.reference import evaluate_sgf
+
+
+def _recompute_answers(gumbo, query, database, inserts):
+    """Reference answers over a fresh copy of *database* plus *inserts*."""
+    mutated = database.copy()
+    apply_inserts(mutated, dedupe_inserts(mutated, inserts))
+    return {
+        name: frozenset(rel.tuples())
+        for name, rel in evaluate_sgf(gumbo.as_sgf(query), mutated).items()
+    }
+
+
+def _check(query, data, inserts, strategy=None, mode="engine", backend="serial"):
+    """Materialize, refresh, and compare against a full recompute."""
+    database = Database.from_dict(data) if isinstance(data, dict) else data
+    with Gumbo(backend=backend) as gumbo:
+        materialization = gumbo.materialize(query, database.copy(), strategy)
+        expected = _recompute_answers(gumbo, query, database, inserts)
+        delta = gumbo.execute_delta(materialization, inserts, mode=mode)
+        assert materialization.answers() == expected
+        return materialization, delta
+
+
+class TestStatementDeltaRules:
+    def test_insert_into_conditional_adds_output(self):
+        query = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x);"
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2), (3, 4)], "S": [(1,)]},
+            {"S": [(3,)]},
+        )
+        assert delta.added == {"Z": frozenset({(3, 4)})}
+        assert not delta.removed
+        assert delta.affected_guard_tuples == 1  # only the flipped guard row
+
+    def test_insert_into_guard_adds_output(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x);"
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2)], "S": [(1,), (7,)]},
+            {"R": [(7, 7), (9, 9)]},
+        )
+        assert delta.added == {"Z": frozenset({(7,)})}
+        assert not delta.removed
+
+    def test_negation_insert_removes_output(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE NOT T(y);"
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2), (3, 4)], "T": [(4,)]},
+            {"T": [(2,)]},
+        )
+        assert delta.removed == {"Z": frozenset({(1,)})}
+        assert not delta.added
+        assert (1,) not in mat.output("Z")
+
+    def test_projection_support_counting_keeps_shared_output(self):
+        # Both guard rows project to (1,); flipping one must not remove it.
+        query = "Z := SELECT (x) FROM R(x, y) WHERE NOT T(y);"
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2), (1, 3)]},
+            {"T": [(2,)]},
+        )
+        assert not delta.added and not delta.removed
+        assert (1,) in mat.output("Z")
+        # Flip the second supporter too: now the output tuple must go.
+        with Gumbo() as gumbo:
+            db = Database.from_dict({"R": [(1, 2), (1, 3)], "T": [(2,)]})
+            mat2 = gumbo.materialize(query, db, None)
+            d2 = gumbo.execute_delta(mat2, {"T": [(3,)]})
+            assert d2.removed == {"Z": frozenset({(1,)})}
+
+    def test_disjunction_no_false_removal(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x) OR NOT T(y);"
+        _check(
+            query,
+            {"R": [(1, 2), (3, 4)], "S": [(1,)]},
+            {"T": [(2,), (4,)]},
+        )
+
+    def test_intermediate_delta_propagates_to_downstream_guard(self):
+        query = (
+            "Z1 := SELECT (x) FROM R(x, y) WHERE S(x);\n"
+            "Z2 := SELECT (x) FROM Z1(x) WHERE T(x);"
+        )
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2), (3, 4)], "S": [(1,)], "T": [(3,)]},
+            {"S": [(3,)]},
+        )
+        assert delta.added["Z1"] == frozenset({(3,)})
+        assert delta.added["Z2"] == frozenset({(3,)})
+
+    def test_intermediate_removal_propagates_downstream(self):
+        # Inserting into T removes from Z1 (negation), which must remove the
+        # corresponding Z2 tuples downstream.
+        query = (
+            "Z1 := SELECT (x) FROM R(x, y) WHERE NOT T(y);\n"
+            "Z2 := SELECT (x) FROM G(x) WHERE Z1(x);"
+        )
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2)], "G": [(1,)]},
+            {"T": [(2,)]},
+        )
+        assert delta.removed == {
+            "Z1": frozenset({(1,)}),
+            "Z2": frozenset({(1,)}),
+        }
+
+    def test_downstream_negated_intermediate(self):
+        # Z1 gains a tuple -> NOT Z1(x) flips false for a G row.
+        query = (
+            "Z1 := SELECT (x) FROM R(x, y) WHERE S(x);\n"
+            "Z2 := SELECT (x) FROM G(x) WHERE NOT Z1(x);"
+        )
+        mat, delta = _check(
+            query,
+            {"R": [(3, 4)], "G": [(3,)]},
+            {"S": [(3,)]},
+        )
+        assert delta.added["Z1"] == frozenset({(3,)})
+        assert delta.removed["Z2"] == frozenset({(3,)})
+
+    def test_duplicate_and_existing_rows_are_no_ops(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x);"
+        mat, delta = _check(
+            query,
+            {"R": [(1, 2)], "S": [(1,)]},
+            {"R": [(1, 2), (1, 2)], "S": [(1,)]},
+        )
+        assert delta.inserted_tuples == 0
+        assert not delta.added and not delta.removed
+
+    def test_empty_batch_is_a_no_op(self):
+        query = "Z := SELECT (x) FROM R(x, y);"
+        mat, delta = _check(query, {"R": [(1, 2)]}, {})
+        assert delta.inserted_tuples == 0
+        assert delta.affected_guard_tuples == 0
+
+    def test_insert_creates_missing_relation(self):
+        # S is absent from the seed database; the batch brings it to life.
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x);"
+        database = Database.from_dict({"R": [(1, 2), (3, 4)]})
+        mat, delta = _check(query, database, {"S": [(1,)]})
+        assert delta.added == {"Z": frozenset({(1,)})}
+
+    def test_insert_into_output_relation_is_rejected(self):
+        query = "Z := SELECT (x) FROM R(x, y);"
+        with Gumbo() as gumbo:
+            db = Database.from_dict({"R": [(1, 2)]})
+            mat = gumbo.materialize(query, db, None)
+            with pytest.raises(IncrementalError):
+                gumbo.execute_delta(mat, {"Z": [(9,)]})
+
+    def test_guard_constants_and_repeated_variables(self):
+        query = "Z := SELECT (x) FROM R(x, x, 1) WHERE S(x);"
+        _check(
+            query,
+            {"R": [(2, 2, 1), (3, 4, 1), (5, 5, 9)], "S": [(2,)]},
+            {"R": [(7, 7, 1)], "S": [(7,), (5,)]},
+        )
+
+    def test_boolean_keyless_conditional_flip_touches_every_row(self):
+        # W shares no variable with the guard: flipping it re-evaluates all.
+        query = "Z := SELECT (x) FROM R(x) WHERE NOT W(z);"
+        mat, delta = _check(
+            query,
+            {"R": [(1,), (2,), (3,)]},
+            {"W": [(0,)]},
+        )
+        assert delta.removed == {"Z": frozenset({(1,), (2,), (3,)})}
+        assert delta.affected_guard_tuples == 3
+
+
+class TestEngineSeam:
+    def test_engine_and_direct_modes_agree(self):
+        query = (
+            "Z1 := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);\n"
+            "Z2 := SELECT (y) FROM Z1(x, y) WHERE U(y) OR NOT S(x);"
+        )
+        data = {
+            "R": [(1, 2), (3, 4), (5, 6)],
+            "S": [(1,), (3,)],
+            "T": [(6,)],
+            "U": [(2,)],
+        }
+        inserts = {"T": [(2,)], "S": [(5,)], "R": [(7, 8)], "U": [(8,)]}
+        engine_mat, _ = _check(query, dict(data), inserts, mode="engine")
+        direct_mat, _ = _check(query, dict(data), inserts, mode="direct")
+        assert engine_mat.answers() == direct_mat.answers()
+
+    def test_parallel_backend_refresh_matches(self):
+        query = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+        data = {"R": [(1, 2), (3, 4)], "S": [(1,)]}
+        _check(query, data, {"S": [(3,)], "T": [(2,)]}, backend="parallel")
+
+    def test_refresh_counts_engine_runs(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x);"
+        mat, delta = _check(query, {"R": [(1, 2)]}, {"S": [(1,)]})
+        assert delta.engine_runs == 1
+        assert delta.simulated_delta_s > 0.0
+
+    def test_materialization_repr_and_result_refreshed_in_place(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x);"
+        with Gumbo() as gumbo:
+            db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)]})
+            mat = gumbo.materialize(query, db, "auto")
+            result = mat.result  # held by a caller, refreshed in place
+            assert result.output().tuples() == {(1,)}
+            gumbo.execute_delta(mat, {"S": [(3,)]})
+            assert result.output().tuples() == {(1,), (3,)}
+            assert mat.refreshes == 1
+            assert "refreshes=1" in repr(mat)
+
+    def test_repeated_refreshes_accumulate(self):
+        query = "Z := SELECT (x) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+        with Gumbo() as gumbo:
+            db = Database.from_dict({"R": [(1, 2), (3, 4)]})
+            mat = gumbo.materialize(query, db, None)
+            gumbo.execute_delta(mat, {"S": [(1,)]})
+            gumbo.execute_delta(mat, {"S": [(3,)], "T": [(2,)]})
+            gumbo.execute_delta(mat, {"R": [(5, 5)], "S": [(5,)]})
+            expected = _recompute_answers(gumbo, query, db, {})
+            assert mat.answers() == expected
+
+
+# -- hypothesis property: incremental == recompute ------------------------------
+
+_ORACLE = None
+
+
+def _shared_oracle() -> DifferentialOracle:
+    global _ORACLE
+    if _ORACLE is None:
+        _ORACLE = DifferentialOracle(
+            backends=("serial",), include_dynamic=False, check_metrics=False
+        )
+    return _ORACLE
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    index=st.integers(min_value=0, max_value=31),
+)
+def test_property_incremental_equals_recompute(seed, index):
+    """Random program + random insert batch: refresh == full recompute."""
+    case = generate_case(seed, index)
+    inserts = generate_insert_batch(seed, index, case.program)
+    divergences = _shared_oracle().check_incremental(
+        case.program, case.database, inserts
+    )
+    assert not divergences, "\n".join(str(d) for d in divergences)
+
+
+# -- the oracle campaign ---------------------------------------------------------
+
+
+def test_incremental_oracle_campaign_200_cases_both_backends():
+    """≥200 cases, all applicable strategies × both backends: no divergence."""
+    report = run_fuzz(
+        FuzzOptions(
+            seed=29,
+            iterations=200,
+            workers=2,
+            incremental=True,
+            stop_on_failure=False,
+        )
+    )
+    details = "\n\n".join(c.describe() for c in report.counterexamples)
+    assert report.ok, f"incremental oracle found divergences:\n{details}"
+    assert report.cases_run == 200
+    # The sweep covered a real matrix: strategies × (2 backends + direct).
+    assert report.combinations_checked >= 200 * 3
+
+
+def test_corrupted_delta_rule_is_detected_and_shrunk(monkeypatch):
+    """Breaking removal propagation must surface as incremental divergences."""
+    from repro.incremental.materialize import _StatementState
+
+    original = _StatementState._bump
+
+    def corrupted(self, out, delta, added, removed):
+        if delta < 0:
+            return  # deletions silently dropped: negation handling broken
+        original(self, out, delta, added, removed)
+
+    monkeypatch.setattr(_StatementState, "_bump", corrupted)
+    report = run_fuzz(
+        FuzzOptions(seed=5, iterations=40, backends=("serial",), incremental=True)
+    )
+    assert not report.ok
+    counterexample = report.counterexamples[0]
+    assert counterexample.inserts is not None
+    assert any(
+        d.kind in ("incremental", "error")
+        for d in counterexample.shrunk_divergences
+    )
+    script = counterexample.script()
+    assert "check_incremental" in script
+    assert "inserts" in script

@@ -121,7 +121,10 @@ class TestQueryEdgeCases:
         from repro.model.database import Database
 
         db = Database.from_dict({"Rel_1": [(1, 1)], "S2": [(1,)]})
-        query = parse_bsgf("Out_1 := SELECT (col_a, col_b) FROM Rel_1(col_a, col_b) WHERE S2(col_a);")
+        query = parse_bsgf(
+            "Out_1 := SELECT (col_a, col_b) FROM Rel_1(col_a, col_b) "
+            "WHERE S2(col_a);"
+        )
         result = Gumbo().execute(query, db, "seq")
         assert as_set(result.output("Out_1")) == {(1, 1)}
 

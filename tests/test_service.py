@@ -281,3 +281,207 @@ class TestServiceResultSurface:
             payload = service.stats().as_dict()
             assert payload["queries_served"] == 1
             assert 0.0 <= payload["plan_cache"]["hit_rate"] <= 1.0
+
+
+class TestIncrementalServing:
+    def test_materialize_registers_and_serves_result(self):
+        with QueryService(small_database()) as service:
+            first = service.materialize(SIMPLE_QUERY)
+            assert not first.plan_cached  # the one cold planning miss
+            hit = service.execute(SIMPLE_QUERY)
+            assert hit.plan_cached
+            assert hit.result.output().tuples() == first.result.output().tuples()
+            stats = service.stats()
+            assert stats.materialized_results == 1
+            assert stats.materialized_hits == 1
+
+    def test_materialize_twice_serves_from_first(self):
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            again = service.materialize(SIMPLE_QUERY)
+            assert again.plan_cached
+            assert service.stats().materialized_results == 1
+
+    def test_incremental_add_tuples_refreshes_instead_of_invalidating(self):
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            version = service.database_version
+            deltas = service.add_tuples("S", [(7,)], incremental=True)
+            assert len(deltas) == 1
+            assert deltas[0].added == {"Z": frozenset({(7, 8)})}
+            # No invalidation: version unchanged, plans and stats kept.
+            assert service.database_version == version
+            assert len(service.plan_cache) == 1
+            served = service.execute(SIMPLE_QUERY)
+            expected = evaluate_sgf(parse_sgf(SIMPLE_QUERY), service.database)
+            assert served.result.output().tuples() == expected["Z"].tuples()
+
+    def test_incremental_refresh_matches_negation_removal(self):
+        with QueryService(small_database()) as service:
+            service.materialize(NESTED_QUERY)
+            # (1, 2) is in Z (M(1) holds, NOT T(2)); inserting (2,) into T
+            # must *remove* it incrementally.
+            deltas = service.add_tuples("T", [(2,)], incremental=True)
+            assert any((1, 2) in d.removed.get("Z", ()) for d in deltas)
+            served = service.execute(NESTED_QUERY)
+            expected = evaluate_sgf(parse_sgf(NESTED_QUERY), service.database)
+            assert served.result.output().tuples() == expected["Z"].tuples()
+
+    def test_incremental_updates_catalog_statistics_in_place(self):
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            before = service.stats().statistics_rebuilds
+            from repro.model.atoms import Atom
+            from repro.model.terms import Variable
+
+            atom = Atom("S", (Variable("x"),))
+            old_count = service.estimator().catalog.atom_count(atom)
+            service.add_tuples("S", [(100,), (101,)], incremental=True)
+            new_count = service.estimator().catalog.atom_count(atom)
+            assert new_count == old_count + 2
+            # No statistics rebuild happened: the catalog was patched.
+            assert service.stats().statistics_rebuilds == before
+
+    def test_served_materialized_result_is_isolated_snapshot(self):
+        with QueryService(small_database()) as service:
+            served = service.materialize(SIMPLE_QUERY)
+            served.result.output().add((99, 99))  # caller mutates its copy
+            again = service.execute(SIMPLE_QUERY)
+            assert (99, 99) not in again.result.output()
+
+    def test_invalidate_drops_materializations(self):
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            service.invalidate()
+            assert service.stats().materialized_results == 0
+            # Serving still works (re-plans from scratch).
+            result = service.execute(SIMPLE_QUERY)
+            assert "Z" in result.outputs
+
+    def test_non_incremental_add_tuples_still_invalidates(self):
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            version = service.database_version
+            assert service.add_tuples("S", [(3,)]) is None
+            assert service.database_version == version + 1
+            assert service.stats().materialized_results == 0
+
+
+class TestMetricsHistory:
+    def test_history_accumulates_per_fingerprint(self):
+        with QueryService(small_database()) as service:
+            service.execute(SIMPLE_QUERY)
+            service.execute(SIMPLE_QUERY)
+            service.execute(NESTED_QUERY)
+            history = service.metrics_history()
+            assert len(history) == 2
+            counts = sorted(h.queries for h in history.values())
+            assert counts == [1, 2]
+            assert all(h.plan_s_total >= 0.0 for h in history.values())
+
+    def test_history_preserved_across_invalidations(self):
+        with QueryService(small_database()) as service:
+            service.execute(SIMPLE_QUERY)
+            before = service.metrics_history()
+            before_hits = service.plan_cache.stats.hits
+            before_misses = service.plan_cache.stats.misses
+            service.mutate(lambda db: db["S"].add((3,)))
+            service.add_tuples("T", [(2,)])
+            service.invalidate()
+            history = service.metrics_history()
+            assert {k: v.as_dict() for k, v in history.items()} == {
+                k: v.as_dict() for k, v in before.items()
+            }
+            # The plan cache's cumulative counters also survive clears.
+            assert service.plan_cache.stats.hits == before_hits
+            assert service.plan_cache.stats.misses == before_misses
+            # And serving after the invalidations extends the same history.
+            service.execute(SIMPLE_QUERY)
+            fingerprint = next(iter(before))
+            assert service.metrics_history()[fingerprint].queries == 2
+
+    def test_history_counts_materialized_hits(self):
+        with QueryService(small_database()) as service:
+            first = service.materialize(SIMPLE_QUERY)
+            service.execute(SIMPLE_QUERY)
+            history = service.metrics_history()[first.fingerprint]
+            assert history.queries == 2
+            # The initial materialize executed for real; the second call hit.
+            assert history.materialized_hits == 1
+
+    def test_stats_as_dict_includes_incremental_counters(self):
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            service.add_tuples("S", [(3,)], incremental=True)
+            payload = service.stats().as_dict()
+            assert payload["materialized_results"] == 1
+            assert payload["incremental_refreshes"] == 1
+            assert payload["metrics_histories"] == 1
+
+
+class TestIncrementalFailureSafety:
+    def test_arity_mismatch_rejected_before_any_mutation(self):
+        from repro.model.relation import SchemaError
+
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            before = len(service.database["S"])
+            with pytest.raises(SchemaError):
+                service.add_tuples("S", [(1,), (2, 3)], incremental=True)
+            assert len(service.database["S"]) == before
+            # Nothing was invalidated either: the batch never started.
+            assert service.stats().materialized_results == 1
+
+    def test_insert_into_output_rejected_without_invalidation(self):
+        from repro.incremental import IncrementalError
+
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+            with pytest.raises(IncrementalError):
+                service.add_tuples("Z", [(9, 9)], incremental=True)
+            assert service.stats().materialized_results == 1
+
+    def test_crash_mid_refresh_invalidates_everything(self, monkeypatch):
+        import repro.service.service as service_module
+
+        with QueryService(small_database()) as service:
+            service.materialize(SIMPLE_QUERY)
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("refresh crashed")
+
+            monkeypatch.setattr(service_module, "refresh_all", boom)
+            with pytest.raises(RuntimeError):
+                service.add_tuples("S", [(3,)], incremental=True)
+            # Fail safe: no stale materializations or plans survive.
+            stats = service.stats()
+            assert stats.materialized_results == 0
+            assert len(service.plan_cache) == 0
+            monkeypatch.undo()
+            # Serving still works and reflects the database as it stands.
+            result = service.execute(SIMPLE_QUERY)
+            expected = evaluate_sgf(parse_sgf(SIMPLE_QUERY), service.database)
+            assert result.result.output().tuples() == expected["Z"].tuples()
+
+    def test_concurrent_materialize_and_incremental_batches(self):
+        """materialize() racing incremental batches never serves stale rows."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        with QueryService(small_database()) as service:
+            def mutate(start):
+                for value in range(start, start + 5):
+                    service.add_tuples("S", [(value,)], incremental=True)
+
+            def build():
+                return service.materialize(SIMPLE_QUERY)
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [pool.submit(mutate, 100), pool.submit(mutate, 200)]
+                builds = [pool.submit(build) for _ in range(3)]
+                for future in futures + builds:
+                    future.result()
+            # Whatever interleaving happened, the final served answer must
+            # equal the reference evaluation of the final database.
+            served = service.execute(SIMPLE_QUERY)
+            expected = evaluate_sgf(parse_sgf(SIMPLE_QUERY), service.database)
+            assert served.result.output().tuples() == expected["Z"].tuples()
