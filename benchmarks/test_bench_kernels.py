@@ -1,0 +1,112 @@
+"""Benchmark — the batch-kernel execution path vs tuple-at-a-time interpretation.
+
+Measures the real wall-clock advantage of the kernelised execution path
+(``GumboOptions.kernel_mode``) on workload A3: the same pre-planned program
+is executed with ``kernel_mode="off"`` (the interpreted map/combine/shuffle/
+reduce loop) and with ``kernel_mode="on"`` (compiled matchers + set-based
+semi-join kernels + metrics-from-counts accounting), on the serial backend.
+Planning is excluded from the timings (one shared plan per mode), so the
+ratio isolates the execution engine.  Before any timing is trusted, the two
+paths are verified to produce identical output relations **and** identical
+simulated metrics.
+
+The acceptance bar is a ≥ 3× wall-clock speedup at 4 000 guard tuples; in
+practice the kernel lands around 5×.
+
+Results are written to ``BENCH_kernels.json`` (override the path with
+``REPRO_BENCH_KERNELS_JSON``) so CI can archive the perf trajectory and gate
+regressions against the committed floor
+(``benchmarks/baselines/kernels.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from repro.core.gumbo import Gumbo
+from repro.core.options import GumboOptions
+from repro.workloads.queries import database_for, workload_query
+
+#: Guard-relation cardinality of the benchmark workload (the acceptance
+#: setup requires >= 4000).
+DEFAULT_TUPLES = int(os.environ.get("REPRO_BENCH_KERNEL_TUPLES", 4_000))
+
+#: Where the JSON artifact is written.
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_KERNELS_JSON", "BENCH_kernels.json")
+
+#: Timed repetitions (medians reported).
+REPEATS = 3
+
+#: Strategy under test; GREEDY exercises the MSJ + EVAL pipeline (the 1-ROUND
+#: fused job is additionally covered by the CLI comparison and parity tests).
+STRATEGY = "greedy"
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_bench_kernel_vs_interpreted(capsys):
+    query = workload_query("A3")
+    database = database_for(query, guard_tuples=DEFAULT_TUPLES, seed=7)
+
+    results = {}
+    timings = {}
+    for mode in ("off", "on"):
+        gumbo = Gumbo(options=GumboOptions(kernel_mode=mode))
+        program = gumbo.plan(query, database, STRATEGY)
+        times = []
+        for _ in range(REPEATS):
+            start = perf_counter()
+            result = gumbo.execute_program(query, database, program, STRATEGY)
+            times.append(perf_counter() - start)
+        results[mode] = result
+        timings[mode] = _median(times)
+
+    # Correctness first: identical outputs and identical simulated metrics.
+    interpreted, kernel = results["off"], results["on"]
+    assert set(interpreted.all_outputs) == set(kernel.all_outputs)
+    for name in interpreted.all_outputs:
+        assert (
+            interpreted.all_outputs[name].tuples() == kernel.all_outputs[name].tuples()
+        ), name
+    assert interpreted.summary() == kernel.summary()
+    for job_id, expected in interpreted.metrics.job_metrics.items():
+        got = kernel.metrics.job_metrics[job_id]
+        assert expected.partitions == got.partitions, job_id
+        assert expected.reduce_task_durations == got.reduce_task_durations, job_id
+
+    speedup = (
+        timings["off"] / timings["on"] if timings["on"] > 0 else float("inf")
+    )
+    payload = {
+        "workload": "A3",
+        "strategy": STRATEGY,
+        "guard_tuples": DEFAULT_TUPLES,
+        "interpreted_s": timings["off"],
+        "kernel_s": timings["on"],
+        "kernel_speedup": speedup,
+        "output_tuples": sum(len(rel) for rel in kernel.all_outputs.values()),
+    }
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"kernel benchmark (A3, {DEFAULT_TUPLES} guard tuples, "
+            f"strategy {STRATEGY}, serial backend)"
+        )
+        print(f"  interpreted (median): {timings['off'] * 1e3:9.3f} ms")
+        print(f"  kernel (median):      {timings['on'] * 1e3:9.3f} ms")
+        print(f"  speedup:              {speedup:9.2f}x")
+        print(f"  artifact:             {ARTIFACT_PATH}")
+
+    # The acceptance bar: the kernel path beats interpretation >= 3x on A3.
+    assert speedup >= 3.0, (
+        f"kernel path too slow: {timings['on'] * 1e3:.3f} ms vs interpreted "
+        f"{timings['off'] * 1e3:.3f} ms ({speedup:.2f}x)"
+    )

@@ -65,6 +65,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .core.gumbo import Gumbo
 from .core.options import GumboOptions
 from .exec import BACKEND_NAMES, make_backend
+from .mapreduce.kernels import KERNEL_MODES
 from .fuzz import FuzzConfig, FuzzOptions, run_fuzz
 from .fuzz.profiles import PROFILE_NAMES
 from .experiments import (
@@ -86,6 +87,7 @@ from .service import QueryService
 from .workloads.queries import (
     bsgf_query_set,
     database_for,
+    section5_workloads,
     sgf_query,
     workload_query,
 )
@@ -168,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (default: CPU count)",
     )
     bench.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    bench.add_argument(
+        "--kernels",
+        action="store_true",
+        help="instead of comparing backends, compare the interpreted vs the "
+        "batch-kernel execution path (wall-clock, serial backend) on every "
+        "Section 5 workload, verifying identical outputs and metrics",
+    )
 
     auto = subparsers.add_parser(
         "auto", help="show the cost-based strategy choice for a paper workload"
@@ -335,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cost-based AUTO meta-strategy",
     )
     fuzz.add_argument(
+        "--no-kernel-axis",
+        action="store_true",
+        help="skip the batch-kernel execution axes (<backend>+kernel)",
+    )
+    fuzz.add_argument(
         "--keep-going",
         action="store_true",
         help="continue the campaign after the first divergence",
@@ -394,6 +408,14 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-tuple-reference", action="store_true", help="disable tuple references"
     )
+    parser.add_argument(
+        "--kernel-mode",
+        default="auto",
+        choices=list(KERNEL_MODES),
+        help="batch-kernel execution path: auto (kernel on the serial "
+        "engine), on (kernel everywhere), off (always interpret); outputs "
+        "and simulated metrics are identical in every mode (default auto)",
+    )
 
 
 def _read_query_text(args: argparse.Namespace) -> str:
@@ -410,6 +432,7 @@ def _gumbo_for(args: argparse.Namespace) -> Gumbo:
         tuple_reference=not args.no_tuple_reference,
         backend=getattr(args, "backend", "serial"),
         workers=getattr(args, "workers", None),
+        kernel_mode=getattr(args, "kernel_mode", "auto"),
     )
     return Gumbo(
         engine=environment.engine(),
@@ -502,8 +525,57 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_kernels(args: argparse.Namespace) -> int:
+    """Interpreted vs batch-kernel wall-clock, per Section 5 workload."""
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    print(
+        f"kernel benchmark ({args.guard_tuples} guard tuples, "
+        f"strategy {args.strategy}, serial backend)"
+    )
+    header = (
+        f"{'workload':<10} {'interpreted_s':>14} {'kernel_s':>12} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    identical = True
+    for query_id, query in section5_workloads():
+        database = database_for(
+            query,
+            guard_tuples=args.guard_tuples,
+            selectivity=args.selectivity,
+            seed=args.seed,
+        )
+        results = {}
+        timings = {}
+        for mode in ("off", "on"):
+            gumbo = Gumbo(
+                engine=environment.engine(),
+                options=GumboOptions(kernel_mode=mode),
+            )
+            start = perf_counter()
+            results[mode] = gumbo.execute(query, database, args.strategy)
+            timings[mode] = perf_counter() - start
+        same = results["off"].summary() == results["on"].summary() and {
+            name: rel.tuples() for name, rel in results["off"].all_outputs.items()
+        } == {name: rel.tuples() for name, rel in results["on"].all_outputs.items()}
+        identical = identical and same
+        speedup = timings["off"] / timings["on"] if timings["on"] > 0 else float("inf")
+        flag = "" if same else "  DIVERGED"
+        print(
+            f"{query_id:<10} {timings['off']:>14.3f} {timings['on']:>12.3f} "
+            f"{speedup:>7.2f}x{flag}"
+        )
+    print(
+        f"outputs and simulated metrics identical across paths: "
+        f"{'yes' if identical else 'NO'}"
+    )
+    return 0 if identical else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     """Run one workload on both backends and print a comparison table."""
+    if args.kernels:
+        return _command_bench_kernels(args)
     query_id = args.query_id.upper()
     if query_id.startswith("C"):
         queries = sgf_query(query_id)
@@ -847,6 +919,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         stop_on_failure=not args.keep_going,
         include_dynamic=not args.no_dynamic,
         include_auto=not args.no_auto,
+        kernel_axis=not args.no_kernel_axis,
         incremental=args.incremental,
     )
     report = run_fuzz(options)

@@ -31,10 +31,23 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from ..mapreduce.kernels import (
+    MapBatch,
+    PackedChunkAccumulator,
+    PlainPairAccumulator,
+)
 from ..model.atoms import Atom
 from ..model.terms import Variable
 from ..query.conditions import And, AtomCondition, Condition, Not, Or, TrueCondition
-from .messages import AssertMessage, RequestMessage, pack_messages, unpack_messages
+from .messages import (
+    AssertMessage,
+    FIELD_BYTES,
+    RequestMessage,
+    TAG_BYTES,
+    TUPLE_REFERENCE_BYTES,
+    pack_messages,
+    unpack_messages,
+)
 from .options import GumboOptions
 
 
@@ -186,6 +199,94 @@ class SemiJoinChainJob(MapReduceJob):
                 projected = tuple(binding[v] for v in self.projection)
                 yield (self.output_name, projected if projected else (row[0],))
 
+    # -- batch kernel ----------------------------------------------------------------
+
+    def supports_kernel(self) -> bool:
+        return True
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        """Kernelised map: collect request rows / assert keys with exact pair
+        accounting (the chain job packs messages like the MSJ job does)."""
+        row_len = next((len(r) for c in chunks for r in c), None)
+        guard = None
+        if relation == self.input_name:
+            compiled = self.guard_atom.compile()
+            if compiled.arity == row_len:
+                guard = (
+                    compiled.matcher,
+                    compiled.extractor(self.join_key),
+                    TAG_BYTES
+                    + (
+                        TUPLE_REFERENCE_BYTES
+                        if self.options.tuple_reference
+                        else max(1, self.guard_atom.arity) * FIELD_BYTES
+                    ),
+                )
+        literal = None
+        if relation == self.literal.atom.relation:
+            compiled = self.literal.atom.compile()
+            if compiled.arity == row_len:
+                literal = (compiled.matcher, compiled.extractor(self.join_key))
+        requests: List[tuple] = []
+        asserted: set = set()
+        packed = self.uses_combiner()
+        acc = (
+            PackedChunkAccumulator(self, TAG_BYTES)
+            if packed
+            else PlainPairAccumulator(self)
+        )
+        for chunk in chunks:
+            for row in chunk:
+                if guard is not None:
+                    matcher, key_of, request_size = guard
+                    if matcher is None or matcher(row):
+                        key = key_of(row)
+                        requests.append((key, row))
+                        if packed:
+                            acc.add_request(key, request_size)
+                        else:
+                            acc.add_pair(key, request_size)
+                if literal is not None:
+                    matcher, key_of = literal
+                    if matcher is None or matcher(row):
+                        key = key_of(row)
+                        asserted.add(key)
+                        if packed:
+                            acc.add_assert(key, 0)
+                        else:
+                            acc.add_pair(key, TAG_BYTES)
+            acc.flush()
+        return MapBatch(
+            relation=relation,
+            intermediate_bytes=acc.intermediate_bytes,
+            output_records=acc.records,
+            key_bytes=acc.key_bytes,
+            data=(requests, asserted),
+        )
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        """Kernelised reduce: one hash semi-join (anti-join when negative)."""
+        asserted: set = set()
+        for batch in batches:
+            asserted.update(batch.data[1])
+        positive = self.literal.positive
+        rows: set = set()
+        if self.projection is not None:
+            project = self.guard_atom.compile().extractor(self.projection)
+            projects = bool(self.projection)
+        else:
+            project = None
+            projects = False
+        for batch in batches:
+            for key, row in batch.data[0]:
+                if (key in asserted) != positive:
+                    continue
+                if project is None:
+                    rows.add(row)
+                else:
+                    rows.add(project(row) if projects else (row[0],))
+        return {self.output_name: rows}
+
     def __repr__(self) -> str:
         return (
             f"SemiJoinChainJob({self.job_id!r}: {self.input_name} "
@@ -245,6 +346,44 @@ class UnionProjectJob(MapReduceJob):
 
     def value_bytes(self, value: object) -> int:
         return 1
+
+    # -- batch kernel ----------------------------------------------------------------
+
+    def supports_kernel(self) -> bool:
+        return True
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        """Kernelised map: project every conforming row (1-byte values, no
+        combiner, so pair accounting is a straight per-row accumulation)."""
+        compiled = self.guard_atom.compile()
+        row_len = next((len(r) for c in chunks for r in c), None)
+        keys: set = set()
+        acc = PlainPairAccumulator(self)
+        if compiled.arity == row_len:
+            matcher = compiled.matcher
+            project = compiled.extractor(self.projection)
+            projects = bool(self.projection)
+            for chunk in chunks:
+                for row in chunk:
+                    if matcher is not None and not matcher(row):
+                        continue
+                    key = project(row) if projects else (row[0],)
+                    keys.add(key)
+                    acc.add_pair(key, 1)
+        return MapBatch(
+            relation=relation,
+            intermediate_bytes=acc.intermediate_bytes,
+            output_records=acc.records,
+            key_bytes=acc.key_bytes,
+            data=keys,
+        )
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        """Kernelised reduce: the deduplicating union is a set union."""
+        rows: set = set()
+        for batch in batches:
+            rows.update(batch.data)
+        return {self.output_name: rows}
 
     def __repr__(self) -> str:
         return f"UnionProjectJob({self.job_id!r}: {self.input_names} -> {self.output_name})"

@@ -24,6 +24,7 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from ..mapreduce.kernels import MapBatch, PlainPairAccumulator
 from ..model.atoms import Atom
 from ..query.bsgf import BSGFQuery
 from .messages import (
@@ -164,6 +165,100 @@ class EvalJob(MapReduceJob):
         if self.options.tuple_reference:
             return TAG_BYTES + TUPLE_REFERENCE_BYTES
         return TAG_BYTES + fields * FIELD_BYTES
+
+    # -- batch kernel ----------------------------------------------------------------
+
+    def supports_kernel(self) -> bool:
+        return True
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        """Kernelised map: count the pairs, collect rows for the set-probe.
+
+        Intermediate relations contribute one membership message per row;
+        guard relations one guard message per (target, conforming row).  Both
+        message kinds serialise to ``TAG_BYTES``; keys are ``(target,) +
+        row``, so the pair accounting is a straight per-row accumulation (the
+        EVAL job uses no combiner).
+        """
+        acc = PlainPairAccumulator(self)
+        membership = self._membership.get(relation)
+        if membership is not None:
+            rows: set = set()
+            for chunk in chunks:
+                for row in chunk:
+                    rows.add(row)
+                    acc.add_pair((membership[0],) + row, TAG_BYTES)
+            return MapBatch(
+                relation=relation,
+                intermediate_bytes=acc.intermediate_bytes,
+                output_records=acc.records,
+                key_bytes=acc.key_bytes,
+                data=("member", membership, rows),
+            )
+        guards = []
+        row_len = next((len(r) for c in chunks for r in c), None)
+        for t_index, target in enumerate(self.targets):
+            if target.guard.relation != relation:
+                continue
+            compiled = target.guard.compile()
+            if compiled.arity == row_len:
+                guards.append((t_index, compiled.matcher))
+        conforming: Dict[int, List[Tuple[object, ...]]] = {t: [] for t, _ in guards}
+        for chunk in chunks:
+            for row in chunk:
+                for t_index, matcher in guards:
+                    if matcher is not None and not matcher(row):
+                        continue
+                    conforming[t_index].append(row)
+                    acc.add_pair((t_index,) + row, TAG_BYTES)
+        return MapBatch(
+            relation=relation,
+            intermediate_bytes=acc.intermediate_bytes,
+            output_records=acc.records,
+            key_bytes=acc.key_bytes,
+            data=("guard", conforming),
+        )
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        """Kernelised reduce: per guard row a membership bitmask, memoised
+        Boolean evaluation per distinct mask, projection via compiled
+        extractors."""
+        members: Dict[Tuple[int, int], set] = {}
+        guard_rows: Dict[int, List[Tuple[object, ...]]] = {}
+        for batch in batches:
+            kind = batch.data[0]
+            if kind == "member":
+                members[batch.data[1]] = batch.data[2]
+            else:
+                for t_index, rows in batch.data[1].items():
+                    guard_rows.setdefault(t_index, []).extend(rows)
+        outputs: Dict[str, set] = {t.output: set() for t in self.targets}
+        for t_index, target in enumerate(self.targets):
+            rows = guard_rows.get(t_index)
+            if not rows:
+                continue
+            atoms = target.query.conditional_atoms
+            index_of = {atom: i for i, atom in enumerate(atoms)}
+            sets = [members.get((t_index, i), frozenset()) for i in range(len(atoms))]
+            condition = target.query.condition
+            project = target.guard.compile().extractor(target.query.projection)
+            projects = bool(target.query.projection)
+            sink = outputs[target.output]
+            mask_memo: Dict[int, bool] = {}
+            for row in rows:
+                mask = 0
+                for i, present in enumerate(sets):
+                    if row in present:
+                        mask |= 1 << i
+                holds = mask_memo.get(mask)
+                if holds is None:
+                    holds = condition.evaluate(
+                        lambda atom: mask >> index_of[atom] & 1 == 1
+                    )
+                    mask_memo[mask] = holds
+                if holds:
+                    sink.add(project(row) if projects else (row[0],))
+        return outputs
 
     def __repr__(self) -> str:
         inner = ", ".join(t.output for t in self.targets)

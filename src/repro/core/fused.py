@@ -23,10 +23,23 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from ..mapreduce.kernels import (
+    MapBatch,
+    PackedChunkAccumulator,
+    PlainPairAccumulator,
+)
 from ..model.atoms import Atom
 from ..model.terms import Variable
 from ..query.bsgf import BSGFQuery
-from .messages import AssertMessage, RequestMessage, pack_messages, unpack_messages
+from .messages import (
+    AssertMessage,
+    FIELD_BYTES,
+    RequestMessage,
+    TAG_BYTES,
+    TUPLE_REFERENCE_BYTES,
+    pack_messages,
+    unpack_messages,
+)
 from .options import GumboOptions
 
 
@@ -163,6 +176,158 @@ class FusedOneRoundJob(MapReduceJob):
             projected = tuple(binding[v] for v in query.projection)
             yield (query.output, projected if projected else (message.payload[0],))
 
+    # -- batch kernel ----------------------------------------------------------------
+
+    def supports_kernel(self) -> bool:
+        return True
+
+    def _kernel(self) -> "_FusedKernel":
+        kernel = self.__dict__.get("_kernel_cache")
+        if kernel is None:
+            kernel = self.__dict__["_kernel_cache"] = _FusedKernel(self)
+        return kernel
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        return self._kernel().map_batch(relation, chunks)
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        return self._kernel().reduce_batch(batches)
+
     def __repr__(self) -> str:
         inner = ", ".join(q.output for q in self.queries)
         return f"FusedOneRoundJob({self.job_id!r}: {inner})"
+
+
+class _FusedKernel:
+    """Set-based evaluation plan for one :class:`FusedOneRoundJob`.
+
+    The shared join key means every query can be evaluated as: build one key
+    set per conditional atom tag, compute per guard row its membership
+    bitmask over the query's atoms, and evaluate the Boolean condition once
+    per distinct mask (memoised).  Pair accounting mirrors the interpreted
+    map+combiner exactly: keys are ``(query index,) + join-key values``,
+    requests carry the full guard row, asserts deduplicate per chunk-key
+    under message packing.
+    """
+
+    def __init__(self, job: FusedOneRoundJob) -> None:
+        self.job = job
+        by_reference = job.options.tuple_reference
+        #: relation -> [(q index, arity, matcher, key extractor, req size)]
+        self.guards: Dict[str, List[tuple]] = {}
+        #: relation -> [(tag, q index, arity, matcher, key extractor)]
+        self.tags: Dict[str, List[tuple]] = {}
+        for q_index, query in enumerate(job.queries):
+            compiled = query.guard.compile()
+            request_size = TAG_BYTES + (
+                TUPLE_REFERENCE_BYTES
+                if by_reference
+                else max(1, query.guard.arity) * FIELD_BYTES
+            )
+            self.guards.setdefault(query.guard.relation, []).append(
+                (
+                    q_index,
+                    compiled.arity,
+                    compiled.matcher,
+                    compiled.extractor(job._join_keys[q_index]),
+                    request_size,
+                )
+            )
+        for tag, (q_index, atom, join_key) in enumerate(job._tags):
+            compiled = atom.compile()
+            self.tags.setdefault(atom.relation, []).append(
+                (
+                    tag,
+                    q_index,
+                    compiled.arity,
+                    compiled.matcher,
+                    compiled.extractor(join_key),
+                )
+            )
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        job = self.job
+        row_len = next((len(r) for c in chunks for r in c), None)
+        guards = [g for g in self.guards.get(relation, ()) if g[1] == row_len]
+        tags = [t for t in self.tags.get(relation, ()) if t[2] == row_len]
+        probe: Dict[int, List[tuple]] = {g[0]: [] for g in guards}
+        build: Dict[int, set] = {t[0]: set() for t in tags}
+        packed = job.uses_combiner()
+        acc = (
+            PackedChunkAccumulator(job, TAG_BYTES)
+            if packed
+            else PlainPairAccumulator(job)
+        )
+        for chunk in chunks:
+            for row in chunk:
+                for q_index, _, matcher, key_of, request_size in guards:
+                    if matcher is not None and not matcher(row):
+                        continue
+                    key_values = key_of(row)
+                    probe[q_index].append((key_values, row))
+                    key = (q_index,) + key_values
+                    if packed:
+                        acc.add_request(key, request_size)
+                    else:
+                        acc.add_pair(key, request_size)
+                for tag, q_index, _, matcher, key_of in tags:
+                    if matcher is not None and not matcher(row):
+                        continue
+                    key_values = key_of(row)
+                    build[tag].add(key_values)
+                    key = (q_index,) + key_values
+                    if packed:
+                        acc.add_assert(key, tag)
+                    else:
+                        acc.add_pair(key, TAG_BYTES)
+            acc.flush()
+        return MapBatch(
+            relation=relation,
+            intermediate_bytes=acc.intermediate_bytes,
+            output_records=acc.records,
+            key_bytes=acc.key_bytes,
+            data=(probe, build),
+        )
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        job = self.job
+        asserted: Dict[int, set] = {}
+        for batch in batches:
+            for tag, keys in batch.data[1].items():
+                existing = asserted.get(tag)
+                if existing is None:
+                    asserted[tag] = set(keys)
+                else:
+                    existing.update(keys)
+        guard_pairs: Dict[int, List[tuple]] = {}
+        for batch in batches:
+            for q_index, pairs in batch.data[0].items():
+                guard_pairs.setdefault(q_index, []).extend(pairs)
+        outputs: Dict[str, set] = {q.output: set() for q in job.queries}
+        for q_index, query in enumerate(job.queries):
+            pairs = guard_pairs.get(q_index)
+            if not pairs:
+                continue
+            atom_tags = job._atom_tags[q_index]
+            tag_list = list(atom_tags.items())  # (atom, tag) in atom order
+            bit_of = {atom: i for i, (atom, _) in enumerate(tag_list)}
+            sets = [asserted.get(tag, frozenset()) for _, tag in tag_list]
+            condition = query.condition
+            project = query.guard.compile().extractor(query.projection)
+            projects = bool(query.projection)
+            sink = outputs[query.output]
+            mask_memo: Dict[int, bool] = {}
+            for key_values, row in pairs:
+                mask = 0
+                for i, keys in enumerate(sets):
+                    if key_values in keys:
+                        mask |= 1 << i
+                holds = mask_memo.get(mask)
+                if holds is None:
+                    holds = condition.evaluate(
+                        lambda atom: mask >> bit_of[atom] & 1 == 1
+                    )
+                    mask_memo[mask] = holds
+                if holds:
+                    sink.add(project(row) if projects else (row[0],))
+        return outputs

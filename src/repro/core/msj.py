@@ -35,6 +35,11 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from ..mapreduce.kernels import (
+    MapBatch,
+    PackedChunkAccumulator,
+    PlainPairAccumulator,
+)
 from ..model.atoms import Atom
 from ..model.terms import Variable
 from ..query.bsgf import SemiJoinSpec
@@ -42,6 +47,7 @@ from .messages import (
     AssertMessage,
     FIELD_BYTES,
     RequestMessage,
+    TAG_BYTES,
     TUPLE_REFERENCE_BYTES,
     pack_messages,
     unpack_messages,
@@ -192,9 +198,150 @@ class MSJJob(MapReduceJob):
                 spec = self.specs[message.index]
                 yield (spec.output, message.payload)
 
+    # -- batch kernel ----------------------------------------------------------------
+
+    def supports_kernel(self) -> bool:
+        return True
+
+    def _kernel(self) -> "_MSJKernel":
+        kernel = self.__dict__.get("_kernel_cache")
+        if kernel is None:
+            kernel = self.__dict__["_kernel_cache"] = _MSJKernel(self)
+        return kernel
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        return self._kernel().map_batch(relation, chunks)
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        return self._kernel().reduce_batch(batches)
+
     def __repr__(self) -> str:
         inner = ", ".join(spec.output for spec in self.specs)
         return f"MSJJob({self.job_id!r}: {inner})"
+
+
+class _MSJKernel:
+    """Set-based evaluation plan for one :class:`MSJJob`.
+
+    Built lazily per process (and dropped when the job is pickled to parallel
+    workers): per input relation, the guard specs and conditional tags that
+    read it, each with a compiled matcher, a join-key extractor and — for
+    guards — the payload extractor and the constant serialized request size.
+    The map kernel probes rows against these and accumulates the exact pair
+    accounting of the interpreted map+combiner; the reduce kernel is a hash
+    semi-join: per conditional tag a set of asserted keys, probed by the
+    guard-side (key, payload) pairs.
+    """
+
+    def __init__(self, job: MSJJob) -> None:
+        self.job = job
+        #: relation -> [(spec index, arity, matcher, key extractor,
+        #:               payload extractor or None for full rows, req size)]
+        self.guards: Dict[str, List[tuple]] = {}
+        #: relation -> [(tag index, arity, matcher, key extractor)]
+        self.tags: Dict[str, List[tuple]] = {}
+        by_reference = job.options.tuple_reference
+        for index, spec in enumerate(job.specs):
+            compiled = spec.guard.compile()
+            key_extractor = compiled.extractor(spec.join_key)
+            if job.emit_projection:
+                payload_extractor = compiled.extractor(spec.projection)
+                payload_len = len(spec.projection)
+            else:
+                payload_extractor = None
+                payload_len = spec.guard.arity
+            request_size = TAG_BYTES + (
+                TUPLE_REFERENCE_BYTES
+                if by_reference
+                else max(1, payload_len) * FIELD_BYTES
+            )
+            self.guards.setdefault(spec.guard.relation, []).append(
+                (
+                    index,
+                    compiled.arity,
+                    compiled.matcher,
+                    key_extractor,
+                    payload_extractor,
+                    request_size,
+                )
+            )
+        for tag_index, (conditional, join_key) in enumerate(job._tags):
+            compiled = conditional.compile()
+            self.tags.setdefault(conditional.relation, []).append(
+                (
+                    tag_index,
+                    compiled.arity,
+                    compiled.matcher,
+                    compiled.extractor(join_key),
+                )
+            )
+
+    def map_batch(self, relation: str, chunks) -> MapBatch:
+        job = self.job
+        guards = self.guards.get(relation, ())
+        tags = self.tags.get(relation, ())
+        row_len = next((len(r) for c in chunks for r in c), None)
+        guards = [g for g in guards if g[1] == row_len]
+        tags = [t for t in tags if t[1] == row_len]
+        probe: Dict[int, List[tuple]] = {g[0]: [] for g in guards}
+        build: Dict[int, set] = {t[0]: set() for t in tags}
+        packed = job.uses_combiner()
+        acc = (
+            PackedChunkAccumulator(job, TAG_BYTES)
+            if packed
+            else PlainPairAccumulator(job)
+        )
+        for chunk in chunks:
+            for row in chunk:
+                for index, _, matcher, key_of, payload_of, request_size in guards:
+                    if matcher is not None and not matcher(row):
+                        continue
+                    key = key_of(row)
+                    payload = row if payload_of is None else payload_of(row)
+                    probe[index].append((key, payload))
+                    if packed:
+                        acc.add_request(key, request_size)
+                    else:
+                        acc.add_pair(key, request_size)
+                for tag_index, _, matcher, key_of in tags:
+                    if matcher is not None and not matcher(row):
+                        continue
+                    key = key_of(row)
+                    build[tag_index].add(key)
+                    if packed:
+                        acc.add_assert(key, tag_index)
+                    else:
+                        acc.add_pair(key, TAG_BYTES)
+            acc.flush()
+        return MapBatch(
+            relation=relation,
+            intermediate_bytes=acc.intermediate_bytes,
+            output_records=acc.records,
+            key_bytes=acc.key_bytes,
+            data=(probe, build),
+        )
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        job = self.job
+        asserted: Dict[int, set] = {}
+        for batch in batches:
+            for tag_index, keys in batch.data[1].items():
+                existing = asserted.get(tag_index)
+                if existing is None:
+                    asserted[tag_index] = set(keys)
+                else:
+                    existing.update(keys)
+        outputs: Dict[str, set] = {spec.output: set() for spec in job.specs}
+        for batch in batches:
+            for index, pairs in batch.data[0].items():
+                keys = asserted.get(job._spec_tag[index])
+                if not keys:
+                    continue
+                sink = outputs[job.specs[index].output]
+                for key, payload in pairs:
+                    if key in keys:
+                        sink.add(payload)
+        return outputs
 
 
 def multi_semi_join(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..exec.base import SERIAL
+from ..mapreduce.kernels import KERNEL_AUTO, KERNEL_MODES
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,15 @@ class GumboOptions:
         The strategy :class:`~repro.core.gumbo.Gumbo` and the query service
         use when a call does not name one: any canonical strategy name, or
         ``"auto"`` for cost-based selection over every applicable strategy.
+    kernel_mode:
+        The batch ("kernel") execution path selector (see
+        :mod:`repro.mapreduce.kernels`): ``"auto"`` (the default) evaluates
+        kernel-capable jobs set-at-a-time on the in-process serial engine
+        while the parallel backend keeps its task fan-out; ``"on"`` forces
+        the kernel wherever the job supports it (including on the parallel
+        backend, which then runs the job in-process); ``"off"`` always
+        interprets tuple-at-a-time.  Outputs and simulated metrics are
+        identical in every mode — only wall-clock speed changes.
     """
 
     message_packing: bool = True
@@ -59,6 +69,14 @@ class GumboOptions:
     backend: str = SERIAL
     workers: Optional[int] = None
     default_strategy: str = "greedy"
+    kernel_mode: str = KERNEL_AUTO
+
+    def __post_init__(self) -> None:
+        if self.kernel_mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel_mode {self.kernel_mode!r}; "
+                f"expected one of {KERNEL_MODES}"
+            )
 
     def without(self, **flags: bool) -> "GumboOptions":
         """A copy with the given flags overridden, e.g. ``without(message_packing=False)``."""

@@ -117,6 +117,11 @@ class SkewAwareMSJJob(MSJJob):
         self.heavy_keys: Set[Tuple[object, ...]] = {tuple(k) for k in heavy_keys}
         self.salt_factor = salt_factor
 
+    def supports_kernel(self) -> bool:
+        """Salted keys change the per-key byte accounting; the MSJ batch
+        kernel does not model them, so this job always interprets."""
+        return False
+
     def map(self, relation: str, row: Tuple[object, ...]):
         for key, message in super().map(relation, row):
             if tuple(key) not in self.heavy_keys or self.salt_factor == 1:

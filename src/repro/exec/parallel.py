@@ -34,6 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from collections import Counter, defaultdict
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,9 +47,10 @@ from ..mapreduce.engine import (
     prepare_output_relations,
 )
 from ..mapreduce.job import Key, MapReduceJob
+from ..mapreduce.kernels import use_kernel
 from ..mapreduce.program import MRProgram
 from ..model.database import Database
-from ..model.relation import Relation
+from ..model.relation import Relation, tuple_sort_key
 from .base import PARALLEL, ExecutionBackend
 from .partition import map_task_chunks, partition_index
 
@@ -180,7 +182,23 @@ class ParallelBackend(ExecutionBackend):
     # -- single job ---------------------------------------------------------------
 
     def run_job(self, job: MapReduceJob, database: Database) -> JobResult:
-        """Execute one MapReduce job with parallel map and reduce phases."""
+        """Execute one MapReduce job with parallel map and reduce phases.
+
+        ``kernel_mode="on"`` jobs run through the engine's in-process batch
+        kernel instead of fanning out (the kernel is a single-process set
+        algorithm and beats the fan-out by a wide margin); ``"auto"`` keeps
+        the fan-out here, so this backend's task parallelism is preserved by
+        default.  Outputs and simulated metrics are identical either way.
+        """
+        if use_kernel(job, fanout=True):
+            start = perf_counter()
+            result = self.engine.run_job_kernel(job, database)
+            result.metrics.wall = WallClockMetrics(
+                backend=self.name,
+                workers=self.workers,
+                elapsed_s=perf_counter() - start,
+            )
+            return result
         start = perf_counter()
         wall = WallClockMetrics(backend=self.name, workers=self.workers)
         job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
@@ -219,8 +237,8 @@ class ParallelBackend(ExecutionBackend):
 
         results = self._run_waves("map", _run_map_task, [t for _, t in tagged], wall)
 
-        groups: Dict[Key, List[object]] = {}
-        key_bytes: Dict[Key, int] = {}
+        groups: Dict[Key, List[object]] = defaultdict(list)
+        key_bytes: Counter = Counter()
         part_bytes = [0] * len(parts)
         part_records = [0] * len(parts)
         # Merge in task order: chunks of the first relation first, then the
@@ -231,9 +249,8 @@ class ParallelBackend(ExecutionBackend):
             part_bytes[part_index] += chunk_bytes
             part_records[part_index] += len(pairs)
             for key, value in pairs:
-                groups.setdefault(key, []).append(value)
-            for key, size in chunk_key_bytes.items():
-                key_bytes[key] = key_bytes.get(key, 0) + size
+                groups[key].append(value)
+            key_bytes.update(chunk_key_bytes)
 
         partition_metrics = [
             PartitionMetrics(
@@ -262,7 +279,7 @@ class ParallelBackend(ExecutionBackend):
         buckets: List[List[Tuple[Key, List[object]]]] = [
             [] for _ in range(max(1, reducers))
         ]
-        for key in sorted(groups, key=repr):
+        for key in sorted(groups, key=tuple_sort_key):
             buckets[partition_index(key, len(buckets))].append((key, groups[key]))
         tasks: List[_ReduceTask] = [(job_blob, bucket) for bucket in buckets if bucket]
 

@@ -26,8 +26,10 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.dynamic import DynamicSGFExecutor
 from ..core.gumbo import Gumbo
+from ..core.options import GumboOptions
 from ..core.strategies import AUTO, applicable_strategies
 from ..mapreduce.engine import MapReduceEngine
+from ..mapreduce.kernels import KERNEL_OFF, KERNEL_ON
 from ..model.database import Database
 from ..query.reference import evaluate_sgf
 from ..query.sgf import SGFQuery
@@ -35,6 +37,9 @@ from ..exec.base import make_backend, normalise_backend
 
 #: Pseudo-strategy name under which the dynamic executor is reported.
 DYNAMIC = "dynamic"
+
+#: Suffix of the axes that run the batch-kernel execution path.
+KERNEL_SUFFIX = "+kernel"
 
 #: Pseudo-backend name under which the index-based ("direct") refresh mode of
 #: the incremental oracle is reported.
@@ -86,6 +91,12 @@ class DifferentialOracle:
         winner must agree with the reference like any fixed strategy.
     check_metrics:
         Also require bit-identical simulated metrics across backends.
+    kernel_axis:
+        Also run every backend with the batch-kernel execution path forced on
+        (``kernel_mode="on"``), reported as ``"<backend>+kernel"`` axes.  The
+        plain axes pin ``kernel_mode="off"``, so kernel-vs-interpreted output
+        *and* simulated-metric parity is checked alongside the cross-backend
+        parity (both funnel through the same metric comparison).
     """
 
     def __init__(
@@ -97,6 +108,7 @@ class DifferentialOracle:
         include_optimal: bool = True,
         include_auto: bool = True,
         check_metrics: bool = True,
+        kernel_axis: bool = True,
     ) -> None:
         if not backends:
             raise ValueError("the oracle needs at least one backend")
@@ -105,17 +117,32 @@ class DifferentialOracle:
         self.include_optimal = include_optimal
         self.include_auto = include_auto
         self.check_metrics = check_metrics
+        self.kernel_axis = kernel_axis
         names = [normalise_backend(name) for name in backends]
-        self._backends = {
+        self._physical = {
             name: make_backend(name, engine=self.engine, workers=workers)
             for name in dict.fromkeys(names)  # dedupe, keep order
         }
+        # One axis per (backend, kernel mode): the plain axes pin the
+        # interpreted path, the +kernel axes force the batch path; both share
+        # the physical backend (and thus one parallel worker pool).
+        axes = [
+            (name, backend, GumboOptions(kernel_mode=KERNEL_OFF))
+            for name, backend in self._physical.items()
+        ]
+        if kernel_axis:
+            axes.extend(
+                (name + KERNEL_SUFFIX, backend, GumboOptions(kernel_mode=KERNEL_ON))
+                for name, backend in self._physical.items()
+            )
+        self._backends = {name: backend for name, backend, _ in axes}
         self._gumbos = {
-            name: Gumbo(backend=backend) for name, backend in self._backends.items()
+            name: Gumbo(backend=backend, options=options)
+            for name, backend, options in axes
         }
         self._dynamics = {
-            name: DynamicSGFExecutor(backend=backend)
-            for name, backend in self._backends.items()
+            name: DynamicSGFExecutor(backend=backend, options=options)
+            for name, backend, options in axes
         }
 
     @property
@@ -124,7 +151,7 @@ class DifferentialOracle:
 
     def close(self) -> None:
         """Release backend resources (the parallel worker pool)."""
-        for backend in self._backends.values():
+        for backend in self._physical.values():
             backend.close()
 
     def __enter__(self) -> "DifferentialOracle":

@@ -41,6 +41,10 @@ class FuzzOptions:
     include_optimal: bool = True
     include_auto: bool = True
     check_metrics: bool = True
+    #: Also sweep every backend with the batch-kernel path forced on (the
+    #: ``<backend>+kernel`` axes); outputs *and* simulated metrics must match
+    #: the interpreted axes exactly.
+    kernel_axis: bool = True
     #: Incremental oracle mode: every case additionally gets a random insert
     #: batch, and the incremental refresh of every strategy × backend (plus
     #: the index-based direct mode) must equal a full recompute.
@@ -140,6 +144,7 @@ def run_fuzz(
             include_optimal=options.include_optimal,
             include_auto=options.include_auto,
             check_metrics=options.check_metrics,
+            kernel_axis=options.kernel_axis,
         )
     report = FuzzReport(seed=options.seed, iterations=options.iterations)
     start = perf_counter()

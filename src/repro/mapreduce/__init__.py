@@ -10,6 +10,14 @@ from .job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from .kernels import (
+    KERNEL_AUTO,
+    KERNEL_MODES,
+    KERNEL_OFF,
+    KERNEL_ON,
+    MapBatch,
+    use_kernel,
+)
 from .program import MRProgram, ProgramValidationError
 from .scheduler import makespan, schedule_report, wave_count
 
@@ -17,8 +25,14 @@ __all__ = [
     "ClusterConfig",
     "JobMetrics",
     "JobResult",
+    "KERNEL_AUTO",
+    "KERNEL_MODES",
+    "KERNEL_OFF",
+    "KERNEL_ON",
     "Key",
     "MRProgram",
+    "MapBatch",
+    "use_kernel",
     "MapReduceEngine",
     "MapReduceJob",
     "OutputFact",

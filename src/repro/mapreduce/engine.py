@@ -26,6 +26,7 @@ is the more faithful model of the underlying system; which cost model the
 from __future__ import annotations
 
 import math
+from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -38,10 +39,11 @@ from ..cost.formulas import map_cost
 from ..cost.models import GumboCostModel, JobProfile
 from ..exec.partition import map_task_chunks, partition_index, stable_hash
 from ..model.database import Database
-from ..model.relation import Relation
+from ..model.relation import Relation, tuple_sort_key
 from .cluster import ClusterConfig
 from .counters import JobMetrics, PartitionMetrics, ProgramMetrics
 from .job import Key, MapReduceJob
+from .kernels import use_kernel
 from .program import MRProgram
 from .scheduler import makespan
 
@@ -133,9 +135,17 @@ class MapReduceEngine:
     # -- single job -------------------------------------------------------------
 
     def run_job(self, job: MapReduceJob, database: Database) -> JobResult:
-        """Execute one MapReduce job against *database*."""
-        groups: Dict[Key, List[object]] = {}
-        key_bytes: Dict[Key, int] = {}
+        """Execute one MapReduce job against *database*.
+
+        Kernel-capable jobs (see :mod:`repro.mapreduce.kernels`) are
+        evaluated set-at-a-time through :meth:`run_job_kernel` unless their
+        options say ``kernel_mode="off"``; outputs and simulated metrics are
+        identical either way.
+        """
+        if use_kernel(job):
+            return self.run_job_kernel(job, database)
+        groups: Dict[Key, List[object]] = defaultdict(list)
+        key_bytes: Counter = Counter()
         partition_metrics: List[PartitionMetrics] = []
 
         for relation_name in job.input_relations():
@@ -144,6 +154,51 @@ class MapReduceEngine:
             )
 
         outputs = self._run_reduce(job, groups, database)
+        metrics = self.finalise_job_metrics(job, partition_metrics, key_bytes, outputs)
+        return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
+
+    def run_job_kernel(self, job: MapReduceJob, database: Database) -> JobResult:
+        """Execute one kernel-capable job through its batch path.
+
+        Per input partition the job's ``map_batch`` computes the partition's
+        intermediate bytes, records and per-key byte loads analytically (the
+        numbers the interpreted map + combiner would have produced) together
+        with the build/probe data its reduce kernel needs; ``reduce_batch``
+        then materialises the outputs as set operations.  All metric
+        derivation funnels through :meth:`finalise_job_metrics`, exactly as
+        on the interpreted path.
+        """
+        key_bytes: Counter = Counter()
+        partition_metrics: List[PartitionMetrics] = []
+        batches = []
+
+        for relation_name in job.input_relations():
+            relation = database.get(relation_name)
+            rows = relation.sorted_tuples() if relation is not None else []
+            input_mb = relation.size_mb() if relation is not None else 0.0
+            mappers = self.mappers_for(input_mb)
+            batch = job.map_batch(relation_name, map_task_chunks(rows, mappers))
+            batches.append(batch)
+            key_bytes.update(batch.key_bytes)
+            partition_metrics.append(
+                PartitionMetrics(
+                    relation=relation_name,
+                    input_mb=input_mb,
+                    input_records=len(rows),
+                    intermediate_mb=batch.intermediate_bytes / _MB,
+                    output_records=batch.output_records,
+                    mappers=mappers,
+                )
+            )
+
+        outputs = prepare_output_relations(job)
+        for relation_name, rows in job.reduce_batch(batches).items():
+            if relation_name not in outputs:
+                raise KeyError(
+                    f"job {job.job_id!r} emitted to undeclared relation "
+                    f"{relation_name!r}"
+                )
+            outputs[relation_name].update(rows)
         metrics = self.finalise_job_metrics(job, partition_metrics, key_bytes, outputs)
         return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
 
@@ -231,20 +286,30 @@ class MapReduceEngine:
 
         intermediate_bytes = 0
         output_records = 0
+        combine = job.combine if job.uses_combiner() else None
+        # defaultdict/Counter fast paths (the engine always passes those);
+        # plain dicts from external callers keep working via setdefault/get.
+        if isinstance(groups, defaultdict):
+            group_for = groups.__getitem__
+        else:
+            group_for = lambda key: groups.setdefault(key, [])  # noqa: E731
+        counting = isinstance(key_bytes, Counter)
         for chunk_rows in map_task_chunks(rows, mappers):
-            buffer: Dict[Key, List[object]] = {}
+            buffer: Dict[Key, List[object]] = defaultdict(list)
             for row in chunk_rows:
                 for key, value in job.map(relation_name, row):
-                    buffer.setdefault(key, []).append(value)
+                    buffer[key].append(value)
             for key, values in buffer.items():
-                if job.uses_combiner():
-                    values = job.combine(key, values)
+                if combine is not None:
+                    values = combine(key, values)
                 for value in values:
                     pair_size = job.pair_bytes(key, value)
                     intermediate_bytes += pair_size
                     output_records += 1
-                    groups.setdefault(key, []).append(value)
-                    if key_bytes is not None:
+                    group_for(key).append(value)
+                    if counting:
+                        key_bytes[key] += pair_size
+                    elif key_bytes is not None:
                         key_bytes[key] = key_bytes.get(key, 0) + pair_size
 
         return PartitionMetrics(
@@ -264,7 +329,7 @@ class MapReduceEngine:
     ) -> Dict[str, Relation]:
         """Apply the reduce function per key group and materialise the outputs."""
         outputs = prepare_output_relations(job)
-        for key in sorted(groups, key=repr):
+        for key in sorted(groups, key=tuple_sort_key):
             values = groups[key]
             for relation_name, row in job.reduce(key, values):
                 add_output_fact(job, outputs, relation_name, row)

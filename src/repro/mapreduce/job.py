@@ -75,6 +75,44 @@ class MapReduceJob:
         """Mapping output-relation name → arity."""
         raise NotImplementedError
 
+    # -- batch ("kernel") execution path ------------------------------------------
+
+    def supports_kernel(self) -> bool:
+        """Whether this job implements the batch kernel path faithfully.
+
+        Kernel-capable jobs implement :meth:`map_batch` / :meth:`reduce_batch`
+        and return True; the engine then evaluates the job set-at-a-time
+        (subject to the ``kernel_mode`` option, see
+        :mod:`repro.mapreduce.kernels`) while reproducing the interpreted
+        path's outputs and simulated metrics bit for bit.  Subclasses that
+        change ``map``/``reduce`` semantics (e.g. the skew-salted MSJ job)
+        must override this back to False unless they also override the batch
+        methods.
+        """
+        return False
+
+    def map_batch(self, relation: str, chunks: Sequence[Sequence[Tuple[object, ...]]]):
+        """Kernelised map phase over one input partition's map-task chunks.
+
+        Returns a :class:`~repro.mapreduce.kernels.MapBatch`.  Only called
+        when :meth:`supports_kernel` is True.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no batch kernel")
+
+    def reduce_batch(self, batches) -> Dict[str, Iterable[Tuple[object, ...]]]:
+        """Kernelised reduce phase over the partitions' :class:`MapBatch` data.
+
+        Returns ``{output relation name: iterable of rows}``.  Only called
+        when :meth:`supports_kernel` is True.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no batch kernel")
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop per-process kernel caches when shipping jobs to workers."""
+        state = self.__dict__.copy()
+        state.pop("_kernel_cache", None)
+        return state
+
     # -- optional hooks -----------------------------------------------------------
 
     def combine(self, key: Key, values: List[object]) -> List[object]:

@@ -1,0 +1,212 @@
+"""The batch ("kernel") execution path: protocol and shared accounting.
+
+The interpreted engine evaluates jobs tuple-at-a-time: a ``job.map`` call per
+row building a binding dict, a message object per emitted pair, a
+``groups.setdefault(...).append(...)`` per pair and a ``job.reduce`` call per
+key.  For the semi-join shaped jobs of this package all of that is avoidable:
+a semi-join is a set operation — build a hash set of conditional join keys,
+probe the guard rows — and the simulated Hadoop metrics are pure functions of
+per-key pair *counts*, which the kernel computes analytically while probing.
+
+A kernel-capable job implements three methods (see
+:class:`~repro.mapreduce.job.MapReduceJob`):
+
+* ``supports_kernel()`` — whether batch evaluation is implemented *and*
+  faithful for this instance (e.g. the skew-salted MSJ job opts out);
+* ``map_batch(relation, chunks)`` — evaluate the map phase of one input
+  partition over its map-task chunks, returning a :class:`MapBatch` with the
+  partition's byte/record accounting plus whatever per-relation data the
+  job's reduce kernel needs (key sets to build, rows to probe);
+* ``reduce_batch(batches)`` — combine the per-partition batches into the
+  output relations, returning ``{relation name: iterable of rows}``.
+
+Metric fidelity contract: for every job the kernel path must produce the
+*identical* ``PartitionMetrics``, per-key byte loads and output relations the
+interpreted path produces — byte for byte — so that
+:meth:`~repro.mapreduce.engine.MapReduceEngine.finalise_job_metrics` derives
+identical cost breakdowns, task durations and skew behaviour.  The
+``tests/test_kernels.py`` parity suite and the fuzzer's kernel axis enforce
+this contract.
+
+Mode selection (``GumboOptions.kernel_mode``, carried by the job's options):
+
+* ``"off"``  — always interpret;
+* ``"auto"`` (default) — use the kernel wherever the job supports it on the
+  in-process serial engine; the parallel backend keeps its per-task fan-out
+  (a batch kernel is a single-process algorithm — fanning it out would just
+  re-serialise the relation);
+* ``"on"``   — use the kernel wherever the job supports it, *including* on
+  the parallel backend (which then runs the job in-process instead of
+  fanning out).
+
+Jobs that implement no kernel (the Hive/Pig baseline jobs, user-defined
+jobs) are always interpreted, whatever the mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .job import Key, MapReduceJob
+
+#: Canonical kernel modes accepted by ``GumboOptions.kernel_mode``.
+KERNEL_OFF = "off"
+KERNEL_AUTO = "auto"
+KERNEL_ON = "on"
+KERNEL_MODES = (KERNEL_AUTO, KERNEL_ON, KERNEL_OFF)
+
+#: Rows of one map-task chunk.
+_ROWS = Sequence[Tuple[object, ...]]
+
+
+def job_kernel_mode(job: MapReduceJob) -> str:
+    """The kernel mode requested by *job*'s options (``"off"`` when absent)."""
+    options = getattr(job, "options", None)
+    mode = getattr(options, "kernel_mode", KERNEL_OFF)
+    return mode if mode in KERNEL_MODES else KERNEL_OFF
+
+
+def use_kernel(job: MapReduceJob, fanout: bool = False) -> bool:
+    """Whether *job* should run through the batch kernel path.
+
+    *fanout* is True when the caller is a fan-out backend (the parallel
+    runtime): there only an explicit ``"on"`` engages the kernel, so that
+    ``"auto"`` preserves real task-level parallelism.
+    """
+    mode = job_kernel_mode(job)
+    if mode == KERNEL_OFF:
+        return False
+    if fanout and mode != KERNEL_ON:
+        return False
+    return job.supports_kernel()
+
+
+@dataclass
+class MapBatch:
+    """Result of the kernelised map phase over one input partition.
+
+    ``intermediate_bytes`` / ``output_records`` / ``key_bytes`` reproduce the
+    interpreted engine's per-partition accounting exactly (combiner semantics
+    included).  ``data`` carries job-specific reduce-kernel inputs — key sets
+    built from conditional facts, guard rows to probe — opaque to the engine.
+    """
+
+    relation: str
+    intermediate_bytes: int = 0
+    output_records: int = 0
+    key_bytes: Dict[Key, int] = field(default_factory=dict)
+    data: object = None
+
+
+class PackedChunkAccumulator:
+    """Per-chunk pair accounting under message packing (the map combiner).
+
+    With Gumbo's message-packing optimisation the interpreted engine combines
+    all messages a map task emits under one key into a single packed value:
+    per (chunk, key) it charges one record of size ``key + Σ request sizes +
+    #distinct assert tags × TAG`` and adds that size to the key's byte load.
+    This accumulator reproduces those numbers from counts alone — feed it the
+    per-row emissions of one chunk, then :meth:`flush` after the chunk.
+    """
+
+    __slots__ = (
+        "job",
+        "tag_bytes",
+        "_stats",
+        "intermediate_bytes",
+        "records",
+        "key_bytes",
+    )
+
+    def __init__(self, job: MapReduceJob, tag_bytes: int) -> None:
+        self.job = job
+        self.tag_bytes = tag_bytes
+        #: key -> [request bytes, set of distinct assert tags] for the chunk.
+        self._stats: Dict[Key, list] = {}
+        self.intermediate_bytes = 0
+        self.records = 0
+        self.key_bytes: Dict[Key, int] = {}
+
+    def add_request(self, key: Key, size: int) -> None:
+        entry = self._stats.get(key)
+        if entry is None:
+            self._stats[key] = [size, None]
+        else:
+            entry[0] += size
+
+    def add_assert(self, key: Key, tag: int) -> None:
+        entry = self._stats.get(key)
+        if entry is None:
+            self._stats[key] = [0, {tag}]
+        elif entry[1] is None:
+            entry[1] = {tag}
+        else:
+            entry[1].add(tag)
+
+    def flush(self) -> None:
+        """Close the current chunk: charge one packed pair per touched key."""
+        stats, key_bytes = self._stats, self.key_bytes
+        if not stats:
+            return
+        tag_bytes = self.tag_bytes
+        job_key_bytes = self.job.key_bytes
+        total = 0
+        for key, (request_bytes, tags) in stats.items():
+            size = job_key_bytes(key) + request_bytes
+            if tags:
+                size += tag_bytes * len(tags)
+            total += size
+            key_bytes[key] = key_bytes.get(key, 0) + size
+        self.intermediate_bytes += total
+        self.records += len(stats)
+        self._stats = {}
+
+
+class PlainPairAccumulator:
+    """Pair accounting without a combiner: every message is its own pair.
+
+    Chunk boundaries are irrelevant here (sizes and records are additive), so
+    the accumulator can be fed whole partitions.
+    """
+
+    __slots__ = ("job", "intermediate_bytes", "records", "key_bytes")
+
+    def __init__(self, job: MapReduceJob) -> None:
+        self.job = job
+        self.intermediate_bytes = 0
+        self.records = 0
+        self.key_bytes: Dict[Key, int] = {}
+
+    def add_pair(self, key: Key, value_size: int) -> None:
+        size = self.job.key_bytes(key) + value_size
+        self.intermediate_bytes += size
+        self.records += 1
+        key_bytes = self.key_bytes
+        key_bytes[key] = key_bytes.get(key, 0) + size
+
+    def add_pairs(self, key: Key, value_size: int, count: int) -> None:
+        """*count* identical-size pairs under one key in one go."""
+        if count <= 0:
+            return
+        size = self.job.key_bytes(key) + value_size
+        self.intermediate_bytes += size * count
+        self.records += count
+        key_bytes = self.key_bytes
+        key_bytes[key] = key_bytes.get(key, 0) + size * count
+
+    def flush(self) -> None:  # symmetric API with PackedChunkAccumulator
+        pass
+
+
+__all__: List[str] = [
+    "KERNEL_AUTO",
+    "KERNEL_MODES",
+    "KERNEL_OFF",
+    "KERNEL_ON",
+    "MapBatch",
+    "PackedChunkAccumulator",
+    "PlainPairAccumulator",
+    "job_kernel_mode",
+    "use_kernel",
+]

@@ -4,13 +4,14 @@ Provides terms, atoms, facts, relations and databases — the vocabulary of
 Section 3.1 / Section 4 of the paper.
 """
 
-from .atoms import Atom, Fact, facts_conforming
+from .atoms import Atom, CompiledAtom, Fact, compile_atom, facts_conforming
 from .database import Database, UnknownRelationError
 from .relation import (
     DEFAULT_BYTES_PER_FIELD,
     MAP_OUTPUT_METADATA_BYTES,
     Relation,
     SchemaError,
+    tuple_sort_key,
 )
 from .terms import (
     Constant,
@@ -24,10 +25,13 @@ from .terms import (
 
 __all__ = [
     "Atom",
+    "CompiledAtom",
     "Constant",
     "Database",
     "DEFAULT_BYTES_PER_FIELD",
     "Fact",
+    "compile_atom",
+    "tuple_sort_key",
     "MAP_OUTPUT_METADATA_BYTES",
     "Relation",
     "SchemaError",

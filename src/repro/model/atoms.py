@@ -20,7 +20,9 @@ set keys throughout the MapReduce simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from functools import lru_cache
+from operator import itemgetter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .terms import Constant, Term, Variable, as_term
 
@@ -175,6 +177,18 @@ class Atom:
                 out.append(binding[term])
         return tuple(out)
 
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self) -> "CompiledAtom":
+        """The batch-kernel matcher for this atom (cached per atom value).
+
+        A :class:`CompiledAtom` precomputes the constant/repeated-variable
+        checks and the first-occurrence position of every variable, so the
+        kernel execution path can test conformance and extract join keys /
+        projections with plain index arithmetic — no per-row binding dict.
+        """
+        return compile_atom(self)
+
     # -- rendering -----------------------------------------------------------
 
     def __str__(self) -> str:
@@ -183,6 +197,97 @@ class Atom:
 
     def __repr__(self) -> str:
         return f"Atom({self.relation!r}, {self.terms!r})"
+
+
+class CompiledAtom:
+    """Precomputed conformance checks and extractors for one atom.
+
+    Attributes
+    ----------
+    arity:
+        Number of term positions; rows of a different length never conform.
+    matcher:
+        ``None`` when the atom is unrestricted (no constants, no repeated
+        variables) — every row of the right arity conforms — otherwise a
+        predicate ``row -> bool`` equivalent to :meth:`Atom.conforms` for
+        rows of the right arity.
+    """
+
+    __slots__ = ("atom", "arity", "matcher", "_positions")
+
+    def __init__(self, atom: Atom) -> None:
+        self.atom = atom
+        self.arity = atom.arity
+        const_checks: List[Tuple[int, object]] = []
+        positions: Dict[Variable, int] = {}
+        eq_checks: List[Tuple[int, int]] = []
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                const_checks.append((index, term.value))
+            elif term in positions:
+                eq_checks.append((positions[term], index))
+            else:
+                positions[term] = index
+        self._positions = positions
+        self.matcher = _build_matcher(tuple(const_checks), tuple(eq_checks))
+
+    def conforms(self, row: Tuple[object, ...]) -> bool:
+        """Whether *row* conforms to the atom (arity check included)."""
+        if len(row) != self.arity:
+            return False
+        return self.matcher is None or self.matcher(row)
+
+    def extractor(
+        self, variables: Sequence[Variable]
+    ) -> Callable[[Tuple[object, ...]], Tuple[object, ...]]:
+        """A ``row -> tuple`` function projecting onto *variables*.
+
+        Equivalent to binding the row against the atom and reading the given
+        variables, but via precomputed positions.  Raises ``KeyError`` when a
+        variable does not occur in the atom.
+        """
+        indices = tuple(self._positions[v] for v in variables)
+        return tuple_extractor(indices)
+
+
+def _build_matcher(
+    const_checks: Tuple[Tuple[int, object], ...],
+    eq_checks: Tuple[Tuple[int, int], ...],
+) -> Optional[Callable[[Tuple[object, ...]], bool]]:
+    if not const_checks and not eq_checks:
+        return None
+    if not eq_checks and len(const_checks) == 1:
+        ((index, value),) = const_checks
+        return lambda row: row[index] == value
+
+    def matcher(row: Tuple[object, ...]) -> bool:
+        for index, value in const_checks:
+            if row[index] != value:
+                return False
+        for first, other in eq_checks:
+            if row[first] != row[other]:
+                return False
+        return True
+
+    return matcher
+
+
+def tuple_extractor(
+    indices: Tuple[int, ...],
+) -> Callable[[Tuple[object, ...]], Tuple[object, ...]]:
+    """A function extracting the given positions of a row as a tuple."""
+    if not indices:
+        return lambda row: ()
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda row: (row[index],)
+    return itemgetter(*indices)
+
+
+@lru_cache(maxsize=4096)
+def compile_atom(atom: Atom) -> CompiledAtom:
+    """Compile (and memoise) the kernel matcher for *atom*."""
+    return CompiledAtom(atom)
 
 
 class _Unbound:

@@ -138,7 +138,13 @@ class Database:
     # -- misc -------------------------------------------------------------------
 
     def copy(self) -> "Database":
-        """A deep-enough copy (relations are copied, tuples shared immutably)."""
+        """An isolated copy: copy-on-write relation clones (O(#relations)).
+
+        Each relation's tuple set is shared with its clone until either side
+        mutates (see :meth:`Relation.copy <repro.model.relation.Relation.copy>`),
+        so per-execution database copies — ``run_program`` makes one — cost
+        nothing until an output actually lands.
+        """
         return Database(relation.copy() for relation in self.relations())
 
     def summary(self) -> List[Tuple[str, int, float]]:

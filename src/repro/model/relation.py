@@ -7,6 +7,18 @@ occupies 1 GB.  :class:`Relation` therefore carries a ``bytes_per_field``
 parameter (default 10) used by :meth:`Relation.size_bytes` and
 :meth:`Relation.size_mb`, so that the simulator's byte accounting matches the
 paper's data-volume assumptions without materialising on-disk files.
+
+Two execution fast paths live here as well:
+
+* :meth:`Relation.sorted_tuples` caches its deterministic ordering (computed
+  with cheap precomputed type-tagged sort keys instead of the former
+  ``repr``-string sort) and invalidates the cache on mutation — every job run
+  reads each input relation in this order, so re-sorting per job dominated
+  the interpreted engine's profile;
+* :meth:`Relation.copy` is copy-on-write: the tuple set is shared until
+  either side mutates, which makes :meth:`Database.copy
+  <repro.model.database.Database.copy>` (called once per program execution)
+  O(#relations) instead of O(#tuples).
 """
 
 from __future__ import annotations
@@ -29,6 +41,66 @@ class SchemaError(ValueError):
     """Raised when tuples do not match a relation's declared arity."""
 
 
+def value_sort_key(value: object) -> Tuple[object, ...]:
+    """A deterministic, type-tagged sort key for a single data value.
+
+    Values are bucketed by a type tag (so mixed-type columns never raise
+    ``TypeError`` during comparison) and ordered naturally within a bucket.
+    Distinct members of one tuple *set* always receive distinct keys for the
+    common value types (numbers, strings), because values comparing equal —
+    ``1``/``True``/``1.0`` — already collapse inside the set itself.
+    """
+    if value is None:
+        return ("#0",)
+    kind = type(value)
+    if kind is int or kind is float or kind is bool:
+        if value != value:  # NaN: unordered under <, needs its own bucket
+            return ("#1",)
+        return ("#n", value)
+    if kind is str:
+        return ("#s", value)
+    if kind is tuple:
+        return ("#t", tuple(value_sort_key(v) for v in value))
+    if isinstance(value, (int, float)):  # bools/ints behind subclasses
+        return ("#n", float(value))
+    if isinstance(value, str):
+        return ("#s", str(value))
+    return ("#r", kind.__name__, repr(value))
+
+
+def tuple_sort_key(row: object) -> Tuple[object, ...]:
+    """Type-tagged sort key for a tuple (a stored row or a shuffle key)."""
+    if isinstance(row, tuple):
+        return tuple(value_sort_key(v) for v in row)
+    return (value_sort_key(row),)
+
+
+def _naturally_sortable(tuples: Iterable[Tuple[object, ...]]) -> bool:
+    """Whether plain tuple comparison equals the type-tagged ordering.
+
+    True when every column holds only numbers (int/float, bools excluded) or
+    only strings: element comparisons then never cross type buckets, so the
+    natural order coincides with :func:`tuple_sort_key`'s — and Python's
+    C-level tuple comparison is several times faster than key construction.
+    The verdict is a pure function of the stored values, so every process
+    sorts identically whatever its set iteration order.
+    """
+    numeric: set = set()
+    stringy: set = set()
+    for row in tuples:
+        for index, value in enumerate(row):
+            kind = type(value)
+            if kind is int or kind is float:
+                if value != value:  # NaN poisons natural comparison
+                    return False
+                numeric.add(index)
+            elif kind is str:
+                stringy.add(index)
+            else:
+                return False
+    return not (numeric & stringy)
+
+
 @dataclass
 class Relation:
     """A named relation holding a set of equal-arity tuples.
@@ -43,6 +115,13 @@ class Relation:
     arity: int
     bytes_per_field: int = DEFAULT_BYTES_PER_FIELD
     _tuples: Set[Tuple[object, ...]] = field(default_factory=set, repr=False)
+    #: Cached deterministic ordering (invalidated on mutation, shared by
+    #: copy-on-write clones); excluded from equality like the cache it is.
+    _sorted: Optional[List[Tuple[object, ...]]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: True while ``_tuples`` is shared with a copy-on-write sibling.
+    _shared: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -75,11 +154,17 @@ class Relation:
                 )
             arity = len(materialised[0])
         relation = cls(name, arity, bytes_per_field)
-        for row in materialised:
-            relation.add(row)
+        relation.update(materialised)
         return relation
 
     # -- mutation ----------------------------------------------------------
+
+    def _prepare_mutation(self) -> None:
+        """Detach from copy-on-write siblings and drop the sort cache."""
+        if self._shared:
+            self._tuples = set(self._tuples)
+            self._shared = False
+        self._sorted = None
 
     def add(self, row: Sequence[object]) -> None:
         """Insert a tuple, validating its arity."""
@@ -89,20 +174,38 @@ class Relation:
                 f"tuple {row!r} has arity {len(row)}, relation {self.name!r} "
                 f"expects {self.arity}"
             )
+        self._prepare_mutation()
         self._tuples.add(row)
 
     def update(self, rows: Iterable[Sequence[object]]) -> None:
-        """Insert many tuples."""
-        for row in rows:
-            self.add(row)
+        """Insert many tuples, validating their arities in one batch pass."""
+        materialised = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        arity = self.arity
+        for row in materialised:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"tuple {row!r} has arity {len(row)}, relation "
+                    f"{self.name!r} expects {arity}"
+                )
+        if not materialised:
+            return
+        self._prepare_mutation()
+        self._tuples.update(materialised)
 
     def discard(self, row: Sequence[object]) -> None:
         """Remove a tuple if present."""
+        self._prepare_mutation()
         self._tuples.discard(tuple(row))
 
     def clear(self) -> None:
         """Remove all tuples."""
-        self._tuples.clear()
+        if self._shared:
+            # Cheaper than materialising a copy just to empty it.
+            self._tuples = set()
+            self._shared = False
+        else:
+            self._tuples.clear()
+        self._sorted = None
 
     # -- access --------------------------------------------------------------
 
@@ -123,13 +226,33 @@ class Relation:
         return self._tuples
 
     def sorted_tuples(self) -> List[Tuple[object, ...]]:
-        """Tuples in a deterministic sorted order (useful for tests/reports)."""
-        return sorted(self._tuples, key=repr)
+        """Tuples in a deterministic sorted order (useful for tests/reports).
+
+        The ordering uses precomputed type-tagged sort keys (see
+        :func:`tuple_sort_key`) and is cached until the relation mutates; the
+        returned list is the cache itself — treat it as read-only.
+        """
+        if self._sorted is None:
+            if _naturally_sortable(self._tuples):
+                self._sorted = sorted(self._tuples)
+            else:
+                try:
+                    self._sorted = sorted(self._tuples, key=tuple_sort_key)
+                except TypeError:  # exotic incomparable values: repr fallback
+                    self._sorted = sorted(self._tuples, key=repr)
+        return self._sorted
 
     def copy(self, name: Optional[str] = None) -> "Relation":
-        """A shallow copy, optionally renamed."""
+        """A copy-on-write clone, optionally renamed.
+
+        The tuple set (and the sort-order cache) are shared until either side
+        mutates, at which point the mutating side detaches.
+        """
         clone = Relation(name or self.name, self.arity, self.bytes_per_field)
-        clone._tuples = set(self._tuples)
+        clone._tuples = self._tuples
+        clone._sorted = self._sorted
+        clone._shared = True
+        self._shared = True
         return clone
 
     # -- size accounting -----------------------------------------------------

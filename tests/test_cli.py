@@ -299,3 +299,73 @@ class TestFuzzIncrementalCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "incremental refreshes agree with full recomputes" in out
+
+
+class TestKernelCommands:
+    def test_bench_kernels_compares_paths_per_workload(self, capsys):
+        code = main(["bench", "--kernels", "--guard-tuples", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # One comparison row per Section 5 workload, plus the verified footer.
+        for query_id in ("A1", "A3", "B2", "C1", "C4"):
+            assert f"\n{query_id} " in out or out.startswith(f"{query_id} "), query_id
+        assert "interpreted_s" in out
+        assert "outputs and simulated metrics identical across paths: yes" in out
+
+    def test_query_kernel_mode_off_matches_default(self, data_dir, capsys):
+        runs = {}
+        for mode in ("off", "auto", "on"):
+            code = main(
+                [
+                    "query",
+                    "--query",
+                    QUERY,
+                    "--data",
+                    data_dir,
+                    "--kernel-mode",
+                    mode,
+                ]
+            )
+            assert code == 0
+            runs[mode] = capsys.readouterr().out
+        # Identical outputs and identical simulated metrics in every mode
+        # (only the wall_clock_s line may differ between runs).
+        def stable(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("wall_clock_s")
+            ]
+
+        assert stable(runs["off"]) == stable(runs["auto"]) == stable(runs["on"])
+
+    def test_query_rejects_unknown_kernel_mode(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--query",
+                    QUERY,
+                    "--data",
+                    data_dir,
+                    "--kernel-mode",
+                    "sometimes",
+                ]
+            )
+
+    def test_fuzz_no_kernel_axis_smoke(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "4",
+                "--iterations",
+                "3",
+                "--backend",
+                "serial",
+                "--no-kernel-axis",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "combinations agree with the reference evaluator" in out

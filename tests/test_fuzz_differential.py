@@ -210,11 +210,16 @@ def test_corrupted_partition_strategy_is_detected_and_shrunk(monkeypatch):
 
 
 def test_corrupted_one_round_job_is_isolated_to_that_strategy(monkeypatch):
-    """A fused job that swallows outputs diverges on 1-ROUND and nowhere else."""
+    """A fused job that swallows outputs diverges on 1-ROUND and nowhere else.
+
+    The kernel axis is disabled here: the corruption is injected into the
+    interpreted ``reduce``, which the batch-kernel path (correctly) does not
+    execute — the mirror-image corruption is covered in test_kernels.py.
+    """
     monkeypatch.setattr(FusedOneRoundJob, "reduce", lambda self, key, values: iter(()))
     program = parse_sgf("Z := SELECT (x) FROM R(x, y) WHERE S(x);")
     database = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)]})
-    with DifferentialOracle(backends=("serial",)) as oracle:
+    with DifferentialOracle(backends=("serial",), kernel_axis=False) as oracle:
         divergences = oracle.check(program, database)
     assert divergences, "corrupted 1-ROUND job was not detected"
     assert {d.strategy for d in divergences} == {"1-round"}
@@ -222,7 +227,7 @@ def test_corrupted_one_round_job_is_isolated_to_that_strategy(monkeypatch):
 
     # The shrunk counterexample still shows the missing-tuple divergence.
     def diverges(candidate_program, candidate_database):
-        with DifferentialOracle(backends=("serial",)) as inner:
+        with DifferentialOracle(backends=("serial",), kernel_axis=False) as inner:
             return bool(inner.check(candidate_program, candidate_database))
 
     shrunk_program, shrunk_database = shrink_case(program, database, diverges)

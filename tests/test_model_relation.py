@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.model.relation import DEFAULT_BYTES_PER_FIELD, Relation, SchemaError
+from repro.model.relation import (
+    DEFAULT_BYTES_PER_FIELD,
+    Relation,
+    SchemaError,
+    tuple_sort_key,
+)
 
 
 class TestConstruction:
@@ -66,7 +71,35 @@ class TestMutation:
 class TestAccess:
     def test_sorted_tuples_deterministic(self):
         rel = Relation.from_tuples("R", [(3,), (1,), (2,)])
-        assert rel.sorted_tuples() == sorted(rel.sorted_tuples(), key=repr)
+        assert rel.sorted_tuples() == [(1,), (2,), (3,)]
+        other = Relation.from_tuples("R", [(2,), (3,), (1,)])
+        assert other.sorted_tuples() == rel.sorted_tuples()
+
+    def test_sorted_tuples_deterministic_with_nan(self):
+        # NaN compares False to everything, so it gets its own sort bucket;
+        # the order must not depend on set iteration order (PYTHONHASHSEED).
+        nan = float("nan")
+        rel = Relation.from_tuples("R", [(nan, 1), (2.0, 3.0), (nan, 2), (1.0, 5.0)])
+        ordered = rel.sorted_tuples()
+        tails = [row[1] for row in ordered]
+        assert tails == [1, 2, 5.0, 3.0]
+
+    def test_sorted_tuples_orders_mixed_types_without_raising(self):
+        rel = Relation.from_tuples("R", [("b", 1), (2, "a"), (1, 1), ("a", None)])
+        ordered = rel.sorted_tuples()
+        assert sorted(ordered, key=tuple_sort_key) == ordered
+        assert set(ordered) == rel.tuples()
+
+    def test_sorted_tuples_cache_invalidated_on_mutation(self):
+        rel = Relation.from_tuples("R", [(2,), (1,)])
+        first = rel.sorted_tuples()
+        assert rel.sorted_tuples() is first  # cached between reads
+        rel.add((0,))
+        assert rel.sorted_tuples() == [(0,), (1,), (2,)]
+        rel.discard((1,))
+        assert rel.sorted_tuples() == [(0,), (2,)]
+        rel.clear()
+        assert rel.sorted_tuples() == []
 
     def test_copy_is_independent(self):
         rel = Relation.from_tuples("R", [(1,)])
@@ -75,9 +108,32 @@ class TestAccess:
         assert len(rel) == 1
         assert len(clone) == 2
 
+    def test_copy_on_write_isolates_source_mutations(self):
+        rel = Relation.from_tuples("R", [(1,), (2,)])
+        clone = rel.copy()
+        rel.add((3,))
+        assert len(clone) == 2
+        assert len(rel) == 3
+        rel.discard((1,))
+        assert (1,) in clone
+
+    def test_copy_shares_until_mutation(self):
+        rel = Relation.from_tuples("R", [(1,)])
+        clone = rel.copy()
+        assert clone.tuples() is rel.tuples()  # shared storage
+        clone.add((2,))
+        assert clone.tuples() is not rel.tuples()  # detached on write
+
     def test_copy_rename(self):
         rel = Relation.from_tuples("R", [(1,)])
         assert rel.copy("S").name == "S"
+
+    def test_update_validates_arity_in_one_batch(self):
+        rel = Relation("R", 2)
+        with pytest.raises(SchemaError):
+            rel.update([(1, 2), (3,)])
+        rel.update([(1, 2), (3, 4)])
+        assert len(rel) == 2
 
     def test_iteration(self):
         rel = Relation.from_tuples("R", [(1,), (2,)])
