@@ -9,6 +9,10 @@ Every gated metric is **higher-is-better**; a baseline file has the shape::
 
     {"artifact": "BENCH_service.json", "metrics": {"plan_cache_speedup": 30.0}}
 
+Artifacts may use the unified envelope written by
+``benchmarks/common.py:write_bench_artifact`` (gated numbers nested under a
+``"metrics"`` key) or the legacy flat layout; both are accepted.
+
 Usage::
 
     python benchmarks/compare_baselines.py \
@@ -62,7 +66,12 @@ def compare(baseline_dir: str, artifact_dir: str, tolerance: float) -> int:
             )
             return 2
         for metric, floor in sorted(metrics.items()):
-            value = current.get(metric)
+            # Unified schema nests the gated numbers under "metrics"
+            # (see benchmarks/common.py:write_bench_artifact); pre-schema
+            # artifacts kept them at the top level.  Accept both.
+            value = current.get("metrics", {}).get(metric)
+            if value is None:
+                value = current.get(metric)
             if value is None:
                 failures.append(f"{baseline['artifact']}: metric {metric!r} missing")
                 continue

@@ -21,11 +21,11 @@ gate regressions against the committed baseline
 
 from __future__ import annotations
 
-import json
 import os
 import random
 from time import perf_counter
 
+from common import write_bench_artifact
 from repro.core.gumbo import Gumbo
 from repro.incremental import apply_inserts, dedupe_inserts
 from repro.workloads.queries import database_for, workload_query
@@ -102,21 +102,23 @@ def test_bench_incremental_refresh_vs_recompute(capsys):
     refresh_s = _median(refresh_times)
 
     speedup = full_s / refresh_s if refresh_s > 0 else float("inf")
-    payload = {
-        "workload": "A3",
-        "guard_tuples": DEFAULT_TUPLES,
-        "inserted_tuples": inserted,
-        "insert_fraction": inserted / DEFAULT_TUPLES,
-        "affected_guard_tuples": last_delta.affected_guard_tuples,
-        "added_tuples": last_delta.added_count(),
-        "removed_tuples": last_delta.removed_count(),
-        "engine_runs": last_delta.engine_runs,
-        "full_recompute_s": full_s,
-        "incremental_refresh_s": refresh_s,
-        "incremental_speedup": speedup,
-    }
-    with open(ARTIFACT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    write_bench_artifact(
+        ARTIFACT_PATH,
+        "incremental",
+        {
+            "full_recompute_s": full_s,
+            "incremental_refresh_s": refresh_s,
+            "incremental_speedup": speedup,
+        },
+        workload="A3",
+        guard_tuples=DEFAULT_TUPLES,
+        inserted_tuples=inserted,
+        insert_fraction=inserted / DEFAULT_TUPLES,
+        affected_guard_tuples=last_delta.affected_guard_tuples,
+        added_tuples=last_delta.added_count(),
+        removed_tuples=last_delta.removed_count(),
+        engine_runs=last_delta.engine_runs,
+    )
 
     with capsys.disabled():
         print()

@@ -21,10 +21,10 @@ regressions against the committed floor
 
 from __future__ import annotations
 
-import json
 import os
 from time import perf_counter
 
+from common import write_bench_artifact
 from repro.core.gumbo import Gumbo
 from repro.core.options import GumboOptions
 from repro.workloads.queries import database_for, workload_query
@@ -82,17 +82,19 @@ def test_bench_kernel_vs_interpreted(capsys):
     speedup = (
         timings["off"] / timings["on"] if timings["on"] > 0 else float("inf")
     )
-    payload = {
-        "workload": "A3",
-        "strategy": STRATEGY,
-        "guard_tuples": DEFAULT_TUPLES,
-        "interpreted_s": timings["off"],
-        "kernel_s": timings["on"],
-        "kernel_speedup": speedup,
-        "output_tuples": sum(len(rel) for rel in kernel.all_outputs.values()),
-    }
-    with open(ARTIFACT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    write_bench_artifact(
+        ARTIFACT_PATH,
+        "kernels",
+        {
+            "interpreted_s": timings["off"],
+            "kernel_s": timings["on"],
+            "kernel_speedup": speedup,
+        },
+        workload="A3",
+        strategy=STRATEGY,
+        guard_tuples=DEFAULT_TUPLES,
+        output_tuples=sum(len(rel) for rel in kernel.all_outputs.values()),
+    )
 
     with capsys.disabled():
         print()

@@ -1,0 +1,119 @@
+"""Benchmark — tracing overhead of the observability subsystem (``repro.obs``).
+
+Measures the wall-clock cost of turning ``GumboOptions.trace`` on: workload
+A3 is executed on the serial backend with tracing off (the no-op fast path —
+every ``obs.span(...)`` call collapses to one ContextVar read) and with
+tracing on (full span trees published to the trace collector).  Before any
+timing is trusted, the traced and untraced runs are verified to produce
+identical output relations **and** identical simulated metrics — tracing
+must be purely observational.
+
+The gated metric is ``tracing_efficiency = untraced_s / traced_s`` (higher
+is better; 1.0 means tracing is free).  The in-test assertion is a loose
+sanity floor; the real gate is the committed floor in
+``benchmarks/baselines/obs.json`` enforced by ``compare_baselines.py`` in
+the bench-regression CI job.
+
+Results are written to ``BENCH_obs.json`` (override the path with
+``REPRO_BENCH_OBS_JSON``) in the unified artifact schema
+(``benchmarks/common.py:write_bench_artifact``).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from common import write_bench_artifact
+from repro import obs
+from repro.core.gumbo import Gumbo
+from repro.core.options import GumboOptions
+from repro.workloads.queries import database_for, workload_query
+
+#: Guard-relation cardinality of the benchmark workload.
+DEFAULT_TUPLES = int(os.environ.get("REPRO_BENCH_OBS_TUPLES", 2_000))
+
+#: Where the JSON artifact is written.
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_OBS_JSON", "BENCH_obs.json")
+
+#: Timed repetitions (medians reported).
+REPEATS = 5
+
+STRATEGY = "greedy"
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_bench_tracing_overhead(capsys):
+    query = workload_query("A3")
+    database = database_for(query, guard_tuples=DEFAULT_TUPLES, seed=11)
+
+    results = {}
+    timings = {}
+    span_count = 0
+    for traced in (False, True):
+        gumbo = Gumbo(options=GumboOptions(trace=traced))
+        program = gumbo.plan(query, database, STRATEGY)
+        times = []
+        for _ in range(REPEATS):
+            start = perf_counter()
+            result = gumbo.execute_program(query, database, program, STRATEGY)
+            times.append(perf_counter() - start)
+        results[traced] = result
+        timings[traced] = _median(times)
+        traces = obs.drain_traces()
+        if traced:
+            assert traces, "tracing on produced no traces"
+            span_count = len(traces[-1].spans)
+        else:
+            assert not traces, "tracing off leaked spans into the collector"
+
+    # Correctness first: tracing must not perturb outputs or simulated
+    # metrics in any way.
+    untraced, traced = results[False], results[True]
+    assert set(untraced.all_outputs) == set(traced.all_outputs)
+    for name in untraced.all_outputs:
+        assert (
+            untraced.all_outputs[name].tuples() == traced.all_outputs[name].tuples()
+        ), name
+    assert untraced.summary() == traced.summary()
+
+    efficiency = (
+        timings[False] / timings[True] if timings[True] > 0 else float("inf")
+    )
+    write_bench_artifact(
+        ARTIFACT_PATH,
+        "obs",
+        {
+            "tracing_efficiency": efficiency,
+            "untraced_s": timings[False],
+            "traced_s": timings[True],
+        },
+        workload="A3",
+        strategy=STRATEGY,
+        guard_tuples=DEFAULT_TUPLES,
+        spans_per_execution=span_count,
+        output_tuples=sum(len(rel) for rel in traced.all_outputs.values()),
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            f"tracing-overhead benchmark (A3, {DEFAULT_TUPLES} guard tuples, "
+            f"strategy {STRATEGY}, serial backend)"
+        )
+        print(f"  untraced (median): {timings[False] * 1e3:9.3f} ms")
+        print(f"  traced (median):   {timings[True] * 1e3:9.3f} ms")
+        print(f"  efficiency:        {efficiency:9.3f}x (1.0 = tracing free)")
+        print(f"  spans/execution:   {span_count:9d}")
+        print(f"  artifact:          {ARTIFACT_PATH}")
+
+    # Loose in-test sanity bar: tracing must not double the wall time.  The
+    # committed floor in benchmarks/baselines/obs.json is the real gate.
+    assert efficiency >= 0.5, (
+        f"tracing overhead too high: traced {timings[True] * 1e3:.3f} ms vs "
+        f"untraced {timings[False] * 1e3:.3f} ms ({efficiency:.3f}x)"
+    )

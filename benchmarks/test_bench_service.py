@@ -16,10 +16,10 @@ Results are written to ``BENCH_service.json`` (override the path with
 
 from __future__ import annotations
 
-import json
 import os
 from time import perf_counter
 
+from common import write_bench_artifact
 from repro.core.gumbo import Gumbo
 from repro.service import QueryService
 from repro.workloads.queries import database_for, workload_query
@@ -79,21 +79,23 @@ def test_bench_service_plan_cache_and_throughput(capsys):
         stats = mixed_service.stats()
 
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
-    payload = {
-        "workload": "A3",
-        "guard_tuples": DEFAULT_TUPLES,
-        "plan_cold_s": cold_s,
-        "plan_warm_s": warm_s,
-        "plan_cache_speedup": speedup,
-        "serve_requests": SERVE_REQUESTS,
-        "serve_elapsed_s": batch.elapsed_s,
-        "serve_throughput_qps": batch.throughput_qps,
-        "plan_cache_hit_rate": stats.plan_cache.hit_rate,
-        "plan_cache_hits": stats.plan_cache.hits,
-        "plan_cache_misses": stats.plan_cache.misses,
-    }
-    with open(ARTIFACT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    write_bench_artifact(
+        ARTIFACT_PATH,
+        "service",
+        {
+            "plan_cold_s": cold_s,
+            "plan_warm_s": warm_s,
+            "plan_cache_speedup": speedup,
+            "serve_elapsed_s": batch.elapsed_s,
+            "serve_throughput_qps": batch.throughput_qps,
+            "plan_cache_hit_rate": stats.plan_cache.hit_rate,
+        },
+        workload="A3",
+        guard_tuples=DEFAULT_TUPLES,
+        serve_requests=SERVE_REQUESTS,
+        plan_cache_hits=stats.plan_cache.hits,
+        plan_cache_misses=stats.plan_cache.misses,
+    )
 
     with capsys.disabled():
         print()

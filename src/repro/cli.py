@@ -1,6 +1,6 @@
 """Command-line interface: run queries, inspect plans, reproduce experiments.
 
-Eight subcommands are provided (``python -m repro <command> --help``):
+The subcommands (``python -m repro <command> --help``):
 
 ``query``
     Evaluate an SGF query (from a string or a file) over CSV data (a directory
@@ -53,17 +53,32 @@ Eight subcommands are provided (``python -m repro <command> --help``):
     query, apply a small insert batch incrementally, and compare the refresh
     time against a full re-execution (statistics + planning + run) — while
     verifying the refreshed output matches the recomputed one exactly.
+
+``trace``
+    End-to-end tracing demo (see :mod:`repro.obs`): run one paper workload
+    through the query service twice (a planning miss, then a plan-cache hit),
+    print both span trees — request → plan/cache-hit → program → job → wave →
+    worker-side tasks — and write a validated Chrome trace-event file.
+
+``query``/``bench``/``serve``/``delta`` additionally accept ``--trace``,
+``--trace-out PATH``, ``--trace-format chrome|jsonl`` and
+``--metrics-out PATH`` to record spans and export them (Chrome trace-event
+JSON loads in Perfetto / ``chrome://tracing``; ``--metrics-out`` writes the
+Prometheus text exposition of the metrics registries).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
+from . import obs
 from .core.gumbo import Gumbo
 from .core.options import GumboOptions
+from .obs.options import TRACE_FORMATS, ObsOptions
 from .exec import BACKEND_NAMES, make_backend
 from .mapreduce.kernels import KERNEL_MODES
 from .fuzz import FuzzConfig, FuzzOptions, run_fuzz
@@ -116,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = subparsers.add_parser("query", help="evaluate an SGF query over CSV data")
     _add_query_arguments(query)
+    _add_obs_arguments(query)
     query.add_argument(
         "--output-dir", help="write the query's output relations to this directory"
     )
@@ -177,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         "batch-kernel execution path (wall-clock, serial backend) on every "
         "Section 5 workload, verifying identical outputs and metrics",
     )
+    _add_obs_arguments(bench)
 
     auto = subparsers.add_parser(
         "auto", help="show the cost-based strategy choice for a paper workload"
@@ -248,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="tuples inserted by the --incremental mutation batch (default 16)",
     )
+    serve.add_argument(
+        "--stats-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the full service stats (ServiceStats + per-fingerprint "
+        "history + per-service metrics) as JSON to PATH, or to stdout "
+        "when no PATH is given",
+    )
+    _add_obs_arguments(serve)
 
     delta = subparsers.add_parser(
         "delta", help="incremental delta refresh vs full re-execution"
@@ -289,6 +317,55 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["engine", "direct"],
         help="refresh mode: restricted MR programs on the backend (engine) "
         "or the maintained indexes (direct)",
+    )
+    _add_obs_arguments(delta)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="trace one workload end to end and export the span tree",
+    )
+    trace.add_argument("query_id", help="A1-A5, B1-B2 or C1-C4")
+    trace.add_argument("--guard-tuples", type=int, default=500)
+    trace.add_argument("--selectivity", type=float, default=0.5)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--nodes", type=int, default=10, help="simulated cluster size")
+    trace.add_argument(
+        "--strategy",
+        default="auto",
+        help="strategy served for both requests (default auto)",
+    )
+    trace.add_argument(
+        "--backend",
+        default="parallel",
+        choices=list(BACKEND_NAMES),
+        help="execution backend (default parallel, so worker-side spans "
+        "appear in the trace)",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="parallel-backend worker processes (default 2)",
+    )
+    trace.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write the spans to PATH (validated Chrome trace-event "
+        "JSON, or JSONL with --trace-format jsonl)",
+    )
+    trace.add_argument(
+        "--trace-format",
+        default="chrome",
+        choices=list(TRACE_FORMATS),
+        help="span export format for --trace-out (default chrome)",
+    )
+    trace.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the Prometheus text exposition of the metrics "
+        "registries to PATH",
     )
 
     fuzz = subparsers.add_parser(
@@ -367,6 +444,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (``repro.obs`` exports)."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans: one trace per request/run (see repro.obs)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the collected spans to PATH after the run (implies --trace)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="chrome",
+        choices=list(TRACE_FORMATS),
+        help="span export format: chrome (trace-event JSON, loads in "
+        "Perfetto / chrome://tracing) or jsonl (default chrome)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the Prometheus text exposition of the metrics "
+        "registries to PATH",
+    )
+
+
+def _obs_options(args: argparse.Namespace) -> ObsOptions:
+    return ObsOptions(
+        trace=getattr(args, "trace", False),
+        trace_out=getattr(args, "trace_out", None),
+        trace_format=getattr(args, "trace_format", "chrome"),
+        metrics_out=getattr(args, "metrics_out", None),
+    )
+
+
+def _export_obs(obs_options: ObsOptions, registries: Sequence[object] = ()) -> None:
+    """Drain completed traces and write the requested export files."""
+    if not (obs_options.tracing or obs_options.metrics_out):
+        return
+    traces = obs.drain_traces()
+    if obs_options.trace_out:
+        if obs_options.trace_format == "jsonl":
+            count = obs.write_spans_jsonl(
+                obs.spans_of(traces), obs_options.trace_out
+            )
+        else:
+            count = obs.write_chrome_trace(traces, obs_options.trace_out)
+        print(
+            f"wrote {count} spans ({obs_options.trace_format}) "
+            f"to {obs_options.trace_out}"
+        )
+    if obs_options.metrics_out:
+        obs.write_prometheus(
+            obs.registries_for_export(registries), obs_options.metrics_out
+        )
+        print(f"wrote metrics to {obs_options.metrics_out}")
+
+
 def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--query", help="the SGF query text")
@@ -433,6 +571,7 @@ def _gumbo_for(args: argparse.Namespace) -> Gumbo:
         backend=getattr(args, "backend", "serial"),
         workers=getattr(args, "workers", None),
         kernel_mode=getattr(args, "kernel_mode", "auto"),
+        trace=_obs_options(args).tracing,
     )
     return Gumbo(
         engine=environment.engine(),
@@ -484,6 +623,7 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.output_dir:
         written = save_database_like(result.outputs, args.output_dir)
         print("wrote:", ", ".join(written))
+    _export_obs(_obs_options(args))
     return 0
 
 
@@ -550,7 +690,9 @@ def _command_bench_kernels(args: argparse.Namespace) -> int:
         for mode in ("off", "on"):
             gumbo = Gumbo(
                 engine=environment.engine(),
-                options=GumboOptions(kernel_mode=mode),
+                options=GumboOptions(
+                    kernel_mode=mode, trace=_obs_options(args).tracing
+                ),
             )
             start = perf_counter()
             results[mode] = gumbo.execute(query, database, args.strategy)
@@ -569,6 +711,7 @@ def _command_bench_kernels(args: argparse.Namespace) -> int:
         f"outputs and simulated metrics identical across paths: "
         f"{'yes' if identical else 'NO'}"
     )
+    _export_obs(_obs_options(args))
     return 0 if identical else 1
 
 
@@ -595,7 +738,10 @@ def _command_bench(args: argparse.Namespace) -> int:
             backend_name, engine=environment.engine(), workers=args.workers
         )
         try:
-            result = Gumbo(backend=backend).execute(queries, database, args.strategy)
+            result = Gumbo(
+                backend=backend,
+                options=GumboOptions(trace=_obs_options(args).tracing),
+            ).execute(queries, database, args.strategy)
         finally:
             backend.close()
         workers = getattr(backend, "workers", 1)
@@ -629,6 +775,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         f"outputs and simulated metrics identical across backends: "
         f"{'yes' if identical else 'NO'}"
     )
+    _export_obs(_obs_options(args))
     return 0 if identical else 1
 
 
@@ -687,7 +834,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     queries, database = _serve_workload(ids, args)
     requests = [queries[i % len(queries)] for i in range(args.requests)]
     environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
-    gumbo = Gumbo(engine=environment.engine())
+    obs_options = _obs_options(args)
+    gumbo = Gumbo(
+        engine=environment.engine(),
+        options=GumboOptions(trace=obs_options.tracing),
+    )
     incremental_report: List[str] = []
     with QueryService(
         database,
@@ -751,6 +902,18 @@ def _command_serve(args: argparse.Namespace) -> int:
                     print(line)
                 return 1
         stats = service.stats()
+        snapshot = service.stats_snapshot()
+        service_registry = service.metrics
+
+    if args.stats_json is not None:
+        payload = json.dumps(snapshot, indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            with open(args.stats_json, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote service stats to {args.stats_json}")
+    _export_obs(obs_options, registries=[service_registry])
 
     strategies_run: Dict[str, int] = {}
     for result in batch.results:
@@ -858,7 +1021,9 @@ def _command_delta(args: argparse.Namespace) -> int:
     backend = make_backend(
         args.backend, engine=environment.engine(), workers=args.workers
     )
-    gumbo = Gumbo(backend=backend)
+    gumbo = Gumbo(
+        backend=backend, options=GumboOptions(trace=_obs_options(args).tracing)
+    )
     try:
         # Full re-execution path: statistics + planning + run on the
         # post-batch database (what an invalidating service would do).
@@ -896,7 +1061,60 @@ def _command_delta(args: argparse.Namespace) -> int:
           f"({delta.engine_runs} restricted MR runs)")
     print(f"  speedup:               {speedup:9.1f}x")
     print(f"  outputs identical:     {'yes' if matches else 'NO'}")
+    _export_obs(_obs_options(args))
     return 0 if matches else 1
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Trace one workload twice through the service and export the spans."""
+    query = workload_query(args.query_id)
+    database = database_for(
+        query,
+        guard_tuples=args.guard_tuples,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    backend = make_backend(
+        args.backend, engine=environment.engine(), workers=args.workers
+    )
+    gumbo = Gumbo(backend=backend, options=GumboOptions(trace=True))
+    obs.drain_traces()  # start from a clean collector
+    with QueryService(database, gumbo, strategy=args.strategy) as service:
+        miss = service.execute(query)
+        hit = service.execute(query)
+        service_registry = service.metrics
+    traces = obs.drain_traces()
+
+    print(
+        f"workload {args.query_id.upper()} "
+        f"({args.guard_tuples} guard tuples, strategy {miss.strategy}, "
+        f"backend {args.backend})"
+    )
+    labels = ["request 1 (planning miss):", "request 2 (plan-cache hit):"]
+    for label, tracer in zip(labels, traces):
+        print()
+        print(label)
+        print(obs.format_trace(tracer))
+    assert hit.plan_cached, "second request should hit the plan cache"
+
+    if args.trace_out:
+        if args.trace_format == "jsonl":
+            count = obs.write_spans_jsonl(obs.spans_of(traces), args.trace_out)
+            print(f"\nwrote {count} spans (jsonl) to {args.trace_out}")
+        else:
+            count = obs.write_chrome_trace(traces, args.trace_out)
+            validated = obs.validate_chrome_trace(args.trace_out)
+            print(
+                f"\nwrote {count} spans (chrome trace-event JSON, "
+                f"{validated} validated) to {args.trace_out}"
+            )
+    if args.metrics_out:
+        obs.write_prometheus(
+            obs.registries_for_export([service_registry]), args.metrics_out
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
 
 
 def _command_fuzz(args: argparse.Namespace) -> int:
@@ -978,6 +1196,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _command_bench,
         "fuzz": _command_fuzz,
         "delta": _command_delta,
+        "trace": _command_trace,
     }
     return commands[args.command](args)
 

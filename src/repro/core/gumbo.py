@@ -36,6 +36,7 @@ from ..mapreduce.engine import MapReduceEngine, ProgramResult
 from ..mapreduce.program import MRProgram
 from ..model.database import Database
 from ..model.relation import Relation
+from .. import obs
 from ..query.bsgf import BSGFQuery
 from ..query.parser import parse_sgf
 from ..query.sgf import SGFQuery
@@ -251,22 +252,22 @@ class Gumbo:
     ) -> Tuple[MRProgram, str, Optional[StrategyChoice]]:
         """Plan under the resolved strategy: (program, concrete name, choice)."""
         resolved = self._resolve_strategy(sgf, strategy)
-        if estimator is None:
-            estimator = self.estimator(database)
-        if resolved == AUTO:
-            choice = choose_strategy(sgf, estimator, self.options)
-            return choice.program, choice.strategy, choice
-        if resolved in SGF_STRATEGIES:
-            return (
-                build_sgf_program(sgf, resolved, estimator, self.options),
-                resolved,
-                None,
-            )
-        return (
-            build_bsgf_program(list(sgf.subqueries), resolved, estimator, self.options),
-            resolved,
-            None,
-        )
+        with obs.span("gumbo.plan", requested=resolved) as plan_span:
+            if estimator is None:
+                estimator = self.estimator(database)
+            if resolved == AUTO:
+                with obs.span("gumbo.choose"):
+                    choice = choose_strategy(sgf, estimator, self.options)
+                plan_span.set(strategy=choice.strategy, jobs=len(choice.program))
+                return choice.program, choice.strategy, choice
+            if resolved in SGF_STRATEGIES:
+                program = build_sgf_program(sgf, resolved, estimator, self.options)
+            else:
+                program = build_bsgf_program(
+                    list(sgf.subqueries), resolved, estimator, self.options
+                )
+            plan_span.set(strategy=resolved, jobs=len(program))
+            return program, resolved, None
 
     def _resolve_strategy(self, query: SGFQuery, strategy: Optional[str]) -> str:
         if strategy is None:
@@ -293,10 +294,12 @@ class Gumbo:
         breakdown).
         """
         sgf = self.as_sgf(query)
-        program, resolved, choice = self._plan_resolved(sgf, database, strategy)
-        return self.execute_program(
-            sgf, database, program, strategy=resolved, choice=choice
-        )
+        with obs.trace("gumbo.execute", enabled=self.options.trace) as handle:
+            program, resolved, choice = self._plan_resolved(sgf, database, strategy)
+            handle.set(strategy=resolved, backend=self.backend.name)
+            return self.execute_program(
+                sgf, database, program, strategy=resolved, choice=choice
+            )
 
     def execute_program(
         self,
@@ -313,7 +316,13 @@ class Gumbo:
         assembled identically.
         """
         sgf = self.as_sgf(query)
-        result: ProgramResult = self.backend.run_program(program, database)
+        with obs.trace(
+            "gumbo.execute_program",
+            enabled=self.options.trace,
+            strategy=strategy,
+            backend=self.backend.name,
+        ):
+            result: ProgramResult = self.backend.run_program(program, database)
         roots = set(sgf.root_names)
         outputs = {
             name: relation
@@ -372,13 +381,16 @@ class Gumbo:
         """
         from ..incremental.engine import refresh
 
-        return refresh(
-            materialization,
-            inserts,
-            backend=self.backend,
-            mode=mode,
-            options=self.options,
-        )
+        with obs.trace(
+            "gumbo.execute_delta", enabled=self.options.trace, mode=mode
+        ):
+            return refresh(
+                materialization,
+                inserts,
+                backend=self.backend,
+                mode=mode,
+                options=self.options,
+            )
 
     def compare_strategies(
         self,

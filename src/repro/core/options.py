@@ -60,6 +60,14 @@ class GumboOptions:
         backend, which then runs the job in-process); ``"off"`` always
         interprets tuple-at-a-time.  Outputs and simulated metrics are
         identical in every mode — only wall-clock speed changes.
+    trace:
+        Runtime tracing (see :mod:`repro.obs`): entry points —
+        ``Gumbo.execute`` / ``execute_program`` / ``execute_delta`` and the
+        query service's request paths — start one trace per request, and the
+        engine/backend layers fill it with per-job, per-wave and worker-side
+        spans.  Off by default; the disabled path is a no-op check whose
+        overhead is gated by ``BENCH_obs.json``.  Like ``backend``, not an
+        optimisation: outputs and simulated metrics are identical either way.
     """
 
     message_packing: bool = True
@@ -70,6 +78,7 @@ class GumboOptions:
     workers: Optional[int] = None
     default_strategy: str = "greedy"
     kernel_mode: str = KERNEL_AUTO
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.kernel_mode not in KERNEL_MODES:

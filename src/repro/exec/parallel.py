@@ -51,16 +51,27 @@ from ..mapreduce.kernels import use_kernel
 from ..mapreduce.program import MRProgram
 from ..model.database import Database
 from ..model.relation import Relation, tuple_sort_key
+from ..obs import metrics as obs_metrics
+from .. import obs
 from .base import PARALLEL, ExecutionBackend
 from .partition import map_task_chunks, partition_index
 
 _MB = 1024.0 * 1024.0
 
-#: A map task shipped to a worker: (job pickle, input relation, task's rows).
-_MapTask = Tuple[bytes, str, Sequence[Tuple[object, ...]]]
+#: Jobs run through this backend's task fan-out (the kernel path is counted
+#: by the engine as ``path="kernel"``; the serial interpreter as
+#: ``path="interpreted"``).
+_JOBS_FANOUT = obs_metrics.default_registry().counter(
+    "repro_jobs_total", path="fanout"
+)
 
-#: A reduce task shipped to a worker: (job pickle, [(key, values), ...]).
-_ReduceTask = Tuple[bytes, List[Tuple[Key, List[object]]]]
+#: A map task shipped to a worker:
+#: (job pickle, input relation, task's rows, trace this task?).
+_MapTask = Tuple[bytes, str, Sequence[Tuple[object, ...]], bool]
+
+#: A reduce task shipped to a worker:
+#: (job pickle, [(key, values), ...], trace this task?).
+_ReduceTask = Tuple[bytes, List[Tuple[Key, List[object]]], bool]
 
 #: Worker-side memo of deserialised jobs, keyed by their pickle blob.  Every
 #: task of a job run carries the *same* bytes object, so each worker pays the
@@ -83,9 +94,12 @@ def _run_map_task(task: _MapTask):
 
     Returns the emitted ``(key, value)`` pairs in emission order (so the
     parent can rebuild the exact key-group ordering the serial engine
-    produces), the chunk's intermediate bytes, and its per-key byte loads.
+    produces), the chunk's intermediate bytes, and its per-key byte loads —
+    plus a :func:`~repro.obs.trace.worker_payload` span dict when the parent
+    asked for tracing (``None`` otherwise).
     """
-    job_blob, relation_name, rows = task
+    job_blob, relation_name, rows, traced = task
+    start_s = perf_counter() if traced else 0.0
     job = _job_from_blob(job_blob)
     buffer: Dict[Key, List[object]] = {}
     for row in rows:
@@ -102,17 +116,41 @@ def _run_map_task(task: _MapTask):
             intermediate_bytes += pair_size
             key_bytes[key] = key_bytes.get(key, 0) + pair_size
             pairs.append((key, value))
-    return pairs, intermediate_bytes, key_bytes
+    payload = (
+        obs.worker_payload(
+            "map_task",
+            start_s,
+            perf_counter(),
+            relation=relation_name,
+            rows=len(rows),
+            pairs=len(pairs),
+        )
+        if traced
+        else None
+    )
+    return (pairs, intermediate_bytes, key_bytes), payload
 
 
 def _run_reduce_task(task: _ReduceTask):
     """Worker-side reduce task: reduce every key group of one partition."""
-    job_blob, items = task
+    job_blob, items, traced = task
+    start_s = perf_counter() if traced else 0.0
     job = _job_from_blob(job_blob)
     facts: List[Tuple[str, Tuple[object, ...]]] = []
     for key, values in items:
         facts.extend(job.reduce(key, values))
-    return facts
+    payload = (
+        obs.worker_payload(
+            "reduce_task",
+            start_s,
+            perf_counter(),
+            groups=len(items),
+            facts=len(facts),
+        )
+        if traced
+        else None
+    )
+    return facts, payload
 
 
 class ParallelBackend(ExecutionBackend):
@@ -166,16 +204,26 @@ class ParallelBackend(ExecutionBackend):
     # -- wave scheduling ----------------------------------------------------------
 
     def _run_waves(self, phase: str, func, tasks: List, wall: WallClockMetrics) -> List:
-        """Run *tasks* through the pool in waves of at most ``total_slots``."""
+        """Run *tasks* through the pool in waves of at most ``total_slots``.
+
+        Each wave gets a span, and any worker-side span payloads the tasks
+        shipped back are re-parented under it, so the trace shows exactly
+        which wave ran which task in which worker process.
+        """
         if not tasks:
             return []
         pool = self._ensure_pool()
         slots = max(1, self.engine.cluster.total_slots)
+        tracer = obs.current_tracer()
         results: List = []
         for start in range(0, len(tasks), slots):
             wave = tasks[start : start + slots]
             begin = perf_counter()
-            results.extend(pool.map(func, wave))
+            with obs.span("wave", phase=phase, tasks=len(wave)) as wave_span:
+                for result, payload in pool.map(func, wave):
+                    results.append(result)
+                    if payload is not None and tracer is not None:
+                        tracer.adopt_payload(payload, wave_span.span_id)
             wall.record_wave(phase, len(wave), perf_counter() - begin)
         return results
 
@@ -199,22 +247,27 @@ class ParallelBackend(ExecutionBackend):
                 elapsed_s=perf_counter() - start,
             )
             return result
-        start = perf_counter()
-        wall = WallClockMetrics(backend=self.name, workers=self.workers)
-        job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
-        groups, key_bytes, partition_metrics = self._map_phase(
-            job, job_blob, database, wall
-        )
-        input_mb = sum(p.input_mb for p in partition_metrics)
-        intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
-        reducers = self.engine.reducers_for(job, input_mb, intermediate_mb)
-        outputs = self._reduce_phase(job, job_blob, groups, reducers, wall)
-        metrics = self.engine.finalise_job_metrics(
-            job, partition_metrics, key_bytes, outputs
-        )
-        wall.elapsed_s = perf_counter() - start
-        metrics.wall = wall
-        return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
+        _JOBS_FANOUT.inc()
+        with obs.span(
+            "job", job_id=job.job_id, kind=type(job).__name__, path="fanout"
+        ) as job_span:
+            start = perf_counter()
+            wall = WallClockMetrics(backend=self.name, workers=self.workers)
+            job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+            groups, key_bytes, partition_metrics = self._map_phase(
+                job, job_blob, database, wall
+            )
+            input_mb = sum(p.input_mb for p in partition_metrics)
+            intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
+            reducers = self.engine.reducers_for(job, input_mb, intermediate_mb)
+            outputs = self._reduce_phase(job, job_blob, groups, reducers, wall)
+            metrics = self.engine.finalise_job_metrics(
+                job, partition_metrics, key_bytes, outputs
+            )
+            wall.elapsed_s = perf_counter() - start
+            metrics.wall = wall
+            job_span.set(reducers=reducers, workers=self.workers)
+            return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
 
     def _map_phase(
         self,
@@ -224,6 +277,7 @@ class ParallelBackend(ExecutionBackend):
         wall: WallClockMetrics,
     ):
         """Fan the job's map chunks out to the pool and merge the shuffle."""
+        traced = obs.tracing_enabled()
         tagged: List[Tuple[int, _MapTask]] = []
         parts: List[Tuple[str, float, int, int]] = []
         for relation_name in job.input_relations():
@@ -232,7 +286,7 @@ class ParallelBackend(ExecutionBackend):
             input_mb = relation.size_mb() if relation is not None else 0.0
             mappers = self.engine.mappers_for(input_mb)
             for chunk in map_task_chunks(rows, mappers):
-                tagged.append((len(parts), (job_blob, relation_name, chunk)))
+                tagged.append((len(parts), (job_blob, relation_name, chunk, traced)))
             parts.append((relation_name, input_mb, len(rows), mappers))
 
         results = self._run_waves("map", _run_map_task, [t for _, t in tagged], wall)
@@ -281,7 +335,10 @@ class ParallelBackend(ExecutionBackend):
         ]
         for key in sorted(groups, key=tuple_sort_key):
             buckets[partition_index(key, len(buckets))].append((key, groups[key]))
-        tasks: List[_ReduceTask] = [(job_blob, bucket) for bucket in buckets if bucket]
+        traced = obs.tracing_enabled()
+        tasks: List[_ReduceTask] = [
+            (job_blob, bucket, traced) for bucket in buckets if bucket
+        ]
 
         outputs = prepare_output_relations(job)
         for facts in self._run_waves("reduce", _run_reduce_task, tasks, wall):
@@ -301,23 +358,35 @@ class ParallelBackend(ExecutionBackend):
         levels = program.levels()
         metrics.rounds = len(levels)
 
-        for level_jobs in levels:
-            level_map_tasks: List[float] = []
-            level_reduce_tasks: List[float] = []
-            level_results: List[JobResult] = []
-            for job in level_jobs:
-                result = self.run_job(job, working)
-                level_results.append(result)
-                metrics.add_job(result.metrics)
-                level_map_tasks.extend(result.metrics.map_task_durations)
-                level_reduce_tasks.extend(result.metrics.reduce_task_durations)
-            for result in level_results:
-                for name, relation in result.outputs.items():
-                    working.add_relation(relation)
-                    all_outputs[name] = relation
-            metrics.level_net_times.append(
-                self.engine.level_net_time(level_map_tasks, level_reduce_tasks)
-            )
+        with obs.span(
+            "program",
+            program=program.name,
+            jobs=len(program),
+            rounds=len(levels),
+            backend=self.name,
+        ):
+            for level_index, level_jobs in enumerate(levels):
+                with obs.span("level", index=level_index, jobs=len(level_jobs)):
+                    level_map_tasks: List[float] = []
+                    level_reduce_tasks: List[float] = []
+                    level_results: List[JobResult] = []
+                    for job in level_jobs:
+                        result = self.run_job(job, working)
+                        level_results.append(result)
+                        metrics.add_job(result.metrics)
+                        level_map_tasks.extend(result.metrics.map_task_durations)
+                        level_reduce_tasks.extend(
+                            result.metrics.reduce_task_durations
+                        )
+                    for result in level_results:
+                        for name, relation in result.outputs.items():
+                            working.add_relation(relation)
+                            all_outputs[name] = relation
+                    metrics.level_net_times.append(
+                        self.engine.level_net_time(
+                            level_map_tasks, level_reduce_tasks
+                        )
+                    )
 
         metrics.net_time = sum(metrics.level_net_times)
         metrics.wall_elapsed_s = perf_counter() - start

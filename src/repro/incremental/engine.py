@@ -36,6 +36,8 @@ from ..model.atoms import Atom
 from ..model.database import Database
 from ..model.relation import Relation
 from ..model.terms import Variable
+from ..obs import metrics as obs_metrics
+from .. import obs
 from ..query.bsgf import BSGFQuery
 from .delta import Delta, InsertBatch, Row, apply_inserts, dedupe_inserts
 from .materialize import (
@@ -52,6 +54,11 @@ DELTA_PREFIX = "__delta__"
 
 #: Accepted refresh modes.
 MODES = ("engine", "direct")
+
+#: Refresh latencies (per materialization), fed to the default registry.
+_REFRESH_SECONDS = obs_metrics.default_registry().histogram(
+    "repro_refresh_seconds"
+)
 
 
 @dataclass(frozen=True)
@@ -355,17 +362,22 @@ def refresh_all(
     results: List[DeltaResult] = []
     for materialization in materializations:
         mat_start = perf_counter()
-        evaluator: Optional[_EngineEvaluator] = None
-        if mode == "engine" and backend is not None:
-            evaluator = _EngineEvaluator(materialization, backend, options)
-            new_satisfies = evaluator
-        else:
-            new_satisfies = _direct_satisfies
-        added_by, removed_by, affected = _refresh_prepared(
-            materialization, base.scoped(), new_satisfies
-        )
-        results.append(
-            DeltaResult(
+        with obs.span(
+            "incremental.refresh",
+            output=materialization.query.output,
+            mode=mode,
+            inserted_tuples=inserted_count,
+        ) as refresh_span:
+            evaluator: Optional[_EngineEvaluator] = None
+            if mode == "engine" and backend is not None:
+                evaluator = _EngineEvaluator(materialization, backend, options)
+                new_satisfies = evaluator
+            else:
+                new_satisfies = _direct_satisfies
+            added_by, removed_by, affected = _refresh_prepared(
+                materialization, base.scoped(), new_satisfies
+            )
+            result = DeltaResult(
                 materialization=materialization,
                 added=added_by,
                 removed=removed_by,
@@ -377,5 +389,12 @@ def refresh_all(
                     evaluator.simulated_s if evaluator is not None else 0.0
                 ),
             )
-        )
+            refresh_span.set(
+                affected=affected,
+                added=result.added_count(),
+                removed=result.removed_count(),
+                engine_runs=result.engine_runs,
+            )
+        _REFRESH_SECONDS.observe(result.wall_s)
+        results.append(result)
     return results

@@ -40,6 +40,8 @@ from ..cost.models import GumboCostModel, JobProfile
 from ..exec.partition import map_task_chunks, partition_index, stable_hash
 from ..model.database import Database
 from ..model.relation import Relation, tuple_sort_key
+from ..obs import metrics as obs_metrics
+from .. import obs
 from .cluster import ClusterConfig
 from .counters import JobMetrics, PartitionMetrics, ProgramMetrics
 from .job import Key, MapReduceJob
@@ -53,6 +55,24 @@ _MB = 1024.0 * 1024.0
 #: :mod:`repro.exec.partition` so every execution backend partitions
 #: identically.
 _stable_hash = stable_hash
+
+#: Process-global execution counters (see :mod:`repro.obs.metrics`), created
+#: once at import so per-job recording is a single locked add.  The dispatch
+#: counters are bumped at the three dispatch sites (interpreted here, kernel
+#: in :meth:`MapReduceEngine.run_job_kernel`, fan-out in the parallel
+#: backend); the byte/row counters in :meth:`finalise_job_metrics`, which
+#: every backend funnels through.
+_JOBS_INTERPRETED = obs_metrics.default_registry().counter(
+    "repro_jobs_total", path="interpreted"
+)
+_JOBS_KERNEL = obs_metrics.default_registry().counter(
+    "repro_jobs_total", path="kernel"
+)
+_SHUFFLE_BYTES = obs_metrics.default_registry().counter(
+    "repro_shuffle_bytes_total"
+)
+_ROWS_IN = obs_metrics.default_registry().counter("repro_rows_total", dir="in")
+_ROWS_OUT = obs_metrics.default_registry().counter("repro_rows_total", dir="out")
 
 
 def prepare_output_relations(job: MapReduceJob) -> Dict[str, Relation]:
@@ -144,17 +164,31 @@ class MapReduceEngine:
         """
         if use_kernel(job):
             return self.run_job_kernel(job, database)
-        groups: Dict[Key, List[object]] = defaultdict(list)
-        key_bytes: Counter = Counter()
-        partition_metrics: List[PartitionMetrics] = []
+        _JOBS_INTERPRETED.inc()
+        with obs.span(
+            "job", job_id=job.job_id, kind=type(job).__name__, path="interpreted"
+        ):
+            groups: Dict[Key, List[object]] = defaultdict(list)
+            key_bytes: Counter = Counter()
+            partition_metrics: List[PartitionMetrics] = []
 
-        for relation_name in job.input_relations():
-            partition_metrics.append(
-                self._run_map_partition(job, relation_name, database, groups, key_bytes)
+            for relation_name in job.input_relations():
+                with obs.span("map", relation=relation_name) as map_span:
+                    partition = self._run_map_partition(
+                        job, relation_name, database, groups, key_bytes
+                    )
+                    map_span.set(
+                        mappers=partition.mappers,
+                        rows=partition.input_records,
+                        pairs=partition.output_records,
+                    )
+                partition_metrics.append(partition)
+
+            with obs.span("reduce", groups=len(groups)):
+                outputs = self._run_reduce(job, groups, database)
+            metrics = self.finalise_job_metrics(
+                job, partition_metrics, key_bytes, outputs
             )
-
-        outputs = self._run_reduce(job, groups, database)
-        metrics = self.finalise_job_metrics(job, partition_metrics, key_bytes, outputs)
         return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
 
     def run_job_kernel(self, job: MapReduceJob, database: Database) -> JobResult:
@@ -168,38 +202,49 @@ class MapReduceEngine:
         derivation funnels through :meth:`finalise_job_metrics`, exactly as
         on the interpreted path.
         """
-        key_bytes: Counter = Counter()
-        partition_metrics: List[PartitionMetrics] = []
-        batches = []
+        _JOBS_KERNEL.inc()
+        with obs.span(
+            "job", job_id=job.job_id, kind=type(job).__name__, path="kernel"
+        ):
+            key_bytes: Counter = Counter()
+            partition_metrics: List[PartitionMetrics] = []
+            batches = []
 
-        for relation_name in job.input_relations():
-            relation = database.get(relation_name)
-            rows = relation.sorted_tuples() if relation is not None else []
-            input_mb = relation.size_mb() if relation is not None else 0.0
-            mappers = self.mappers_for(input_mb)
-            batch = job.map_batch(relation_name, map_task_chunks(rows, mappers))
-            batches.append(batch)
-            key_bytes.update(batch.key_bytes)
-            partition_metrics.append(
-                PartitionMetrics(
-                    relation=relation_name,
-                    input_mb=input_mb,
-                    input_records=len(rows),
-                    intermediate_mb=batch.intermediate_bytes / _MB,
-                    output_records=batch.output_records,
-                    mappers=mappers,
+            for relation_name in job.input_relations():
+                with obs.span("map_batch", relation=relation_name) as map_span:
+                    relation = database.get(relation_name)
+                    rows = relation.sorted_tuples() if relation is not None else []
+                    input_mb = relation.size_mb() if relation is not None else 0.0
+                    mappers = self.mappers_for(input_mb)
+                    batch = job.map_batch(
+                        relation_name, map_task_chunks(rows, mappers)
+                    )
+                    map_span.set(mappers=mappers, rows=len(rows))
+                batches.append(batch)
+                key_bytes.update(batch.key_bytes)
+                partition_metrics.append(
+                    PartitionMetrics(
+                        relation=relation_name,
+                        input_mb=input_mb,
+                        input_records=len(rows),
+                        intermediate_mb=batch.intermediate_bytes / _MB,
+                        output_records=batch.output_records,
+                        mappers=mappers,
+                    )
                 )
+
+            outputs = prepare_output_relations(job)
+            with obs.span("reduce_batch"):
+                for relation_name, rows in job.reduce_batch(batches).items():
+                    if relation_name not in outputs:
+                        raise KeyError(
+                            f"job {job.job_id!r} emitted to undeclared relation "
+                            f"{relation_name!r}"
+                        )
+                    outputs[relation_name].update(rows)
+            metrics = self.finalise_job_metrics(
+                job, partition_metrics, key_bytes, outputs
             )
-
-        outputs = prepare_output_relations(job)
-        for relation_name, rows in job.reduce_batch(batches).items():
-            if relation_name not in outputs:
-                raise KeyError(
-                    f"job {job.job_id!r} emitted to undeclared relation "
-                    f"{relation_name!r}"
-                )
-            outputs[relation_name].update(rows)
-        metrics = self.finalise_job_metrics(job, partition_metrics, key_bytes, outputs)
         return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
 
     # -- accounting shared with the execution backends ----------------------------
@@ -255,6 +300,9 @@ class MapReduceEngine:
         metrics.breakdown = self.cost_model.job_breakdown(profile)
         metrics.map_task_durations = self._map_task_durations(metrics)
         metrics.reduce_task_durations = self._reduce_task_durations(metrics, key_bytes)
+        _SHUFFLE_BYTES.inc(intermediate_mb * _MB)
+        _ROWS_IN.inc(metrics.input_records)
+        _ROWS_OUT.inc(output_records)
         return metrics
 
     def level_net_time(
@@ -389,23 +437,29 @@ class MapReduceEngine:
         levels = program.levels()
         metrics.rounds = len(levels)
 
-        for level_jobs in levels:
-            level_map_tasks: List[float] = []
-            level_reduce_tasks: List[float] = []
-            level_results: List[JobResult] = []
-            for job in level_jobs:
-                result = self.run_job(job, working)
-                level_results.append(result)
-                metrics.add_job(result.metrics)
-                level_map_tasks.extend(result.metrics.map_task_durations)
-                level_reduce_tasks.extend(result.metrics.reduce_task_durations)
-            for result in level_results:
-                for name, relation in result.outputs.items():
-                    working.add_relation(relation)
-                    all_outputs[name] = relation
-            metrics.level_net_times.append(
-                self.level_net_time(level_map_tasks, level_reduce_tasks)
-            )
+        with obs.span(
+            "program", program=program.name, jobs=len(program), rounds=len(levels)
+        ):
+            for level_index, level_jobs in enumerate(levels):
+                level_map_tasks: List[float] = []
+                level_reduce_tasks: List[float] = []
+                level_results: List[JobResult] = []
+                with obs.span("level", index=level_index, jobs=len(level_jobs)):
+                    for job in level_jobs:
+                        result = self.run_job(job, working)
+                        level_results.append(result)
+                        metrics.add_job(result.metrics)
+                        level_map_tasks.extend(result.metrics.map_task_durations)
+                        level_reduce_tasks.extend(
+                            result.metrics.reduce_task_durations
+                        )
+                for result in level_results:
+                    for name, relation in result.outputs.items():
+                        working.add_relation(relation)
+                        all_outputs[name] = relation
+                metrics.level_net_times.append(
+                    self.level_net_time(level_map_tasks, level_reduce_tasks)
+                )
 
         metrics.net_time = sum(metrics.level_net_times)
         return ProgramResult(

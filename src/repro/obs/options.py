@@ -1,0 +1,55 @@
+"""Observability options: what to record and where to export it.
+
+:class:`ObsOptions` is the CLI/service-facing bundle.  The single *runtime*
+switch that threads through the execution stack is
+:attr:`~repro.core.options.GumboOptions.trace` (entry points start a trace
+when it is set); everything else here is export plumbing — which files to
+write, in which span format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Accepted span-export formats.
+TRACE_FORMAT_CHROME = "chrome"
+TRACE_FORMAT_JSONL = "jsonl"
+TRACE_FORMATS = (TRACE_FORMAT_CHROME, TRACE_FORMAT_JSONL)
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Export selection for one CLI run or service instance.
+
+    Attributes
+    ----------
+    trace:
+        Record spans (entry points start one trace per request/run).
+    trace_out:
+        Write the collected spans to this path after the run (implies
+        ``trace``; see :attr:`trace_format` for the encoding).
+    trace_format:
+        ``"chrome"`` (trace-event JSON for Perfetto/``chrome://tracing``) or
+        ``"jsonl"`` (one span object per line).
+    metrics_out:
+        Write the Prometheus text exposition of the default registry (plus
+        any per-service registries the command created) to this path.
+    """
+
+    trace: bool = False
+    trace_out: Optional[str] = None
+    trace_format: str = TRACE_FORMAT_CHROME
+    metrics_out: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.trace_format not in TRACE_FORMATS:
+            raise ValueError(
+                f"unknown trace format {self.trace_format!r}; "
+                f"expected one of {TRACE_FORMATS}"
+            )
+
+    @property
+    def tracing(self) -> bool:
+        """Tracing is on when requested explicitly or implied by an export."""
+        return self.trace or self.trace_out is not None

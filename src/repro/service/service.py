@@ -28,7 +28,7 @@ strategy — because a serving layer should not require callers to name one.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from threading import Lock, RLock
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -44,6 +44,8 @@ from ..model.relation import SchemaError
 from ..mapreduce.counters import ProgramMetrics
 from ..model.database import Database
 from ..model.relation import Relation
+from .. import obs
+from ..obs.metrics import Histogram, MetricsRegistry
 from ..query.sgf import SGFQuery
 from .cache import CacheStats, LRUCache
 from .fingerprint import query_fingerprint
@@ -126,8 +128,13 @@ class QueryMetricsHistory:
     queries: int = 0
     plan_cache_hits: int = 0
     materialized_hits: int = 0
+    failures: int = 0
     plan_s_total: float = 0.0
     exec_s_total: float = 0.0
+    #: Distribution of execution times (p50/p95/p99 via ``summary()``).
+    exec_seconds: Histogram = field(
+        default_factory=lambda: Histogram("repro_query_exec_seconds")
+    )
 
     def record(self, result: "ServiceResult", materialized: bool = False) -> None:
         self.queries += 1
@@ -135,14 +142,33 @@ class QueryMetricsHistory:
         self.materialized_hits += 1 if materialized else 0
         self.plan_s_total += result.plan_s
         self.exec_s_total += result.exec_s
+        self.exec_seconds.observe(result.exec_s)
 
-    def as_dict(self) -> Dict[str, float]:
+    def record_failure(self) -> None:
+        self.failures += 1
+
+    def copy(self) -> "QueryMetricsHistory":
+        """An independent copy (the histogram is mutable, so snapshot it)."""
+        return QueryMetricsHistory(
+            fingerprint=self.fingerprint,
+            queries=self.queries,
+            plan_cache_hits=self.plan_cache_hits,
+            materialized_hits=self.materialized_hits,
+            failures=self.failures,
+            plan_s_total=self.plan_s_total,
+            exec_s_total=self.exec_s_total,
+            exec_seconds=self.exec_seconds.snapshot(),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "queries": self.queries,
             "plan_cache_hits": self.plan_cache_hits,
             "materialized_hits": self.materialized_hits,
+            "failures": self.failures,
             "plan_s_total": self.plan_s_total,
             "exec_s_total": self.exec_s_total,
+            "exec_seconds": self.exec_seconds.summary(),
         }
 
 
@@ -159,10 +185,12 @@ class ServiceStats:
     materialized_hits: int = 0
     incremental_refreshes: int = 0
     metrics_histories: int = 0
+    queries_failed: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "queries_served": self.queries_served,
+            "queries_failed": self.queries_failed,
             "plan_cache": self.plan_cache.as_dict(),
             "plan_cache_size": self.plan_cache_size,
             "database_version": self.database_version,
@@ -239,6 +267,24 @@ class QueryService:
         self._incremental_epoch = 0
         #: Per-fingerprint cumulative serving metrics; survives invalidation.
         self._history: Dict[str, QueryMetricsHistory] = {}
+        self._queries_failed = 0
+        #: Per-service instrument registry (two services never mix counters);
+        #: exporters combine it with the process-global default registry.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter("repro_service_requests_total")
+        self._m_failures = self.metrics.counter("repro_service_failures_total")
+        self._m_plan_hits = self.metrics.counter(
+            "repro_service_plan_cache_total", outcome="hit"
+        )
+        self._m_plan_misses = self.metrics.counter(
+            "repro_service_plan_cache_total", outcome="miss"
+        )
+        self._m_request_seconds = self.metrics.histogram(
+            "repro_service_request_seconds"
+        )
+        self._m_refresh_seconds = self.metrics.histogram(
+            "repro_service_refresh_seconds"
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -342,21 +388,40 @@ class QueryService:
         database = self.database
         sgf = Gumbo.as_sgf(query)
         fingerprint = query_fingerprint(sgf, database)
-        materialized = self._serve_materialized(fingerprint, requested)
-        if materialized is not None:
-            return materialized
-        plan_start = perf_counter()
-        planned, was_cached, fingerprint = self._plan(
-            sgf, requested, database, fingerprint
-        )
-        plan_s = perf_counter() - plan_start
-        exec_start = perf_counter()
-        if self._exec_lock is not None:
-            with self._exec_lock:
-                result = self._run(planned, database)
-        else:
-            result = self._run(planned, database)
-        exec_s = perf_counter() - exec_start
+        self._m_requests.inc()
+        request_start = perf_counter()
+        with obs.trace(
+            "service.request",
+            enabled=self.gumbo.options.trace,
+            fingerprint=fingerprint,
+            requested_strategy=requested,
+        ) as request_span:
+            try:
+                materialized = self._serve_materialized(fingerprint, requested)
+                if materialized is not None:
+                    request_span.set(materialized=True, plan_cached=True)
+                    self._m_plan_hits.inc()
+                    self._m_request_seconds.observe(perf_counter() - request_start)
+                    return materialized
+                plan_start = perf_counter()
+                planned, was_cached, fingerprint = self._plan(
+                    sgf, requested, database, fingerprint
+                )
+                plan_s = perf_counter() - plan_start
+                (self._m_plan_hits if was_cached else self._m_plan_misses).inc()
+                request_span.set(
+                    plan_cached=was_cached, strategy=planned.strategy
+                )
+                exec_start = perf_counter()
+                if self._exec_lock is not None:
+                    with self._exec_lock:
+                        result = self._run(planned, database)
+                else:
+                    result = self._run(planned, database)
+                exec_s = perf_counter() - exec_start
+            except Exception:
+                self._record_failure(fingerprint)
+                raise
         served = ServiceResult(
             result=result,
             fingerprint=fingerprint,
@@ -366,6 +431,7 @@ class QueryService:
             exec_s=exec_s,
         )
         self._record(served)
+        self._m_request_seconds.observe(perf_counter() - request_start)
         return served
 
     def _record(self, served: ServiceResult, materialized: bool = False) -> None:
@@ -379,6 +445,18 @@ class QueryService:
                     served.fingerprint
                 )
             history.record(served, materialized=materialized)
+
+    def _record_failure(self, fingerprint: str) -> None:
+        """Count a failed request against the service and its fingerprint."""
+        self._m_failures.inc()
+        with self._state_lock:
+            self._queries_failed += 1
+            history = self._history.get(fingerprint)
+            if history is None:
+                history = self._history[fingerprint] = QueryMetricsHistory(
+                    fingerprint
+                )
+            history.record_failure()
 
     def _serve_materialized(
         self, fingerprint: str, requested: str
@@ -594,8 +672,24 @@ class QueryService:
                         f"outputs are derived, insert into base relations"
                     )
             try:
-                if self._exec_lock is not None:
-                    with self._exec_lock:
+                refresh_start = perf_counter()
+                with obs.trace(
+                    "service.refresh",
+                    enabled=self.gumbo.options.trace,
+                    relation=relation,
+                    rows=len(rows),
+                    materializations=len(materializations),
+                ):
+                    if self._exec_lock is not None:
+                        with self._exec_lock:
+                            results = refresh_all(
+                                materializations,
+                                self.database,
+                                {relation: rows},
+                                backend=self.gumbo.backend,
+                                options=self.gumbo.options,
+                            )
+                    else:
                         results = refresh_all(
                             materializations,
                             self.database,
@@ -603,14 +697,7 @@ class QueryService:
                             backend=self.gumbo.backend,
                             options=self.gumbo.options,
                         )
-                else:
-                    results = refresh_all(
-                        materializations,
-                        self.database,
-                        {relation: rows},
-                        backend=self.gumbo.backend,
-                        options=self.gumbo.options,
-                    )
+                self._m_refresh_seconds.observe(perf_counter() - refresh_start)
                 if self._estimator is not None:
                     self._estimator.catalog.refresh_relation(relation)
             except Exception:
@@ -650,15 +737,34 @@ class QueryService:
                 materialized_hits=self._materialized_hits,
                 incremental_refreshes=self._incremental_refreshes,
                 metrics_histories=len(self._history),
+                queries_failed=self._queries_failed,
             )
 
     def metrics_history(self) -> Dict[str, QueryMetricsHistory]:
         """Cumulative per-fingerprint serving metrics (survives invalidation)."""
         with self._state_lock:
             return {
-                fingerprint: QueryMetricsHistory(**vars(history))
+                fingerprint: history.copy()
                 for fingerprint, history in self._history.items()
             }
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """A JSON-ready dump of everything the service measures.
+
+        Combines the serving-layer counters (:meth:`stats`), the cumulative
+        per-fingerprint histories (with their exec-time percentiles) and the
+        per-service instrument registry — the payload behind
+        ``repro serve --stats-json``.
+        """
+        history = self.metrics_history()
+        return {
+            "stats": self.stats().as_dict(),
+            "history": {
+                fingerprint: record.as_dict()
+                for fingerprint, record in sorted(history.items())
+            },
+            "metrics": self.metrics.as_dict(),
+        }
 
     def materializations(self) -> Dict[PlanKey, Materialization]:
         """The registered materializations (snapshot of the mapping)."""

@@ -369,3 +369,139 @@ class TestKernelCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "combinations agree with the reference evaluator" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_validated_chrome_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.prom")
+        code = main(
+            [
+                "trace",
+                "A3",
+                "--guard-tuples",
+                "120",
+                "--backend",
+                "serial",
+                "--trace-out",
+                trace_path,
+                "--metrics-out",
+                metrics_path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "request 1 (planning miss):" in out
+        assert "request 2 (plan-cache hit):" in out
+        assert "service.request" in out
+        assert "validated" in out
+        from repro import obs
+
+        assert obs.validate_chrome_trace(trace_path) > 0
+        with open(metrics_path) as handle:
+            text = handle.read()
+        assert "repro_service_requests_total 2" in text
+
+    def test_trace_jsonl_format(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "spans.jsonl")
+        code = main(
+            [
+                "trace",
+                "A1",
+                "--guard-tuples",
+                "80",
+                "--backend",
+                "serial",
+                "--trace-out",
+                trace_path,
+                "--trace-format",
+                "jsonl",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(jsonl)" in out
+        from repro import obs
+
+        spans = obs.spans_from_jsonl(trace_path)
+        assert {"service.request", "gumbo.plan", "job"} <= {s.name for s in spans}
+
+    def test_trace_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "A3", "--trace-format", "xml"])
+
+
+class TestObsFlags:
+    def test_query_trace_export(self, data_dir, tmp_path, capsys):
+        trace_path = str(tmp_path / "query-trace.json")
+        code = main(
+            [
+                "query",
+                "--query",
+                QUERY,
+                "--data",
+                data_dir,
+                "--trace",
+                "--trace-out",
+                trace_path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        from repro import obs
+
+        assert obs.validate_chrome_trace(trace_path) > 0
+
+    def test_serve_stats_json_to_stdout(self, capsys):
+        import json as json_module
+
+        code = main(
+            [
+                "serve",
+                "--query-ids",
+                "A1",
+                "--requests",
+                "4",
+                "--guard-tuples",
+                "80",
+                "--stats-json",
+                "-",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        start = out.index("{")
+        end = out.rindex("}") + 1
+        snapshot = json_module.loads(out[start:end])
+        assert snapshot["stats"]["queries_served"] == 4
+        assert snapshot["history"]
+        record = next(iter(snapshot["history"].values()))
+        assert record["queries"] == 4
+        assert "exec_seconds" in record
+        assert "repro_service_requests_total" in snapshot["metrics"]
+
+    def test_serve_stats_json_to_file(self, tmp_path, capsys):
+        import json as json_module
+
+        stats_path = str(tmp_path / "stats.json")
+        code = main(
+            [
+                "serve",
+                "--query-ids",
+                "A1",
+                "--requests",
+                "3",
+                "--guard-tuples",
+                "80",
+                "--stats-json",
+                stats_path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote service stats" in out
+        with open(stats_path) as handle:
+            snapshot = json_module.load(handle)
+        assert snapshot["stats"]["queries_served"] == 3
+        assert snapshot["stats"]["queries_failed"] == 0

@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.options import GumboOptions
 from repro.cost.models import JobCostBreakdown
-from repro.mapreduce.counters import JobMetrics, PartitionMetrics, ProgramMetrics
+from repro.mapreduce.counters import (
+    JobMetrics,
+    PartitionMetrics,
+    ProgramMetrics,
+    WallClockMetrics,
+)
 
 
 class TestGumboOptions:
@@ -127,3 +132,100 @@ class TestProgramMetrics:
         program = ProgramMetrics()
         program.add_job(_metrics())
         assert "jobs=1" in str(program)
+
+    def test_merge_of_empty_metrics_is_empty(self):
+        merged = ProgramMetrics().merge(ProgramMetrics())
+        assert merged.num_jobs == 0
+        assert merged.net_time == 0.0
+        assert merged.rounds == 0
+        assert merged.level_net_times == []
+        assert merged.wall_elapsed_s == 0.0
+        assert merged.summary() == {
+            "net_time_s": 0.0,
+            "total_time_s": 0.0,
+            "input_gb": 0.0,
+            "communication_gb": 0.0,
+        }
+
+    def test_merge_with_empty_is_identity_on_jobs(self):
+        first = ProgramMetrics(backend="parallel")
+        first.add_job(_metrics("a"))
+        first.wall_elapsed_s = 1.5
+        merged = first.merge(ProgramMetrics())
+        assert merged.num_jobs == 1
+        assert merged.backend == "parallel"
+        assert merged.wall_elapsed_s == 1.5
+        # Empty-first merge takes the non-empty side's backend instead.
+        merged_other_way = ProgramMetrics(backend="serial").merge(first)
+        assert merged_other_way.backend == "parallel"
+
+    def test_merge_preserves_wall_metrics_and_waves(self):
+        first = ProgramMetrics(backend="parallel")
+        job_a = _metrics("a")
+        job_a.wall = WallClockMetrics(backend="parallel", workers=2)
+        job_a.wall.record_wave("map", tasks=4, elapsed_s=0.5)
+        job_a.wall.record_wave("reduce", tasks=2, elapsed_s=0.25)
+        first.add_job(job_a)
+        first.wall_elapsed_s = 0.75
+        second = ProgramMetrics(backend="parallel")
+        job_b = _metrics("b")
+        job_b.wall = WallClockMetrics(backend="parallel", workers=2)
+        job_b.wall.record_wave("map", tasks=1, elapsed_s=0.1)
+        second.add_job(job_b)
+        second.wall_elapsed_s = 0.1
+        merged = first.merge(second)
+        assert merged.wall_elapsed_s == pytest.approx(0.85)
+        summary = merged.wall_summary()
+        assert summary["backend"] == "parallel"
+        assert summary["wall_clock_s"] == pytest.approx(0.85)
+        assert summary["wall_map_s"] == pytest.approx(0.6)
+        assert summary["wall_reduce_s"] == pytest.approx(0.25)
+        waves = [w for m in merged.job_metrics.values() for w in m.wall.waves]
+        assert [(w.phase, w.tasks) for w in waves] == [
+            ("map", 4),
+            ("reduce", 2),
+            ("map", 1),
+        ]
+
+    def test_wall_summary_without_wall_metrics(self):
+        # Jobs run through the bare engine have wall=None; the phase subtotals
+        # must skip them rather than crash.
+        program = ProgramMetrics()
+        program.add_job(_metrics("a"))
+        summary = program.wall_summary()
+        assert summary == {
+            "backend": "serial",
+            "wall_clock_s": 0.0,
+            "wall_map_s": 0.0,
+            "wall_reduce_s": 0.0,
+        }
+
+    def test_wall_summary_mixed_timed_and_untimed_jobs(self):
+        program = ProgramMetrics(backend="parallel")
+        timed = _metrics("timed")
+        timed.wall = WallClockMetrics(backend="parallel")
+        timed.wall.record_wave("map", tasks=1, elapsed_s=0.2)
+        program.add_job(timed)
+        program.add_job(_metrics("untimed"))
+        summary = program.wall_summary()
+        assert summary["wall_map_s"] == pytest.approx(0.2)
+        assert summary["wall_reduce_s"] == 0.0
+
+    def test_zero_duration_jobs_aggregate_cleanly(self):
+        program = ProgramMetrics()
+        empty = JobMetrics(job_id="empty")
+        empty.wall = WallClockMetrics()
+        program.add_job(empty)
+        assert program.total_time == 0.0
+        assert program.input_mb == 0.0
+        assert program.communication_mb == 0.0
+        assert program.wall_summary()["wall_map_s"] == 0.0
+
+    def test_merge_duplicate_job_ids_last_wins(self):
+        first = ProgramMetrics()
+        first.add_job(_metrics("shared", input_mb=10.0))
+        second = ProgramMetrics()
+        second.add_job(_metrics("shared", input_mb=99.0))
+        merged = first.merge(second)
+        assert merged.num_jobs == 1
+        assert merged.input_mb == 99.0
