@@ -10,8 +10,8 @@ ratio isolates the execution engine.  Before any timing is trusted, the two
 paths are verified to produce identical output relations **and** identical
 simulated metrics.
 
-The acceptance bar is a ≥ 3× wall-clock speedup at 4 000 guard tuples; in
-practice the kernel lands around 5×.
+The acceptance bar is a ≥ 6× wall-clock speedup at 4 000 guard tuples; in
+practice the columnar kernel path lands around 10×.
 
 Results are written to ``BENCH_kernels.json`` (override the path with
 ``REPRO_BENCH_KERNELS_JSON``) so CI can archive the perf trajectory and gate
@@ -107,8 +107,9 @@ def test_bench_kernel_vs_interpreted(capsys):
         print(f"  speedup:              {speedup:9.2f}x")
         print(f"  artifact:             {ARTIFACT_PATH}")
 
-    # The acceptance bar: the kernel path beats interpretation >= 3x on A3.
-    assert speedup >= 3.0, (
+    # The acceptance bar: the kernel path beats interpretation >= 6x on A3
+    # (raised from 3x when the columnar storage path landed).
+    assert speedup >= 6.0, (
         f"kernel path too slow: {timings['on'] * 1e3:.3f} ms vs interpreted "
         f"{timings['off'] * 1e3:.3f} ms ({speedup:.2f}x)"
     )

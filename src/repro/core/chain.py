@@ -31,10 +31,13 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from collections import Counter
+
 from ..mapreduce.kernels import (
     MapBatch,
     PackedChunkAccumulator,
     PlainPairAccumulator,
+    as_column_block,
 )
 from ..model.atoms import Atom
 from ..model.terms import Variable
@@ -206,14 +209,17 @@ class SemiJoinChainJob(MapReduceJob):
 
     def map_batch(self, relation: str, chunks) -> MapBatch:
         """Kernelised map: collect request rows / assert keys with exact pair
-        accounting (the chain job packs messages like the MSJ job does)."""
-        row_len = next((len(r) for c in chunks for r in c), None)
+        accounting (the chain job packs messages like the MSJ job does).
+        Unrestricted atoms read their join keys as column slices."""
+        blocks = [as_column_block(chunk) for chunk in chunks]
+        row_len = next((b.arity for b in blocks if b.length), None)
         guard = None
         if relation == self.input_name:
             compiled = self.guard_atom.compile()
             if compiled.arity == row_len:
                 guard = (
                     compiled.matcher,
+                    compiled.positions(self.join_key),
                     compiled.extractor(self.join_key),
                     TAG_BYTES
                     + (
@@ -226,7 +232,11 @@ class SemiJoinChainJob(MapReduceJob):
         if relation == self.literal.atom.relation:
             compiled = self.literal.atom.compile()
             if compiled.arity == row_len:
-                literal = (compiled.matcher, compiled.extractor(self.join_key))
+                literal = (
+                    compiled.matcher,
+                    compiled.positions(self.join_key),
+                    compiled.extractor(self.join_key),
+                )
         requests: List[tuple] = []
         asserted: set = set()
         packed = self.uses_combiner()
@@ -235,26 +245,39 @@ class SemiJoinChainJob(MapReduceJob):
             if packed
             else PlainPairAccumulator(self)
         )
-        for chunk in chunks:
-            for row in chunk:
-                if guard is not None:
-                    matcher, key_of, request_size = guard
-                    if matcher is None or matcher(row):
-                        key = key_of(row)
-                        requests.append((key, row))
-                        if packed:
-                            acc.add_request(key, request_size)
-                        else:
-                            acc.add_pair(key, request_size)
-                if literal is not None:
-                    matcher, key_of = literal
-                    if matcher is None or matcher(row):
-                        key = key_of(row)
-                        asserted.add(key)
-                        if packed:
-                            acc.add_assert(key, 0)
-                        else:
-                            acc.add_pair(key, TAG_BYTES)
+        for block in blocks:
+            if not block.length:
+                continue
+            if guard is not None:
+                matcher, key_positions, key_of, request_size = guard
+                if matcher is None:
+                    keys = block.key_tuples(key_positions)
+                    rows = block.rows()
+                else:
+                    rows = [r for r in block.rows() if matcher(r)]
+                    keys = [key_of(r) for r in rows]
+                if keys:
+                    requests.append((keys, rows))
+                    counts = Counter(keys)
+                    if packed:
+                        acc.add_request_counts(counts, request_size)
+                    else:
+                        acc.add_key_counts(counts, request_size)
+            if literal is not None:
+                matcher, key_positions, key_of = literal
+                if matcher is None:
+                    keys = block.key_tuples(key_positions)
+                else:
+                    keys = [key_of(r) for r in block.rows() if matcher(r)]
+                if keys:
+                    if packed:
+                        distinct = set(keys)
+                        asserted.update(distinct)
+                        acc.add_assert_keys(distinct, 0)
+                    else:
+                        counts = Counter(keys)
+                        asserted.update(counts)
+                        acc.add_key_counts(counts, TAG_BYTES)
             acc.flush()
         return MapBatch(
             relation=relation,
@@ -278,13 +301,27 @@ class SemiJoinChainJob(MapReduceJob):
             project = None
             projects = False
         for batch in batches:
-            for key, row in batch.data[0]:
-                if (key in asserted) != positive:
+            for keys, request_rows in batch.data[0]:
+                if positive:
+                    kept = [
+                        row
+                        for key, row in zip(keys, request_rows)
+                        if key in asserted
+                    ]
+                else:
+                    kept = [
+                        row
+                        for key, row in zip(keys, request_rows)
+                        if key not in asserted
+                    ]
+                if not kept:
                     continue
                 if project is None:
-                    rows.add(row)
+                    rows.update(kept)
+                elif projects:
+                    rows.update(map(project, kept))
                 else:
-                    rows.add(project(row) if projects else (row[0],))
+                    rows.update([(row[0],) for row in kept])
         return {self.output_name: rows}
 
     def __repr__(self) -> str:
@@ -356,20 +393,31 @@ class UnionProjectJob(MapReduceJob):
         """Kernelised map: project every conforming row (1-byte values, no
         combiner, so pair accounting is a straight per-row accumulation)."""
         compiled = self.guard_atom.compile()
-        row_len = next((len(r) for c in chunks for r in c), None)
+        blocks = [as_column_block(chunk) for chunk in chunks]
+        row_len = next((b.arity for b in blocks if b.length), None)
         keys: set = set()
         acc = PlainPairAccumulator(self)
         if compiled.arity == row_len:
             matcher = compiled.matcher
+            positions = (
+                compiled.positions(self.projection) if self.projection else (0,)
+            )
             project = compiled.extractor(self.projection)
             projects = bool(self.projection)
-            for chunk in chunks:
-                for row in chunk:
-                    if matcher is not None and not matcher(row):
-                        continue
-                    key = project(row) if projects else (row[0],)
-                    keys.add(key)
-                    acc.add_pair(key, 1)
+            for block in blocks:
+                if not block.length:
+                    continue
+                if matcher is None:
+                    block_keys = block.key_tuples(positions)
+                else:
+                    rows = [r for r in block.rows() if matcher(r)]
+                    block_keys = [
+                        project(r) if projects else (r[0],) for r in rows
+                    ]
+                if not block_keys:
+                    continue
+                keys.update(block_keys)
+                acc.add_key_counts(Counter(block_keys), 1)
         return MapBatch(
             relation=relation,
             intermediate_bytes=acc.intermediate_bytes,

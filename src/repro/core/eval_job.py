@@ -24,7 +24,9 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
-from ..mapreduce.kernels import MapBatch, PlainPairAccumulator
+from collections import Counter
+
+from ..mapreduce.kernels import MapBatch, PlainPairAccumulator, as_column_block
 from ..model.atoms import Atom
 from ..query.bsgf import BSGFQuery
 from .messages import (
@@ -181,13 +183,23 @@ class EvalJob(MapReduceJob):
         EVAL job uses no combiner).
         """
         acc = PlainPairAccumulator(self)
+        blocks = [as_column_block(chunk) for chunk in chunks]
         membership = self._membership.get(relation)
         if membership is not None:
+            t_index = membership[0]
             rows: set = set()
-            for chunk in chunks:
-                for row in chunk:
-                    rows.add(row)
-                    acc.add_pair((membership[0],) + row, TAG_BYTES)
+            keys: List[tuple] = []
+            for block in blocks:
+                if not block.length:
+                    continue
+                block_rows = block.rows()
+                keys.extend([(t_index,) + row for row in block_rows])
+                rows.update(block_rows)
+            # Key size depends only on the key length, identical for the
+            # whole relation; rows are set-deduplicated, so the keys are
+            # distinct and one uniform charge per key is exact.
+            if keys:
+                acc.add_uniform_pairs(keys, self.key_bytes(keys[0]) + TAG_BYTES)
             return MapBatch(
                 relation=relation,
                 intermediate_bytes=acc.intermediate_bytes,
@@ -196,7 +208,7 @@ class EvalJob(MapReduceJob):
                 data=("member", membership, rows),
             )
         guards = []
-        row_len = next((len(r) for c in chunks for r in c), None)
+        row_len = next((b.arity for b in blocks if b.length), None)
         for t_index, target in enumerate(self.targets):
             if target.guard.relation != relation:
                 continue
@@ -204,13 +216,24 @@ class EvalJob(MapReduceJob):
             if compiled.arity == row_len:
                 guards.append((t_index, compiled.matcher))
         conforming: Dict[int, List[Tuple[object, ...]]] = {t: [] for t, _ in guards}
-        for chunk in chunks:
-            for row in chunk:
-                for t_index, matcher in guards:
-                    if matcher is not None and not matcher(row):
-                        continue
-                    conforming[t_index].append(row)
-                    acc.add_pair((t_index,) + row, TAG_BYTES)
+        for block in blocks:
+            if not block.length:
+                continue
+            block_rows = block.rows()
+            for t_index, matcher in guards:
+                rows_for_target = (
+                    block_rows
+                    if matcher is None
+                    else [r for r in block_rows if matcher(r)]
+                )
+                if rows_for_target:
+                    conforming[t_index].extend(rows_for_target)
+        for t_index, _ in guards:
+            rows_for_target = conforming[t_index]
+            if not rows_for_target:
+                continue
+            keys = [(t_index,) + row for row in rows_for_target]
+            acc.add_uniform_pairs(keys, self.key_bytes(keys[0]) + TAG_BYTES)
         return MapBatch(
             relation=relation,
             intermediate_bytes=acc.intermediate_bytes,
@@ -244,20 +267,37 @@ class EvalJob(MapReduceJob):
             project = target.guard.compile().extractor(target.query.projection)
             projects = bool(target.query.projection)
             sink = outputs[target.output]
-            mask_memo: Dict[int, bool] = {}
-            for row in rows:
-                mask = 0
-                for i, present in enumerate(sets):
-                    if row in present:
-                        mask |= 1 << i
-                holds = mask_memo.get(mask)
-                if holds is None:
-                    holds = condition.evaluate(
-                        lambda atom: mask >> index_of[atom] & 1 == 1
-                    )
-                    mask_memo[mask] = holds
-                if holds:
-                    sink.add(project(row) if projects else (row[0],))
+
+            def holds(mask: int) -> bool:
+                return condition.evaluate(
+                    lambda atom: mask >> index_of[atom] & 1 == 1
+                )
+
+            # Membership bitmask per guard row, assembled set-at-a-time: each
+            # conditional's intersection with the guard rows contributes its
+            # bit through one Counter merge (bits are powers of two, so the
+            # Counter's sums equal the bitwise OR).
+            row_set = set(rows)
+            masks: Counter = Counter()
+            for i, present in enumerate(sets):
+                hit = row_set & present
+                if hit:
+                    masks.update(dict.fromkeys(hit, 1 << i))
+            true_masks = {m for m in set(masks.values()) if holds(m)}
+            if true_masks:
+                selected = [row for row, mask in masks.items() if mask in true_masks]
+                sink.update(
+                    map(project, selected)
+                    if projects
+                    else [(row[0],) for row in selected]
+                )
+            if len(masks) < len(row_set) and holds(0):
+                zero_rows = row_set.difference(masks.keys())
+                sink.update(
+                    map(project, zero_rows)
+                    if projects
+                    else [(row[0],) for row in zero_rows]
+                )
         return outputs
 
     def __repr__(self) -> str:

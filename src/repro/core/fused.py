@@ -23,10 +23,13 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from collections import Counter
+
 from ..mapreduce.kernels import (
     MapBatch,
     PackedChunkAccumulator,
     PlainPairAccumulator,
+    as_column_block,
 )
 from ..model.atoms import Atom
 from ..model.terms import Variable
@@ -213,9 +216,11 @@ class _FusedKernel:
     def __init__(self, job: FusedOneRoundJob) -> None:
         self.job = job
         by_reference = job.options.tuple_reference
-        #: relation -> [(q index, arity, matcher, key extractor, req size)]
+        #: relation -> [(q index, arity, matcher, key positions, key extractor,
+        #:               req size)]
         self.guards: Dict[str, List[tuple]] = {}
-        #: relation -> [(tag, q index, arity, matcher, key extractor)]
+        #: relation -> [(tag, q index, arity, matcher, key positions,
+        #:               key extractor)]
         self.tags: Dict[str, List[tuple]] = {}
         for q_index, query in enumerate(job.queries):
             compiled = query.guard.compile()
@@ -229,6 +234,7 @@ class _FusedKernel:
                     q_index,
                     compiled.arity,
                     compiled.matcher,
+                    compiled.positions(job._join_keys[q_index]),
                     compiled.extractor(job._join_keys[q_index]),
                     request_size,
                 )
@@ -241,13 +247,15 @@ class _FusedKernel:
                     q_index,
                     compiled.arity,
                     compiled.matcher,
+                    compiled.positions(join_key),
                     compiled.extractor(join_key),
                 )
             )
 
     def map_batch(self, relation: str, chunks) -> MapBatch:
         job = self.job
-        row_len = next((len(r) for c in chunks for r in c), None)
+        blocks = [as_column_block(chunk) for chunk in chunks]
+        row_len = next((b.arity for b in blocks if b.length), None)
         guards = [g for g in self.guards.get(relation, ()) if g[1] == row_len]
         tags = [t for t in self.tags.get(relation, ()) if t[2] == row_len]
         probe: Dict[int, List[tuple]] = {g[0]: [] for g in guards}
@@ -258,28 +266,45 @@ class _FusedKernel:
             if packed
             else PlainPairAccumulator(job)
         )
-        for chunk in chunks:
-            for row in chunk:
-                for q_index, _, matcher, key_of, request_size in guards:
-                    if matcher is not None and not matcher(row):
+        for block in blocks:
+            if not block.length:
+                continue
+            for q_index, _, matcher, key_positions, key_of, request_size in guards:
+                if matcher is None:
+                    key_values = block.key_tuples(key_positions)
+                    rows = block.rows()
+                else:
+                    rows = [r for r in block.rows() if matcher(r)]
+                    if not rows:
                         continue
-                    key_values = key_of(row)
-                    probe[q_index].append((key_values, row))
-                    key = (q_index,) + key_values
-                    if packed:
-                        acc.add_request(key, request_size)
-                    else:
-                        acc.add_pair(key, request_size)
-                for tag, q_index, _, matcher, key_of in tags:
-                    if matcher is not None and not matcher(row):
-                        continue
-                    key_values = key_of(row)
-                    build[tag].add(key_values)
-                    key = (q_index,) + key_values
-                    if packed:
-                        acc.add_assert(key, tag)
-                    else:
-                        acc.add_pair(key, TAG_BYTES)
+                    key_values = [key_of(r) for r in rows]
+                probe[q_index].append((key_values, rows))
+                counts = Counter([(q_index,) + kv for kv in key_values])
+                if packed:
+                    acc.add_request_counts(counts, request_size)
+                else:
+                    acc.add_key_counts(counts, request_size)
+            for tag, q_index, _, matcher, key_positions, key_of in tags:
+                if matcher is None:
+                    key_values = block.key_tuples(key_positions)
+                else:
+                    key_values = [
+                        key_of(r) for r in block.rows() if matcher(r)
+                    ]
+                if not key_values:
+                    continue
+                if packed:
+                    distinct = set(key_values)
+                    build[tag].update(distinct)
+                    acc.add_assert_keys(
+                        [(q_index,) + kv for kv in distinct], tag
+                    )
+                else:
+                    build[tag].update(key_values)
+                    acc.add_key_counts(
+                        Counter([(q_index,) + kv for kv in key_values]),
+                        TAG_BYTES,
+                    )
             acc.flush()
         return MapBatch(
             relation=relation,
@@ -299,14 +324,14 @@ class _FusedKernel:
                     asserted[tag] = set(keys)
                 else:
                     existing.update(keys)
-        guard_pairs: Dict[int, List[tuple]] = {}
+        guard_segments: Dict[int, List[tuple]] = {}
         for batch in batches:
-            for q_index, pairs in batch.data[0].items():
-                guard_pairs.setdefault(q_index, []).extend(pairs)
+            for q_index, segments in batch.data[0].items():
+                guard_segments.setdefault(q_index, []).extend(segments)
         outputs: Dict[str, set] = {q.output: set() for q in job.queries}
         for q_index, query in enumerate(job.queries):
-            pairs = guard_pairs.get(q_index)
-            if not pairs:
+            segments = guard_segments.get(q_index)
+            if not segments:
                 continue
             atom_tags = job._atom_tags[q_index]
             tag_list = list(atom_tags.items())  # (atom, tag) in atom order
@@ -316,18 +341,38 @@ class _FusedKernel:
             project = query.guard.compile().extractor(query.projection)
             projects = bool(query.projection)
             sink = outputs[query.output]
-            mask_memo: Dict[int, bool] = {}
-            for key_values, row in pairs:
-                mask = 0
-                for i, keys in enumerate(sets):
-                    if key_values in keys:
-                        mask |= 1 << i
-                holds = mask_memo.get(mask)
-                if holds is None:
-                    holds = condition.evaluate(
-                        lambda atom: mask >> bit_of[atom] & 1 == 1
+
+            def holds(mask: int) -> bool:
+                return condition.evaluate(
+                    lambda atom: mask >> bit_of[atom] & 1 == 1
+                )
+
+            # Mask per distinct join-key value (guard rows sharing a key share
+            # their conditional memberships), assembled via set intersections.
+            all_keys: set = set()
+            for key_values, _ in segments:
+                all_keys.update(key_values)
+            masks: Counter = Counter()
+            for i, keys in enumerate(sets):
+                hit = all_keys & keys
+                if hit:
+                    masks.update(dict.fromkeys(hit, 1 << i))
+            true_masks = {m for m in set(masks.values()) if holds(m)}
+            if holds(0):
+                true_masks.add(0)
+            if not true_masks:
+                continue
+            get_mask = masks.get
+            for key_values, rows in segments:
+                selected = [
+                    row
+                    for kv, row in zip(key_values, rows)
+                    if get_mask(kv, 0) in true_masks
+                ]
+                if selected:
+                    sink.update(
+                        map(project, selected)
+                        if projects
+                        else [(row[0],) for row in selected]
                     )
-                    mask_memo[mask] = holds
-                if holds:
-                    sink.add(project(row) if projects else (row[0],))
         return outputs

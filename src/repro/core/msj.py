@@ -35,10 +35,13 @@ from ..mapreduce.job import (
     REDUCERS_BY_INPUT,
     REDUCERS_BY_INTERMEDIATE,
 )
+from collections import Counter
+
 from ..mapreduce.kernels import (
     MapBatch,
     PackedChunkAccumulator,
     PlainPairAccumulator,
+    as_column_block,
 )
 from ..model.atoms import Atom
 from ..model.terms import Variable
@@ -220,35 +223,88 @@ class MSJJob(MapReduceJob):
         return f"MSJJob({self.job_id!r}: {inner})"
 
 
+class _GuardSpec:
+    """One guard occurrence, precompiled for columnar evaluation."""
+
+    __slots__ = (
+        "index",
+        "arity",
+        "matcher",
+        "key_positions",
+        "payload_positions",
+        "key_of",
+        "payload_of",
+        "request_size",
+    )
+
+    def __init__(
+        self,
+        index,
+        arity,
+        matcher,
+        key_positions,
+        payload_positions,
+        key_of,
+        payload_of,
+        request_size,
+    ) -> None:
+        self.index = index
+        self.arity = arity
+        self.matcher = matcher
+        self.key_positions = key_positions
+        #: None means "the payload is the full row" (pipeline mode).
+        self.payload_positions = payload_positions
+        self.key_of = key_of
+        self.payload_of = payload_of
+        self.request_size = request_size
+
+
+class _TagSpec:
+    """One conditional tag occurrence, precompiled for columnar evaluation."""
+
+    __slots__ = ("index", "arity", "matcher", "key_positions", "key_of")
+
+    def __init__(self, index, arity, matcher, key_positions, key_of) -> None:
+        self.index = index
+        self.arity = arity
+        self.matcher = matcher
+        self.key_positions = key_positions
+        self.key_of = key_of
+
+
 class _MSJKernel:
     """Set-based evaluation plan for one :class:`MSJJob`.
 
     Built lazily per process (and dropped when the job is pickled to parallel
     workers): per input relation, the guard specs and conditional tags that
-    read it, each with a compiled matcher, a join-key extractor and — for
-    guards — the payload extractor and the constant serialized request size.
-    The map kernel probes rows against these and accumulates the exact pair
-    accounting of the interpreted map+combiner; the reduce kernel is a hash
-    semi-join: per conditional tag a set of asserted keys, probed by the
-    guard-side (key, payload) pairs.
+    read it, each with a compiled matcher, the join-key/projection *column
+    positions* and — for guards — the constant serialized request size.
+    Unrestricted atoms (no constants, no repeated variables — the common
+    case) are evaluated entirely columnar: keys and payloads are sliced out
+    of the chunk's :class:`~repro.model.relation.ColumnBlock` with one
+    C-level ``zip`` per batch, and the pair accounting of the interpreted
+    map+combiner is reproduced from per-key ``Counter`` counts.  Restricted
+    atoms fall back to per-row matching over the chunk's row view.  The
+    reduce kernel is a hash semi-join: per conditional tag a set of asserted
+    keys, probed segment-at-a-time by the guard-side key/payload slices.
     """
 
     def __init__(self, job: MSJJob) -> None:
         self.job = job
-        #: relation -> [(spec index, arity, matcher, key extractor,
-        #:               payload extractor or None for full rows, req size)]
-        self.guards: Dict[str, List[tuple]] = {}
-        #: relation -> [(tag index, arity, matcher, key extractor)]
-        self.tags: Dict[str, List[tuple]] = {}
+        #: relation -> [_GuardSpec, ...]
+        self.guards: Dict[str, List[_GuardSpec]] = {}
+        #: relation -> [_TagSpec, ...]
+        self.tags: Dict[str, List[_TagSpec]] = {}
         by_reference = job.options.tuple_reference
         for index, spec in enumerate(job.specs):
             compiled = spec.guard.compile()
-            key_extractor = compiled.extractor(spec.join_key)
             if job.emit_projection:
-                payload_extractor = compiled.extractor(spec.projection)
+                payload_positions = compiled.positions(spec.projection)
+                payload_of = compiled.extractor(spec.projection)
                 payload_len = len(spec.projection)
             else:
-                payload_extractor = None
+                payload_positions = None
+                payload_of = None
                 payload_len = spec.guard.arity
             request_size = TAG_BYTES + (
                 TUPLE_REFERENCE_BYTES
@@ -256,62 +312,91 @@ class _MSJKernel:
                 else max(1, payload_len) * FIELD_BYTES
             )
             self.guards.setdefault(spec.guard.relation, []).append(
-                (
+                _GuardSpec(
                     index,
                     compiled.arity,
                     compiled.matcher,
-                    key_extractor,
-                    payload_extractor,
+                    compiled.positions(spec.join_key),
+                    payload_positions,
+                    compiled.extractor(spec.join_key),
+                    payload_of,
                     request_size,
                 )
             )
         for tag_index, (conditional, join_key) in enumerate(job._tags):
             compiled = conditional.compile()
             self.tags.setdefault(conditional.relation, []).append(
-                (
+                _TagSpec(
                     tag_index,
                     compiled.arity,
                     compiled.matcher,
+                    compiled.positions(join_key),
                     compiled.extractor(join_key),
                 )
             )
 
     def map_batch(self, relation: str, chunks) -> MapBatch:
         job = self.job
-        guards = self.guards.get(relation, ())
-        tags = self.tags.get(relation, ())
-        row_len = next((len(r) for c in chunks for r in c), None)
-        guards = [g for g in guards if g[1] == row_len]
-        tags = [t for t in tags if t[1] == row_len]
-        probe: Dict[int, List[tuple]] = {g[0]: [] for g in guards}
-        build: Dict[int, set] = {t[0]: set() for t in tags}
+        blocks = [as_column_block(chunk) for chunk in chunks]
+        row_len = next((b.arity for b in blocks if b.length), None)
+        guards = [g for g in self.guards.get(relation, ()) if g.arity == row_len]
+        tags = [t for t in self.tags.get(relation, ()) if t.arity == row_len]
+        probe: Dict[int, List[tuple]] = {g.index: [] for g in guards}
+        build: Dict[int, set] = {t.index: set() for t in tags}
         packed = job.uses_combiner()
         acc = (
             PackedChunkAccumulator(job, TAG_BYTES)
             if packed
             else PlainPairAccumulator(job)
         )
-        for chunk in chunks:
-            for row in chunk:
-                for index, _, matcher, key_of, payload_of, request_size in guards:
-                    if matcher is not None and not matcher(row):
-                        continue
-                    key = key_of(row)
-                    payload = row if payload_of is None else payload_of(row)
-                    probe[index].append((key, payload))
-                    if packed:
-                        acc.add_request(key, request_size)
+        for block in blocks:
+            if not block.length:
+                continue
+            for guard in guards:
+                if guard.matcher is None:
+                    keys = block.key_tuples(guard.key_positions)
+                    if guard.payload_positions is None:
+                        payloads = block.rows()
                     else:
-                        acc.add_pair(key, request_size)
-                for tag_index, _, matcher, key_of in tags:
-                    if matcher is not None and not matcher(row):
+                        payloads = block.key_tuples(guard.payload_positions)
+                else:
+                    rows = [r for r in block.rows() if guard.matcher(r)]
+                    if not rows:
                         continue
-                    key = key_of(row)
-                    build[tag_index].add(key)
-                    if packed:
-                        acc.add_assert(key, tag_index)
+                    key_of = guard.key_of
+                    keys = [key_of(r) for r in rows]
+                    if guard.payload_of is None:
+                        payloads = rows
                     else:
-                        acc.add_pair(key, TAG_BYTES)
+                        payload_of = guard.payload_of
+                        payloads = [payload_of(r) for r in rows]
+                probe[guard.index].append((keys, payloads))
+                counts = Counter(keys)
+                if packed:
+                    acc.add_request_counts(counts, guard.request_size)
+                else:
+                    acc.add_key_counts(counts, guard.request_size)
+            for tag in tags:
+                if tag.matcher is None:
+                    if packed:
+                        distinct = block.distinct_keys(tag.key_positions)
+                        build[tag.index].update(distinct)
+                        acc.add_assert_keys(distinct, tag.index)
+                        continue
+                    keys = block.key_tuples(tag.key_positions)
+                else:
+                    key_of = tag.key_of
+                    keys = [key_of(r) for r in block.rows() if tag.matcher(r)]
+                if not keys:
+                    continue
+                if packed:
+                    distinct = set(keys)
+                    build[tag.index].update(distinct)
+                    acc.add_assert_keys(distinct, tag.index)
+                else:
+                    counts = Counter(keys)
+                    build[tag.index].update(counts)
+                    acc.add_key_counts(counts, TAG_BYTES)
             acc.flush()
         return MapBatch(
             relation=relation,
@@ -328,19 +413,24 @@ class _MSJKernel:
             for tag_index, keys in batch.data[1].items():
                 existing = asserted.get(tag_index)
                 if existing is None:
-                    asserted[tag_index] = set(keys)
+                    # A tag spec reads exactly one input relation, so this is
+                    # normally the only contributor: alias, don't copy.
+                    asserted[tag_index] = keys
                 else:
-                    existing.update(keys)
+                    merged = set(existing)
+                    merged.update(keys)
+                    asserted[tag_index] = merged
         outputs: Dict[str, set] = {spec.output: set() for spec in job.specs}
         for batch in batches:
-            for index, pairs in batch.data[0].items():
-                keys = asserted.get(job._spec_tag[index])
-                if not keys:
+            for index, segments in batch.data[0].items():
+                keyset = asserted.get(job._spec_tag[index])
+                if not keyset:
                     continue
                 sink = outputs[job.specs[index].output]
-                for key, payload in pairs:
-                    if key in keys:
-                        sink.add(payload)
+                for keys, payloads in segments:
+                    sink.update(
+                        [p for k, p in zip(keys, payloads) if k in keyset]
+                    )
         return outputs
 
 

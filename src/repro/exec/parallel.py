@@ -26,7 +26,10 @@ picklable (all jobs in this package are: they hold only query dataclasses
 and options, never closures).  The job is pickled once per job run and the
 resulting blob shared by every task of both phases; workers memoise the
 deserialised job per blob, so neither side pays the job's serialisation cost
-per task.
+per task.  Map-task inputs ship as packed
+:class:`~repro.model.relation.ColumnBlock` payloads — homogeneous numeric
+columns travel as typed ``array`` buffers instead of per-row pickle records
+(the reduce side still ships key groups as plain pairs).
 """
 
 from __future__ import annotations
@@ -50,11 +53,11 @@ from ..mapreduce.job import Key, MapReduceJob
 from ..mapreduce.kernels import use_kernel
 from ..mapreduce.program import MRProgram
 from ..model.database import Database
-from ..model.relation import Relation, tuple_sort_key
+from ..model.relation import ColumnBlock, Relation, tuple_sort_key
 from ..obs import metrics as obs_metrics
 from .. import obs
 from .base import PARALLEL, ExecutionBackend
-from .partition import map_task_chunks, partition_index
+from .partition import partition_index
 
 _MB = 1024.0 * 1024.0
 
@@ -66,8 +69,8 @@ _JOBS_FANOUT = obs_metrics.default_registry().counter(
 )
 
 #: A map task shipped to a worker:
-#: (job pickle, input relation, task's rows, trace this task?).
-_MapTask = Tuple[bytes, str, Sequence[Tuple[object, ...]], bool]
+#: (job pickle, input relation, packed column block, trace this task?).
+_MapTask = Tuple[bytes, str, object, bool]
 
 #: A reduce task shipped to a worker:
 #: (job pickle, [(key, values), ...], trace this task?).
@@ -98,9 +101,10 @@ def _run_map_task(task: _MapTask):
     plus a :func:`~repro.obs.trace.worker_payload` span dict when the parent
     asked for tracing (``None`` otherwise).
     """
-    job_blob, relation_name, rows, traced = task
+    job_blob, relation_name, packed, traced = task
     start_s = perf_counter() if traced else 0.0
     job = _job_from_blob(job_blob)
+    rows = ColumnBlock.unpack(packed).rows()
     buffer: Dict[Key, List[object]] = {}
     for row in rows:
         for key, value in job.map(relation_name, row):
@@ -282,12 +286,19 @@ class ParallelBackend(ExecutionBackend):
         parts: List[Tuple[str, float, int, int]] = []
         for relation_name in job.input_relations():
             relation = database.get(relation_name)
-            rows = relation.sorted_tuples() if relation is not None else []
+            input_records = len(relation) if relation is not None else 0
             input_mb = relation.size_mb() if relation is not None else 0.0
             mappers = self.engine.mappers_for(input_mb)
-            for chunk in map_task_chunks(rows, mappers):
-                tagged.append((len(parts), (job_blob, relation_name, chunk, traced)))
-            parts.append((relation_name, input_mb, len(rows), mappers))
+            chunks = (
+                relation.column_chunks(mappers)
+                if relation is not None
+                else [ColumnBlock.from_rows([])]
+            )
+            for chunk in chunks:
+                tagged.append(
+                    (len(parts), (job_blob, relation_name, chunk.packed(), traced))
+                )
+            parts.append((relation_name, input_mb, input_records, mappers))
 
         results = self._run_waves("map", _run_map_task, [t for _, t in tagged], wall)
 

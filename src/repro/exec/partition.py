@@ -16,13 +16,20 @@ module, which is what makes their outputs and metrics bit-identical.
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 __all__ = ["stable_hash", "partition_index", "map_task_chunks"]
 
 
+@lru_cache(maxsize=65536)
 def stable_hash(key: object) -> int:
-    """A deterministic, process-independent hash used to partition keys."""
+    """A deterministic, process-independent hash used to partition keys.
+
+    Keys are always hashable tuples, so the memo is safe; the cached value is
+    a pure function of the key's ``repr``, so caching cannot change any
+    placement decision.
+    """
     return zlib.crc32(repr(key).encode("utf-8"))
 
 

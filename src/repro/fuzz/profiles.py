@@ -15,6 +15,9 @@ Different profiles push the evaluation strategies into different regimes:
 * ``degenerate``  — empty relations, single-tuple relations, and relations
   whose tuples all share one join-key value: the edge cases hand-written
   workloads miss;
+* ``adversarial`` — mixed-type values (ints, strings, floats, ``None``) and
+  occasional empty relations, stressing the columnar kernels' type handling
+  and the type-tagged sort order;
 * ``mixed``       — picks one of the above per relation (the fuzzing
   default: one database exercises several regimes at once).
 
@@ -149,6 +152,49 @@ class DegenerateProfile(ValueProfile):
         ]
 
 
+def _adversarial_value(draw: int) -> object:
+    """Map a domain draw to a typed value, deterministically.
+
+    The mapping is a pure function of the draw, so equal draws produce equal
+    values in every relation — join keys stay joinable across the mixed-type
+    columns.  NaN is deliberately absent: the parallel backend pickles rows
+    per task, which clones a NaN into distinct objects that no longer compare
+    equal anywhere (a genuine property of ``float("nan")``, not a bug), so
+    NaN parity is covered by in-process unit tests instead
+    (``tests/test_kernels.py``).
+    """
+    kind = draw % 4
+    if kind == 0:
+        return draw
+    if kind == 1:
+        return f"s{draw}"
+    if kind == 2:
+        return draw + 0.5
+    return None
+
+
+class AdversarialProfile(ValueProfile):
+    """Mixed-type columns and occasional empty relations.
+
+    Exercises the columnar kernel path where typed-array packing must fall
+    back to object columns, ``_naturally_sortable`` must reject the column,
+    and the type-tagged sort order decides determinism.
+    """
+
+    name = "adversarial"
+
+    def cardinality(self, rng: random.Random, max_tuples: int) -> int:
+        if rng.random() < 0.15:
+            return 0
+        return rng.randint(0, max_tuples) if max_tuples > 0 else 0
+
+    def rows(self, rng: random.Random, arity: int, count: int, domain: int) -> Rows:
+        return [
+            tuple(_adversarial_value(rng.randrange(domain)) for _ in range(arity))
+            for _ in range(count)
+        ]
+
+
 class MixedProfile(ValueProfile):
     """Per-relation random choice among the other profiles (the default)."""
 
@@ -160,6 +206,7 @@ class MixedProfile(ValueProfile):
             ZipfProfile(),
             CorrelatedProfile(),
             DegenerateProfile(),
+            AdversarialProfile(),
         ]
         self._active: ValueProfile = self._choices[0]
 
@@ -179,6 +226,7 @@ PROFILES: Dict[str, Callable[[], ValueProfile]] = {
     ZipfProfile.name: ZipfProfile,
     CorrelatedProfile.name: CorrelatedProfile,
     DegenerateProfile.name: DegenerateProfile,
+    AdversarialProfile.name: AdversarialProfile,
     MixedProfile.name: MixedProfile,
 }
 

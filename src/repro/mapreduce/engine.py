@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..cost.constants import (
     CostConstants,
@@ -39,7 +39,7 @@ from ..cost.formulas import map_cost
 from ..cost.models import GumboCostModel, JobProfile
 from ..exec.partition import map_task_chunks, partition_index, stable_hash
 from ..model.database import Database
-from ..model.relation import Relation, tuple_sort_key
+from ..model.relation import ColumnBlock, Relation, tuple_sort_key
 from ..obs import metrics as obs_metrics
 from .. import obs
 from .cluster import ClusterConfig
@@ -206,27 +206,37 @@ class MapReduceEngine:
         with obs.span(
             "job", job_id=job.job_id, kind=type(job).__name__, path="kernel"
         ):
-            key_bytes: Counter = Counter()
+            # Per-partition key loads are kept as separate dicts: the reducer
+            # load accounting only ever *sums* them, so merging into one
+            # Counter here would be pure overhead.
+            key_bytes_parts: List[Dict[Key, int]] = []
             partition_metrics: List[PartitionMetrics] = []
             batches = []
 
             for relation_name in job.input_relations():
                 with obs.span("map_batch", relation=relation_name) as map_span:
                     relation = database.get(relation_name)
-                    rows = relation.sorted_tuples() if relation is not None else []
-                    input_mb = relation.size_mb() if relation is not None else 0.0
-                    mappers = self.mappers_for(input_mb)
-                    batch = job.map_batch(
-                        relation_name, map_task_chunks(rows, mappers)
-                    )
-                    map_span.set(mappers=mappers, rows=len(rows))
+                    if relation is not None:
+                        input_records = len(relation)
+                        input_mb = relation.size_mb()
+                        mappers = self.mappers_for(input_mb)
+                        # Columnar map-task chunks with the identical strided
+                        # boundaries map_task_chunks would produce.
+                        chunks = relation.column_chunks(mappers)
+                    else:
+                        input_records = 0
+                        input_mb = 0.0
+                        mappers = self.mappers_for(0.0)
+                        chunks = [ColumnBlock.from_rows([])]
+                    batch = job.map_batch(relation_name, chunks)
+                    map_span.set(mappers=mappers, rows=input_records)
                 batches.append(batch)
-                key_bytes.update(batch.key_bytes)
+                key_bytes_parts.append(batch.key_bytes)
                 partition_metrics.append(
                     PartitionMetrics(
                         relation=relation_name,
                         input_mb=input_mb,
-                        input_records=len(rows),
+                        input_records=input_records,
                         intermediate_mb=batch.intermediate_bytes / _MB,
                         output_records=batch.output_records,
                         mappers=mappers,
@@ -243,7 +253,7 @@ class MapReduceEngine:
                         )
                     outputs[relation_name].update(rows)
             metrics = self.finalise_job_metrics(
-                job, partition_metrics, key_bytes, outputs
+                job, partition_metrics, key_bytes_parts, outputs
             )
         return JobResult(job_id=job.job_id, outputs=outputs, metrics=metrics)
 
@@ -269,14 +279,17 @@ class MapReduceEngine:
         self,
         job: MapReduceJob,
         partition_metrics: List[PartitionMetrics],
-        key_bytes: Dict[Key, int],
+        key_bytes: Union[Dict[Key, int], List[Dict[Key, int]]],
         outputs: Dict[str, Relation],
     ) -> JobMetrics:
         """Assemble a job's simulated metrics from its observed phase data.
 
         Every execution backend funnels through this method, so the cost
         breakdown and task durations are identical however the map/reduce
-        functions were actually run.
+        functions were actually run.  *key_bytes* maps each intermediate key
+        to its total byte load — either one merged mapping or a list of
+        per-partition mappings (loads are additive, so a pre-merge would be
+        redundant work).
         """
         input_mb = sum(p.input_mb for p in partition_metrics)
         intermediate_mb = sum(p.intermediate_mb for p in partition_metrics)
@@ -397,24 +410,31 @@ class MapReduceEngine:
     def _reduce_task_durations(
         self,
         metrics: JobMetrics,
-        key_bytes: Optional[Dict[Key, int]] = None,
+        key_bytes: Union[Dict[Key, int], List[Dict[Key, int]], None] = None,
     ) -> List[float]:
         """Per-reducer durations, proportional to each reducer's actual key load.
 
         Keys are assigned to reducers by a stable hash (as Hadoop's default
         partitioner does), so data skew — a heavy-hitter join key — shows up as
         one long reduce task and therefore as increased net time, while the
-        total (aggregate) time is unaffected.
+        total (aggregate) time is unaffected.  *key_bytes* may be one merged
+        mapping or a list of per-partition mappings; a key appearing in
+        several parts contributes each part's load (integer sums into floats
+        are exact, so the split is bit-identical to a pre-merged mapping).
         """
         reducers = max(1, metrics.reducers)
         total = self.cost_model.reduce_cost(
             metrics.intermediate_mb, metrics.output_mb, reducers
         )
-        if not key_bytes or sum(key_bytes.values()) <= 0:
+        parts = key_bytes if isinstance(key_bytes, list) else [key_bytes or {}]
+        if sum(sum(part.values()) for part in parts) <= 0:
             return [total / reducers] * reducers
         loads = [0.0] * reducers
-        for key, size in key_bytes.items():
-            loads[partition_index(key, reducers)] += size
+        hash_of = stable_hash  # partition_index, sans the per-key call frame
+        for part in parts:
+            # map() drives the hash calls from C; the loop body only indexes.
+            for index, size in zip(map(hash_of, part), part.values()):
+                loads[index % reducers] += size
         total_load = sum(loads)
         return [total * load / total_load for load in loads]
 

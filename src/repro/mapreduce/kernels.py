@@ -45,9 +45,11 @@ jobs) are always interpreted, whatever the mode.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
+from ..model.relation import ColumnBlock
 from .job import Key, MapReduceJob
 
 #: Canonical kernel modes accepted by ``GumboOptions.kernel_mode``.
@@ -58,6 +60,18 @@ KERNEL_MODES = (KERNEL_AUTO, KERNEL_ON, KERNEL_OFF)
 
 #: Rows of one map-task chunk.
 _ROWS = Sequence[Tuple[object, ...]]
+
+
+def as_column_block(chunk: _ROWS) -> ColumnBlock:
+    """Normalise one map-task chunk to a :class:`ColumnBlock`.
+
+    The engine hands kernels column blocks sliced straight off the relation's
+    cached column store; external callers (and older tests) may still pass
+    plain row sequences, which are transposed here.
+    """
+    if isinstance(chunk, ColumnBlock):
+        return chunk
+    return ColumnBlock.from_rows(chunk)
 
 
 def job_kernel_mode(job: MapReduceJob) -> str:
@@ -107,13 +121,18 @@ class PackedChunkAccumulator:
     per (chunk, key) it charges one record of size ``key + Σ request sizes +
     #distinct assert tags × TAG`` and adds that size to the key's byte load.
     This accumulator reproduces those numbers from counts alone — feed it the
-    per-row emissions of one chunk, then :meth:`flush` after the chunk.
+    per-row emissions of one chunk, then :meth:`flush` after the chunk.  Keys
+    must be tuples (every kernel's keys are), whose serialised size depends
+    only on their field count.
     """
 
     __slots__ = (
         "job",
         "tag_bytes",
         "_stats",
+        "_chunk_requests",
+        "_chunk_assert_calls",
+        "_chunk_rowwise",
         "intermediate_bytes",
         "records",
         "key_bytes",
@@ -122,20 +141,43 @@ class PackedChunkAccumulator:
     def __init__(self, job: MapReduceJob, tag_bytes: int) -> None:
         self.job = job
         self.tag_bytes = tag_bytes
-        #: key -> [request bytes, set of distinct assert tags] for the chunk.
+        #: key -> [request bytes, distinct assert tags (count or set)].
         self._stats: Dict[Key, list] = {}
+        # Chunk-composition flags driving flush()'s fast paths.
+        self._chunk_requests = False
+        self._chunk_assert_calls = 0
+        self._chunk_rowwise = False
         self.intermediate_bytes = 0
         self.records = 0
-        self.key_bytes: Dict[Key, int] = {}
+        self.key_bytes: Dict[Key, int] = Counter()
 
     def add_request(self, key: Key, size: int) -> None:
+        self._chunk_requests = True
+        self._chunk_rowwise = True
         entry = self._stats.get(key)
         if entry is None:
             self._stats[key] = [size, None]
         else:
             entry[0] += size
 
+    def add_request_counts(self, counts: Dict[Key, int], size: int) -> None:
+        """Batch :meth:`add_request`: per key, *counts* requests of *size*."""
+        self._chunk_requests = True
+        stats = self._stats
+        if not stats:
+            self._stats = {
+                key: [size * count, None] for key, count in counts.items()
+            }
+            return
+        for key, count in counts.items():
+            entry = stats.get(key)
+            if entry is None:
+                stats[key] = [size * count, None]
+            else:
+                entry[0] += size * count
+
     def add_assert(self, key: Key, tag: int) -> None:
+        self._chunk_rowwise = True
         entry = self._stats.get(key)
         if entry is None:
             self._stats[key] = [0, {tag}]
@@ -144,23 +186,86 @@ class PackedChunkAccumulator:
         else:
             entry[1].add(tag)
 
+    def add_assert_keys(self, keys: Iterable[Key], tag: int) -> None:
+        """Batch :meth:`add_assert` over the distinct *keys* of one chunk.
+
+        Each call must present a *tag* not yet asserted for these keys this
+        chunk (the kernels assert each tag's key set exactly once per chunk),
+        so a plain distinct-tag count replaces the per-key tag set.  Do not
+        mix with :meth:`add_assert` within one chunk.
+        """
+        del tag  # distinct by contract; only the count matters for sizing
+        self._chunk_assert_calls += 1
+        stats = self._stats
+        if not stats:
+            self._stats = {key: [0, 1] for key in keys}
+            return
+        for key in keys:
+            entry = stats.get(key)
+            if entry is None:
+                stats[key] = [0, 1]
+            elif entry[1] is None:
+                entry[1] = 1
+            else:
+                entry[1] += 1
+
     def flush(self) -> None:
-        """Close the current chunk: charge one packed pair per touched key."""
-        stats, key_bytes = self._stats, self.key_bytes
+        """Close the current chunk: charge one packed pair per touched key.
+
+        Keys are tuples and every job's ``key_bytes`` is a pure function of
+        the key's field count (the paper's byte model sizes keys by fields,
+        never by values), so one probe per distinct key length stands in for
+        a ``key_bytes`` call per key.  Homogeneous chunks take all-C paths:
+        a pure single-tag assert chunk charges one uniform size
+        (``dict.fromkeys``), a pure request chunk skips the tag arithmetic.
+        """
+        stats = self._stats
         if not stats:
             return
         tag_bytes = self.tag_bytes
         job_key_bytes = self.job.key_bytes
-        total = 0
-        for key, (request_bytes, tags) in stats.items():
-            size = job_key_bytes(key) + request_bytes
-            if tags:
-                size += tag_bytes * len(tags)
-            total += size
-            key_bytes[key] = key_bytes.get(key, 0) + size
-        self.intermediate_bytes += total
-        self.records += len(stats)
+        lengths = set(map(len, stats))
+        size_by_len = {length: job_key_bytes((0,) * length) for length in lengths}
+        uniform_base = (
+            next(iter(size_by_len.values())) if len(lengths) == 1 else None
+        )
+        rowwise = self._chunk_rowwise
+        if (
+            uniform_base is not None
+            and not rowwise
+            and not self._chunk_requests
+            and self._chunk_assert_calls == 1
+        ):
+            # Single assert pass: every entry is [0, 1], one uniform charge.
+            sizes = dict.fromkeys(stats, uniform_base + tag_bytes)
+        elif (
+            uniform_base is not None
+            and not rowwise
+            and not self._chunk_assert_calls
+        ):
+            # Requests only: no tag component to evaluate.
+            sizes = {
+                key: uniform_base + entry[0] for key, entry in stats.items()
+            }
+        else:
+            sizes = {
+                key: size_by_len[len(key)]
+                + entry[0]
+                + (
+                    tag_bytes
+                    * (entry[1] if type(entry[1]) is int else len(entry[1]))
+                    if entry[1]
+                    else 0
+                )
+                for key, entry in stats.items()
+            }
+        self.intermediate_bytes += sum(sizes.values())
+        self.records += len(sizes)
+        self.key_bytes.update(sizes)
         self._stats = {}
+        self._chunk_requests = False
+        self._chunk_assert_calls = 0
+        self._chunk_rowwise = False
 
 
 class PlainPairAccumulator:
@@ -176,7 +281,7 @@ class PlainPairAccumulator:
         self.job = job
         self.intermediate_bytes = 0
         self.records = 0
-        self.key_bytes: Dict[Key, int] = {}
+        self.key_bytes: Dict[Key, int] = Counter()
 
     def add_pair(self, key: Key, value_size: int) -> None:
         size = self.job.key_bytes(key) + value_size
@@ -195,6 +300,42 @@ class PlainPairAccumulator:
         key_bytes = self.key_bytes
         key_bytes[key] = key_bytes.get(key, 0) + size * count
 
+    def add_key_counts(self, counts: Dict[Key, int], value_size: int) -> None:
+        """Batch :meth:`add_pairs` over a ``key -> pair count`` mapping.
+
+        Key sizes are memoised per key length (see
+        :meth:`PackedChunkAccumulator.flush` for why that is exact).
+        """
+        job_key_bytes = self.job.key_bytes
+        key_bytes = self.key_bytes
+        size_by_len: Dict[int, int] = {}
+        total = 0
+        records = 0
+        for key, count in counts.items():
+            base = size_by_len.get(len(key))
+            if base is None:
+                base = size_by_len[len(key)] = job_key_bytes(key)
+            subtotal = (base + value_size) * count
+            total += subtotal
+            records += count
+            key_bytes[key] = key_bytes.get(key, 0) + subtotal
+        self.intermediate_bytes += total
+        self.records += records
+
+    def add_uniform_pairs(self, keys: Sequence[Key], pair_size: int) -> None:
+        """One pair per key, all of *pair_size* total bytes.
+
+        For jobs whose key size is a function of the key *length* only (the
+        EVAL job), a whole batch of distinct keys is charged without calling
+        ``job.key_bytes`` per key.  ``key_bytes`` is a :class:`Counter`, so
+        the merge adds (never overwrites) on repeated keys across chunks.
+        """
+        if not keys:
+            return
+        self.intermediate_bytes += pair_size * len(keys)
+        self.records += len(keys)
+        self.key_bytes.update(dict.fromkeys(keys, pair_size))
+
     def flush(self) -> None:  # symmetric API with PackedChunkAccumulator
         pass
 
@@ -204,9 +345,11 @@ __all__: List[str] = [
     "KERNEL_MODES",
     "KERNEL_OFF",
     "KERNEL_ON",
+    "ColumnBlock",
     "MapBatch",
     "PackedChunkAccumulator",
     "PlainPairAccumulator",
+    "as_column_block",
     "job_kernel_mode",
     "use_kernel",
 ]

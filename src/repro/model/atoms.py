@@ -237,6 +237,16 @@ class CompiledAtom:
             return False
         return self.matcher is None or self.matcher(row)
 
+    def positions(self, variables: Sequence[Variable]) -> Tuple[int, ...]:
+        """First-occurrence column positions of *variables*, in order.
+
+        The columnar kernel path slices these positions out of a
+        :class:`~repro.model.relation.ColumnBlock` wholesale — one ``zip``
+        per batch instead of an extractor call per row.  Raises ``KeyError``
+        when a variable does not occur in the atom.
+        """
+        return tuple(self._positions[v] for v in variables)
+
     def extractor(
         self, variables: Sequence[Variable]
     ) -> Callable[[Tuple[object, ...]], Tuple[object, ...]]:

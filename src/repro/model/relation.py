@@ -8,23 +8,40 @@ parameter (default 10) used by :meth:`Relation.size_bytes` and
 :meth:`Relation.size_mb`, so that the simulator's byte accounting matches the
 paper's data-volume assumptions without materialising on-disk files.
 
-Two execution fast paths live here as well:
+Storage layout
+--------------
 
-* :meth:`Relation.sorted_tuples` caches its deterministic ordering (computed
-  with cheap precomputed type-tagged sort keys instead of the former
-  ``repr``-string sort) and invalidates the cache on mutation — every job run
-  reads each input relation in this order, so re-sorting per job dominated
-  the interpreted engine's profile;
-* :meth:`Relation.copy` is copy-on-write: the tuple set is shared until
-  either side mutates, which makes :meth:`Database.copy
-  <repro.model.database.Database.copy>` (called once per program execution)
-  O(#relations) instead of O(#tuples).
+Rows are canonically a *set of tuples* (set semantics match the paper's
+operators), but the execution fast paths read the relation through two
+derived, cached views:
+
+* :meth:`Relation.sorted_tuples` — the deterministic row-major ordering every
+  backend iterates (computed with cheap precomputed type-tagged sort keys and
+  cached until mutation);
+* :meth:`Relation.columns` — a :class:`ColumnBlock`, the column-major view of
+  the sorted rows.  The batch-kernel path slices join keys and projections
+  out of it as whole columns (one C-level ``zip`` per batch instead of a
+  Python-level itemgetter per row), and the parallel backend ships map chunks
+  as typed packed columns (``array('q')``/``array('d')``) instead of pickling
+  row tuples one by one.
+
+Both caches invalidate on mutation and are shared across copy-on-write
+clones: :meth:`Relation.copy` shares the tuple set *and* a :class:`_ShareState`
+holding the sorted/columnar caches, so a base relation warmed by one program
+run stays warm for the next even though each run works on a fresh
+``Database.copy()``.  Share tracking is counted — when every clone of a
+relation has died (or detached by mutating), the survivor mutates in place
+again instead of paying a full set copy forever.
 """
 
 from __future__ import annotations
 
+import math
+import struct
+import weakref
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: Default storage footprint of a single field, in bytes.  Calibrated so that
 #: the paper's relations (4 GB for 100M 4-ary tuples, 1 GB for 100M unary
@@ -41,6 +58,9 @@ class SchemaError(ValueError):
     """Raised when tuples do not match a relation's declared arity."""
 
 
+_pack_double = struct.Struct(">d").pack
+
+
 def value_sort_key(value: object) -> Tuple[object, ...]:
     """A deterministic, type-tagged sort key for a single data value.
 
@@ -48,21 +68,26 @@ def value_sort_key(value: object) -> Tuple[object, ...]:
     ``TypeError`` during comparison) and ordered naturally within a bucket.
     Distinct members of one tuple *set* always receive distinct keys for the
     common value types (numbers, strings), because values comparing equal —
-    ``1``/``True``/``1.0`` — already collapse inside the set itself.
+    ``1``/``True``/``1.0`` — already collapse inside the set itself.  NaNs
+    (unordered under ``<``) sort into their own bucket, tie-broken by their
+    IEEE-754 bit pattern so the order never depends on set iteration order.
     """
     if value is None:
         return ("#0",)
     kind = type(value)
     if kind is int or kind is float or kind is bool:
         if value != value:  # NaN: unordered under <, needs its own bucket
-            return ("#1",)
+            return ("#1", _pack_double(value))
         return ("#n", value)
     if kind is str:
         return ("#s", value)
     if kind is tuple:
         return ("#t", tuple(value_sort_key(v) for v in value))
     if isinstance(value, (int, float)):  # bools/ints behind subclasses
-        return ("#n", float(value))
+        coerced = float(value)
+        if coerced != coerced:
+            return ("#1", _pack_double(coerced))
+        return ("#n", coerced)
     if isinstance(value, str):
         return ("#s", str(value))
     return ("#r", kind.__name__, repr(value))
@@ -75,30 +100,209 @@ def tuple_sort_key(row: object) -> Tuple[object, ...]:
     return (value_sort_key(row),)
 
 
+_NUMERIC_KINDS = frozenset((int, float))
+
+
 def _naturally_sortable(tuples: Iterable[Tuple[object, ...]]) -> bool:
     """Whether plain tuple comparison equals the type-tagged ordering.
 
-    True when every column holds only numbers (int/float, bools excluded) or
-    only strings: element comparisons then never cross type buckets, so the
-    natural order coincides with :func:`tuple_sort_key`'s — and Python's
-    C-level tuple comparison is several times faster than key construction.
-    The verdict is a pure function of the stored values, so every process
-    sorts identically whatever its set iteration order.
+    True when every column holds only numbers (int/float, bools excluded,
+    no NaNs) or only strings: element comparisons then never cross type
+    buckets, so the natural order coincides with :func:`tuple_sort_key`'s —
+    and Python's C-level tuple comparison is several times faster than key
+    construction.  The verdict is a pure function of the stored values, so
+    every process sorts identically whatever its set iteration order.
     """
-    numeric: set = set()
-    stringy: set = set()
-    for row in tuples:
-        for index, value in enumerate(row):
-            kind = type(value)
-            if kind is int or kind is float:
-                if value != value:  # NaN poisons natural comparison
-                    return False
-                numeric.add(index)
-            elif kind is str:
-                stringy.add(index)
-            else:
+    if not tuples:
+        return True
+    for column in zip(*tuples):
+        kinds = set(map(type, column))
+        if kinds <= _NUMERIC_KINDS:
+            if float in kinds and any(map(math.isnan, column)):
                 return False
-    return not (numeric & stringy)
+        elif kinds != {str}:
+            return False
+    return True
+
+
+class ColumnBlock:
+    """A column-major block of equal-arity rows (the kernel's unit of work).
+
+    ``columns[i]`` holds column *i* of every row, in row order; ``rows()``
+    lazily materialises the row-tuple compatibility view via one C-level
+    ``zip``.  Blocks are Sequence-compatible (iteration/indexing yield row
+    tuples), so code written against per-row chunks keeps working unchanged.
+    """
+
+    __slots__ = ("columns", "length", "arity", "_rows", "_keys", "_distinct")
+
+    def __init__(
+        self,
+        columns: Tuple[Tuple[object, ...], ...],
+        length: int,
+        arity: Optional[int],
+        rows: Optional[List[Tuple[object, ...]]] = None,
+    ) -> None:
+        self.columns = columns
+        self.length = length
+        self.arity = arity
+        self._rows = rows
+        self._keys: Optional[Dict[Tuple[int, ...], List[tuple]]] = None
+        self._distinct: Optional[Dict[Tuple[int, ...], set]] = None
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Tuple[object, ...]],
+        arity: Optional[int] = None,
+    ) -> "ColumnBlock":
+        """Build a block from row tuples (arity inferred when rows exist)."""
+        if not isinstance(rows, list):
+            rows = list(rows)
+        if not rows:
+            return cls((), 0, arity, rows)
+        columns = tuple(zip(*rows))
+        return cls(columns, len(rows), len(columns), rows)
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        """The row-tuple view of the block (cached after first use)."""
+        if self._rows is None:
+            self._rows = list(zip(*self.columns)) if self.columns else []
+        return self._rows
+
+    def key_tuples(self, positions: Sequence[int]) -> List[Tuple[object, ...]]:
+        """Per-row tuples of the given column positions, via column slices.
+
+        Equivalent to applying an itemgetter-based extractor to every row,
+        but the whole batch is assembled by one C-level ``zip`` — and cached
+        per position pattern, since blocks are immutable and long-lived
+        relations are probed with the same join keys job after job.  Callers
+        must treat the returned list as read-only.
+        """
+        positions = tuple(positions)
+        cache = self._keys
+        if cache is None:
+            cache = self._keys = {}
+        keys = cache.get(positions)
+        if keys is not None:
+            return keys
+        if not positions:
+            keys = [()] * self.length
+        elif len(positions) == 1:
+            keys = list(zip(self.columns[positions[0]]))
+        else:
+            keys = list(zip(*(self.columns[index] for index in positions)))
+        cache[positions] = keys
+        return keys
+
+    def distinct_keys(self, positions: Sequence[int]) -> set:
+        """The distinct :meth:`key_tuples` of the block, cached per pattern.
+
+        Callers must treat the returned set as read-only.
+        """
+        positions = tuple(positions)
+        cache = self._distinct
+        if cache is None:
+            cache = self._distinct = {}
+        distinct = cache.get(positions)
+        if distinct is None:
+            distinct = cache[positions] = set(self.key_tuples(positions))
+        return distinct
+
+    def chunks(self, count: int) -> List["ColumnBlock"]:
+        """Strided sub-blocks matching :func:`~repro.exec.partition.map_task_chunks`.
+
+        Chunk *i* holds rows ``i, i+count, i+2*count, ...`` — the identical
+        map-task boundaries of the interpreted path, which the per-chunk
+        combiner accounting depends on.
+        """
+        if count <= 1:
+            return [self]
+        arity = self.arity
+        out = []
+        for index in range(count):
+            strided = tuple(column[index::count] for column in self.columns)
+            length = len(strided[0]) if strided else 0
+            out.append(ColumnBlock(strided, length, arity))
+        return out
+
+    # -- typed packing (parallel-backend shipping) --------------------------
+
+    def packed(self) -> Tuple[int, Optional[int], Tuple[Tuple[str, object], ...]]:
+        """A compact picklable form: homogeneous int/float columns become
+        typed ``array`` objects (machine representation, no per-value pickle
+        records); anything else ships as the column tuple.
+
+        Only columns whose every value is *exactly* ``int`` (bools would be
+        silently coerced) or *exactly* ``float`` are packed; ``array('d')``
+        round-trips IEEE-754 doubles bit-exactly (NaN payloads and ``-0.0``
+        included).
+        """
+        packed_columns: List[Tuple[str, object]] = []
+        for column in self.columns:
+            kinds = set(map(type, column))
+            if kinds == {int}:
+                try:
+                    packed_columns.append(("q", array("q", column)))
+                    continue
+                except OverflowError:  # beyond int64: ship objects
+                    pass
+            elif kinds == {float}:
+                packed_columns.append(("d", array("d", column)))
+                continue
+            packed_columns.append(("o", column))
+        return (self.length, self.arity, tuple(packed_columns))
+
+    @classmethod
+    def unpack(
+        cls, payload: Tuple[int, Optional[int], Tuple[Tuple[str, object], ...]]
+    ) -> "ColumnBlock":
+        """Rebuild a block from :meth:`packed` output."""
+        length, arity, packed_columns = payload
+        columns = tuple(
+            column if kind == "o" else tuple(column.tolist())
+            for kind, column in packed_columns
+        )
+        return cls(columns, length, arity)
+
+    # -- Sequence compatibility ---------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self.rows())
+
+    def __getitem__(self, index):
+        return self.rows()[index]
+
+    def __repr__(self) -> str:
+        return f"ColumnBlock(arity={self.arity}, rows={self.length})"
+
+
+class _ShareState:
+    """Bookkeeping shared by a family of copy-on-write clones.
+
+    ``owners`` counts the relations currently sharing one tuple set; it is
+    decremented when an owner mutates (detaching) *or is garbage collected*
+    (via ``weakref.finalize``), so the last surviving owner knows it is alone
+    and mutates in place instead of copying.  The sorted/columnar caches live
+    here too, letting any sibling reuse an ordering a peer already computed.
+    """
+
+    __slots__ = ("owners", "sorted", "columns", "__weakref__")
+
+    def __init__(self) -> None:
+        self.owners = 0
+        self.sorted: Optional[List[Tuple[object, ...]]] = None
+        self.columns: Optional[ColumnBlock] = None
+
+
+def _release_share(state: _ShareState) -> None:
+    state.owners -= 1
+    if state.owners <= 0:
+        state.sorted = None
+        state.columns = None
 
 
 @dataclass
@@ -120,8 +324,11 @@ class Relation:
     _sorted: Optional[List[Tuple[object, ...]]] = field(
         default=None, repr=False, compare=False
     )
-    #: True while ``_tuples`` is shared with a copy-on-write sibling.
-    _shared: bool = field(default=False, repr=False, compare=False)
+    #: Cached column-major view of the sorted rows (same lifecycle).
+    _columns: Optional[ColumnBlock] = field(default=None, repr=False, compare=False)
+    #: Non-None while ``_tuples`` is shared with copy-on-write siblings.
+    _share: Optional[_ShareState] = field(default=None, repr=False, compare=False)
+    _finalizer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -157,14 +364,32 @@ class Relation:
         relation.update(materialised)
         return relation
 
-    # -- mutation ----------------------------------------------------------
+    # -- copy-on-write bookkeeping -----------------------------------------
+
+    def _attach(self, state: _ShareState) -> None:
+        self._share = state
+        state.owners += 1
+        self._finalizer = weakref.finalize(self, _release_share, state)
+
+    def _detach(self) -> None:
+        """Leave the share family (decrements the owner count exactly once)."""
+        self._share = None
+        finalizer = self._finalizer
+        if finalizer is not None:
+            self._finalizer = None
+            finalizer()  # runs _release_share now, disarms the GC hook
 
     def _prepare_mutation(self) -> None:
-        """Detach from copy-on-write siblings and drop the sort cache."""
-        if self._shared:
-            self._tuples = set(self._tuples)
-            self._shared = False
+        """Detach from copy-on-write siblings and drop the derived caches."""
+        state = self._share
+        if state is not None:
+            if state.owners > 1:  # live siblings: copy before writing
+                self._tuples = set(self._tuples)
+            self._detach()
         self._sorted = None
+        self._columns = None
+
+    # -- mutation ----------------------------------------------------------
 
     def add(self, row: Sequence[object]) -> None:
         """Insert a tuple, validating its arity."""
@@ -179,16 +404,24 @@ class Relation:
 
     def update(self, rows: Iterable[Sequence[object]]) -> None:
         """Insert many tuples, validating their arities in one batch pass."""
-        materialised = [row if isinstance(row, tuple) else tuple(row) for row in rows]
-        arity = self.arity
-        for row in materialised:
-            if len(row) != arity:
-                raise SchemaError(
-                    f"tuple {row!r} has arity {len(row)}, relation "
-                    f"{self.name!r} expects {arity}"
-                )
+        if isinstance(rows, (set, frozenset)) and (
+            not rows or set(map(type, rows)) == {tuple}
+        ):
+            materialised: Iterable[Tuple[object, ...]] = rows
+        else:
+            materialised = [
+                row if isinstance(row, tuple) else tuple(row) for row in rows
+            ]
         if not materialised:
             return
+        arity = self.arity
+        if set(map(len, materialised)) != {arity}:
+            for row in materialised:
+                if len(row) != arity:
+                    raise SchemaError(
+                        f"tuple {row!r} has arity {len(row)}, relation "
+                        f"{self.name!r} expects {arity}"
+                    )
         self._prepare_mutation()
         self._tuples.update(materialised)
 
@@ -199,13 +432,18 @@ class Relation:
 
     def clear(self) -> None:
         """Remove all tuples."""
-        if self._shared:
-            # Cheaper than materialising a copy just to empty it.
-            self._tuples = set()
-            self._shared = False
+        state = self._share
+        if state is not None:
+            if state.owners > 1:
+                # Cheaper than materialising a copy just to empty it.
+                self._tuples = set()
+            else:  # every clone died: the set is exclusively ours again
+                self._tuples.clear()
+            self._detach()
         else:
             self._tuples.clear()
         self._sorted = None
+        self._columns = None
 
     # -- access --------------------------------------------------------------
 
@@ -232,28 +470,85 @@ class Relation:
         :func:`tuple_sort_key`) and is cached until the relation mutates; the
         returned list is the cache itself — treat it as read-only.
         """
-        if self._sorted is None:
-            if _naturally_sortable(self._tuples):
-                self._sorted = sorted(self._tuples)
-            else:
-                try:
-                    self._sorted = sorted(self._tuples, key=tuple_sort_key)
-                except TypeError:  # exotic incomparable values: repr fallback
-                    self._sorted = sorted(self._tuples, key=repr)
-        return self._sorted
+        cached = self._sorted
+        if cached is not None:
+            return cached
+        state = self._share
+        if state is not None and state.sorted is not None:
+            self._sorted = state.sorted
+            return state.sorted
+        if _naturally_sortable(self._tuples):
+            result = sorted(self._tuples)
+        else:
+            try:
+                result = sorted(self._tuples, key=tuple_sort_key)
+            except TypeError:  # exotic incomparable values: repr fallback
+                result = sorted(self._tuples, key=repr)
+        self._sorted = result
+        if state is not None:
+            state.sorted = result
+        return result
+
+    def columns(self) -> ColumnBlock:
+        """The column-major view of :meth:`sorted_tuples` (cached alike)."""
+        cached = self._columns
+        if cached is not None:
+            return cached
+        state = self._share
+        if state is not None and state.columns is not None:
+            self._columns = state.columns
+            return state.columns
+        block = ColumnBlock.from_rows(self.sorted_tuples(), self.arity)
+        self._columns = block
+        if state is not None:
+            state.columns = block
+        return block
+
+    def column_chunks(self, mappers: int) -> List[ColumnBlock]:
+        """Per-map-task column blocks with the canonical strided boundaries.
+
+        Mirrors :func:`~repro.exec.partition.map_task_chunks` exactly (chunk
+        count, stride and row order), so per-chunk combiner accounting is
+        bit-identical to the interpreted path.
+        """
+        if mappers < 1:
+            raise ValueError("mappers must be >= 1")
+        count = min(mappers, len(self._tuples)) or 1
+        return self.columns().chunks(count)
 
     def copy(self, name: Optional[str] = None) -> "Relation":
         """A copy-on-write clone, optionally renamed.
 
-        The tuple set (and the sort-order cache) are shared until either side
-        mutates, at which point the mutating side detaches.
+        The tuple set (and the sorted/columnar caches) are shared until
+        either side mutates, at which point the mutating side detaches.
+        Sharing is reference-counted: once every clone has detached or been
+        garbage collected, the remaining owner mutates in place again.
         """
+        state = self._share
+        if state is None:
+            state = _ShareState()
+            self._attach(state)
+        if state.sorted is None:
+            state.sorted = self._sorted
+        if state.columns is None:
+            state.columns = self._columns
         clone = Relation(name or self.name, self.arity, self.bytes_per_field)
         clone._tuples = self._tuples
-        clone._sorted = self._sorted
-        clone._shared = True
-        self._shared = True
+        clone._sorted = self._sorted if self._sorted is not None else state.sorted
+        clone._columns = self._columns if self._columns is not None else state.columns
+        clone._attach(state)
         return clone
+
+    # -- pickling (share state is process-local) -----------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_share"] = None
+        state["_finalizer"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
     # -- size accounting -----------------------------------------------------
 

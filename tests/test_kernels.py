@@ -22,6 +22,8 @@ contract down:
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -33,11 +35,13 @@ from repro.core.strategies import applicable_strategies
 from repro.exec import ParallelBackend, SimulatedBackend
 from repro.fuzz.generator import FuzzConfig, generate_case
 from repro.fuzz.oracle import DifferentialOracle
+from repro.fuzz.runner import FuzzOptions, run_fuzz
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.kernels import use_kernel
 from repro.model.atoms import Atom, compile_atom
 from repro.model.database import Database
+from repro.model.relation import Relation
 from repro.query.parser import parse_bsgf, parse_sgf
 from repro.workloads.queries import database_for, section5_workloads
 
@@ -123,6 +127,107 @@ def test_kernel_parity_with_optimisations_ablated():
                 assert_parity(
                     query, database, strategy, lambda: SimulatedBackend(), options
                 )
+
+
+# -- columnar storage: mixed-type columns, NaN values, empty relations --------------
+
+MIXED_TYPE_DB = {
+    "R": [
+        (1, "a"),
+        (2.5, None),
+        ("s3", 3),
+        (None, "b"),
+        (7, 7.5),
+        ("s3", None),
+    ],
+    "S": [(1,), ("s3",), (None,), (9,)],
+    "T": [("a",), (3,), (None,)],
+}
+
+MIXED_TYPE_QUERY = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+
+
+def test_kernel_parity_mixed_type_columns_serial():
+    """Mixed int/float/str/None columns defeat typed packing but not parity."""
+    query = parse_sgf(MIXED_TYPE_QUERY)
+    database = Database.from_dict(MIXED_TYPE_DB)
+    for strategy in applicable_strategies(query, include_optimal=False):
+        assert_parity(query, database, strategy, lambda: SimulatedBackend())
+
+
+def test_kernel_parity_mixed_type_columns_parallel():
+    """Object-column fallback of ColumnBlock.packed still ships correctly."""
+    query = parse_sgf(MIXED_TYPE_QUERY)
+    database = Database.from_dict(MIXED_TYPE_DB)
+    strategy = next(iter(applicable_strategies(query, include_optimal=False)))
+    assert_parity(
+        query,
+        database,
+        strategy,
+        lambda: ParallelBackend(MapReduceEngine(), workers=2),
+    )
+
+
+def test_kernel_parity_nan_values_serial():
+    """NaN-bearing relations agree bit for bit between the two paths.
+
+    In-process only: the parallel backend pickles rows per map task, which
+    clones a NaN into distinct objects that no longer compare equal anywhere
+    (IEEE NaN inequality, a property of the data model rather than of either
+    execution path), so NaN coverage lives on the serial backend.
+    """
+    nan = float("nan")
+    other_nan = struct.unpack(">d", bytes.fromhex("7ff8000000000001"))[0]
+    database = Database.from_dict(
+        {
+            "R": [(nan, 1), (other_nan, 2), (1.0, nan), (2.0, 3.0), (2.0, nan)],
+            "S": [(nan,), (2.0,)],
+        }
+    )
+    query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+    for strategy in applicable_strategies(query, include_optimal=False):
+        assert_parity(query, database, strategy, lambda: SimulatedBackend())
+
+
+def test_kernel_parity_empty_relations():
+    """Empty guard, empty conditional, and fully empty databases."""
+    query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+    arities = {"R": 2, "S": 1}
+    shapes = [
+        {"R": [], "S": [(1,)]},
+        {"R": [(1, 2), (3, 4)], "S": []},
+        {"R": [], "S": []},
+    ]
+    for shape in shapes:
+        database = Database(
+            Relation.from_tuples(name, rows, arity=arities[name])
+            for name, rows in shape.items()
+        )
+        strategies = applicable_strategies(query, include_optimal=False)
+        for strategy in strategies:
+            assert_parity(query, database, strategy, lambda: SimulatedBackend())
+        assert_parity(
+            query,
+            database,
+            next(iter(strategies)),
+            lambda: ParallelBackend(MapReduceEngine(), workers=2),
+        )
+
+
+def test_fuzzer_kernel_axes_cover_adversarial_profile():
+    """A seeded campaign over mixed-type databases keeps every kernel axis green."""
+    report = run_fuzz(
+        FuzzOptions(
+            seed=17,
+            iterations=8,
+            workers=2,
+            stop_on_failure=False,
+            config=FuzzConfig(profile="adversarial"),
+        )
+    )
+    details = "\n\n".join(c.describe() for c in report.counterexamples)
+    assert report.ok, f"kernel axes diverged on adversarial data:\n{details}"
+    assert report.cases_run == 8
 
 
 # -- hypothesis: random (B)SGF programs --------------------------------------------

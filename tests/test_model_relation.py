@@ -1,9 +1,18 @@
 """Unit tests for repro.model.relation."""
 
+import gc
+import os
+import struct
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
+from repro.exec.partition import map_task_chunks
 from repro.model.relation import (
     DEFAULT_BYTES_PER_FIELD,
+    ColumnBlock,
     Relation,
     SchemaError,
     tuple_sort_key,
@@ -162,3 +171,166 @@ class TestSizes:
     def test_repr_mentions_cardinality(self):
         rel = Relation.from_tuples("R", [(1,)])
         assert "tuples=1" in repr(rel)
+
+
+class TestCopyOnWriteLifecycle:
+    """The owner-counted share state behind :meth:`Relation.copy`."""
+
+    def test_clear_on_shared_detaches_without_touching_siblings(self):
+        rel = Relation.from_tuples("R", [(1,), (2,)])
+        clone = rel.copy()
+        shared = clone.tuples()
+        rel.clear()
+        assert len(rel) == 0
+        assert clone.tuples() is shared
+        assert sorted(clone.tuples()) == [(1,), (2,)]
+        # rel detached on clear, so the clone is the sole surviving owner
+        # and mutates the shared set in place instead of copying it.
+        clone.add((3,))
+        assert clone.tuples() is shared
+
+    def test_mutation_after_clone_death_skips_the_copy(self):
+        rel = Relation.from_tuples("R", [(1,)])
+        shared = rel.tuples()
+        clone = rel.copy()
+        assert clone.tuples() is shared
+        del clone
+        gc.collect()
+        # The dead clone's finalizer released its ownership, so the survivor
+        # must mutate the original set rather than pay for a defensive copy.
+        rel.add((2,))
+        assert rel.tuples() is shared
+        assert sorted(rel.tuples()) == [(1,), (2,)]
+
+    def test_clear_after_clone_death_clears_in_place(self):
+        rel = Relation.from_tuples("R", [(1,)])
+        shared = rel.tuples()
+        clone = rel.copy()
+        del clone
+        gc.collect()
+        rel.clear()
+        assert rel.tuples() is shared
+        assert len(shared) == 0
+
+
+class TestSortDeterminism:
+    def test_nan_order_stable_across_hash_seeds(self):
+        """Two NaNs with different bit payloads sort identically under any
+        PYTHONHASHSEED: the sort key breaks the tie on the IEEE-754 bits, not
+        on set iteration order."""
+        script = textwrap.dedent(
+            """
+            import struct
+            from repro.model.relation import Relation
+
+            quiet = float("nan")
+            payload = struct.unpack(">d", bytes.fromhex("7ff8000000000001"))[0]
+            rows = [
+                (quiet, "a"),
+                (payload, "a"),
+                (quiet, "c"),
+                (payload, "b"),
+                (2.0, "d"),
+            ]
+            rel = Relation.from_tuples("R", rows)
+
+            def show(value):
+                if isinstance(value, float):
+                    return struct.pack(">d", value).hex()
+                return repr(value)
+
+            for row in rel.sorted_tuples():
+                print(",".join(show(value) for value in row))
+            """
+        )
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        )
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, "sorted order varied with the hash seed"
+        assert next(iter(outputs)).count("\n") == 5
+
+
+class TestColumnBlock:
+    def test_from_rows_roundtrip_and_sequence_compat(self):
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        block = ColumnBlock.from_rows(rows)
+        assert block.arity == 2
+        assert block.length == 3
+        assert block.columns == ((1, 2, 3), ("a", "b", "c"))
+        assert block.rows() == rows
+        assert list(block) == rows
+        assert block[1] == (2, "b")
+        assert len(block) == 3
+
+    def test_empty_block_keeps_declared_arity(self):
+        block = ColumnBlock.from_rows([], arity=4)
+        assert block.length == 0
+        assert block.arity == 4
+        assert block.rows() == []
+
+    def test_chunks_match_map_task_boundaries(self):
+        rows = [(i, i * i) for i in range(11)]
+        for mappers in (1, 2, 3, 4, 11):
+            count = min(mappers, len(rows)) or 1
+            expected = [list(chunk) for chunk in map_task_chunks(rows, count)]
+            got = ColumnBlock.from_rows(rows).chunks(count)
+            assert [chunk.rows() for chunk in got] == expected
+
+    def test_key_tuples_and_distinct_keys_are_memoised(self):
+        block = ColumnBlock.from_rows([(1, "a"), (2, "b"), (1, "c")])
+        first = block.key_tuples((0,))
+        assert first == [(1,), (2,), (1,)]
+        assert block.key_tuples((0,)) is first  # cached per position pattern
+        assert block.key_tuples((1, 0)) == [("a", 1), ("b", 2), ("c", 1)]
+        distinct = block.distinct_keys((0,))
+        assert distinct == {(1,), (2,)}
+        assert block.distinct_keys((0,)) is distinct
+
+    def test_packed_typed_arrays_and_object_fallback(self):
+        block = ColumnBlock.from_rows(
+            [(1, 1.5, "a", True, 2**70), (2, 2.5, "b", False, 1)]
+        )
+        length, arity, columns = block.packed()
+        kinds = [kind for kind, _ in columns]
+        # Exactly-int columns pack as int64, exactly-float as double; str,
+        # bool (would be coerced) and beyond-int64 columns ship as objects.
+        assert kinds == ["q", "d", "o", "o", "o"]
+        rebuilt = ColumnBlock.unpack((length, arity, columns))
+        assert rebuilt.rows() == block.rows()
+        assert rebuilt.rows()[0][3] is True
+
+    def test_packed_preserves_float_bits(self):
+        quiet = float("nan")
+        payload = struct.unpack(">d", bytes.fromhex("7ff8000000000001"))[0]
+        block = ColumnBlock.from_rows([(quiet,), (payload,), (-0.0,)])
+        rebuilt = ColumnBlock.unpack(block.packed())
+        original = [struct.pack(">d", row[0]) for row in block.rows()]
+        shipped = [struct.pack(">d", row[0]) for row in rebuilt.rows()]
+        assert original == shipped
+
+    def test_packed_empty_block_roundtrips(self):
+        block = ColumnBlock.from_rows([], arity=2)
+        rebuilt = ColumnBlock.unpack(block.packed())
+        assert rebuilt.length == 0
+        assert rebuilt.arity == 2
+        assert rebuilt.rows() == []
+
+    def test_relation_column_chunks_stride_the_sorted_order(self):
+        rel = Relation.from_tuples("R", [(i % 4, i) for i in range(10)])
+        chunks = rel.column_chunks(3)
+        assert len(chunks) == 3
+        ordered = rel.sorted_tuples()
+        assert [chunk.rows() for chunk in chunks] == [
+            ordered[index::3] for index in range(3)
+        ]

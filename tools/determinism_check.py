@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Cross-hash-seed determinism check for the execution engine.
+
+Runs a fixed workload mix — the Section 5 A3 query plus a handwritten
+mixed-type database that stresses the type-tagged sort order (ints, floats,
+strings, ``None`` sharing columns) — under both kernel modes and every
+applicable strategy, then prints a canonical digest per combination:
+
+* ``outputs`` — SHA-256 over the sorted output relations, with floats
+  rendered as their IEEE-754 bit patterns so the digest is bit-exact;
+* ``shuffle`` — SHA-256 over the per-job map/reduce task-duration vectors,
+  which expose the simulated shuffle's key-to-reducer placement (the part
+  of the metrics most sensitive to set/dict iteration order).
+
+Every line must be identical under every ``PYTHONHASHSEED``: CI runs the
+script twice with different seeds and diffs the stdout; any divergence
+pinpoints the combination that went hash-order dependent.
+
+Usage::
+
+    PYTHONPATH=src python tools/determinism_check.py [--tuples N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import struct
+
+from repro.core.gumbo import Gumbo
+from repro.core.options import GumboOptions
+from repro.core.strategies import applicable_strategies
+from repro.model.database import Database
+from repro.query.parser import parse_sgf
+from repro.workloads.queries import database_for, workload_query
+
+#: Mixed-type case: typed packing falls back to object columns and the
+#: type-tagged sort order decides every ordering.
+MIXED_QUERY = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+MIXED_DB = {
+    "R": [
+        (1, "a"),
+        (2.5, None),
+        ("s3", 3),
+        (None, "b"),
+        (7, 7.5),
+        ("s3", None),
+        (1, 1.5),
+        (None, None),
+    ],
+    "S": [(1,), ("s3",), (None,), (9,), (2.5,)],
+    "T": [("a",), (3,), (None,), (7.5,)],
+}
+
+
+def canonical(value: object) -> str:
+    """A bit-exact, hash-order-independent rendering of one field."""
+    if isinstance(value, float):
+        return "f:" + struct.pack(">d", value).hex()
+    return repr(value)
+
+
+def digest(lines) -> str:
+    hasher = hashlib.sha256()
+    for line in lines:
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()[:16]
+
+
+def run_case(label: str, query, database) -> None:
+    for strategy in applicable_strategies(query, include_optimal=False):
+        for mode in ("off", "on"):
+            gumbo = Gumbo(options=GumboOptions(kernel_mode=mode))
+            result = gumbo.execute(query, database, strategy)
+
+            output_lines = []
+            for name in sorted(result.all_outputs):
+                relation = result.all_outputs[name]
+                for row in relation.sorted_tuples():
+                    output_lines.append(
+                        name + "|" + ",".join(canonical(v) for v in row)
+                    )
+
+            shuffle_lines = []
+            for job_id in sorted(result.metrics.job_metrics):
+                metrics = result.metrics.job_metrics[job_id]
+                shuffle_lines.append(
+                    "%s|map:%s|reduce:%s"
+                    % (
+                        job_id,
+                        ",".join(map(canonical, metrics.map_task_durations)),
+                        ",".join(map(canonical, metrics.reduce_task_durations)),
+                    )
+                )
+
+            print(
+                f"{label} strategy={strategy} kernel={mode} "
+                f"outputs={digest(output_lines)} shuffle={digest(shuffle_lines)}"
+            )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tuples",
+        type=int,
+        default=400,
+        help="guard cardinality of the A3 workload (default 400)",
+    )
+    args = parser.parse_args()
+
+    a3 = workload_query("A3")
+    run_case("A3", a3, database_for(a3, guard_tuples=args.tuples, seed=7))
+    run_case("mixed-types", parse_sgf(MIXED_QUERY), Database.from_dict(MIXED_DB))
+
+
+if __name__ == "__main__":
+    main()
