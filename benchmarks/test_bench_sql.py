@@ -1,0 +1,115 @@
+"""Benchmark — the sqlite3 SQL execution backend vs the serial interpreter.
+
+Measures the wall-clock cost of compiling and running workload A3's
+pre-planned program through the SQL backend (:mod:`repro.exec.sql`): every
+job's semi-joins become correlated ``EXISTS`` subqueries over relation
+tables loaded into an in-memory sqlite database.  Before any timing is
+trusted, the SQL run is verified to produce output relations **and**
+simulated metrics identical to the serial interpreter — the backend's whole
+contract (see docs/backends.md).
+
+The SQL path is not expected to beat the in-process interpreter at bench
+scale (it pays per-run table loading and query compilation); what CI gates
+is its *throughput floor* — ``sql_runs_per_s``, full A3 executions per
+second — so a regression that makes the compiled path pathologically slow
+(or silently falls back to interpretation, which would show up as the
+parity assertions failing under a changed plan) fails the build.
+
+Results are written to ``BENCH_sql.json`` (override the path with
+``REPRO_BENCH_SQL_JSON``) so CI can archive the perf trajectory and gate
+regressions against the committed floor (``benchmarks/baselines/sql.json``).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from common import write_bench_artifact
+from repro.core.gumbo import Gumbo
+from repro.core.options import GumboOptions
+from repro.workloads.queries import database_for, workload_query
+
+#: Guard-relation cardinality of the benchmark workload.
+DEFAULT_TUPLES = int(os.environ.get("REPRO_BENCH_SQL_TUPLES", 4_000))
+
+#: Where the JSON artifact is written.
+ARTIFACT_PATH = os.environ.get("REPRO_BENCH_SQL_JSON", "BENCH_sql.json")
+
+#: Timed repetitions (medians reported).
+REPEATS = 3
+
+#: Strategy under test; GREEDY exercises the MSJ + EVAL pipeline.
+STRATEGY = "greedy"
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_bench_sql_vs_serial(capsys):
+    query = workload_query("A3")
+    database = database_for(query, guard_tuples=DEFAULT_TUPLES, seed=7)
+
+    results = {}
+    timings = {}
+    for backend in ("serial", "sql"):
+        gumbo = Gumbo(options=GumboOptions(backend=backend))
+        try:
+            program = gumbo.plan(query, database, STRATEGY)
+            times = []
+            for _ in range(REPEATS):
+                start = perf_counter()
+                result = gumbo.execute_program(query, database, program, STRATEGY)
+                times.append(perf_counter() - start)
+        finally:
+            gumbo.close()
+        results[backend] = result
+        timings[backend] = _median(times)
+
+    # Correctness first: identical outputs and identical simulated metrics.
+    serial, sql = results["serial"], results["sql"]
+    assert set(serial.all_outputs) == set(sql.all_outputs)
+    for name in serial.all_outputs:
+        assert (
+            serial.all_outputs[name].tuples() == sql.all_outputs[name].tuples()
+        ), name
+    assert serial.summary() == sql.summary()
+    for job_id, expected in serial.metrics.job_metrics.items():
+        got = sql.metrics.job_metrics[job_id]
+        assert expected.partitions == got.partitions, job_id
+        assert expected.reduce_task_durations == got.reduce_task_durations, job_id
+    assert sql.metrics.backend == "sql"
+
+    sql_runs_per_s = 1.0 / timings["sql"] if timings["sql"] > 0 else float("inf")
+    relative = (
+        timings["sql"] / timings["serial"]
+        if timings["serial"] > 0
+        else float("inf")
+    )
+    write_bench_artifact(
+        ARTIFACT_PATH,
+        "sql",
+        {
+            "serial_s": timings["serial"],
+            "sql_s": timings["sql"],
+            "sql_runs_per_s": sql_runs_per_s,
+        },
+        workload="A3",
+        strategy=STRATEGY,
+        guard_tuples=DEFAULT_TUPLES,
+        sql_vs_serial=relative,
+        output_tuples=sum(len(rel) for rel in sql.all_outputs.values()),
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            f"sql-backend benchmark (A3, {DEFAULT_TUPLES} guard tuples, "
+            f"strategy {STRATEGY}, in-memory sqlite)"
+        )
+        print(f"  serial (median):     {timings['serial'] * 1e3:9.3f} ms")
+        print(f"  sql (median):        {timings['sql'] * 1e3:9.3f} ms")
+        print(f"  sql runs/s:          {sql_runs_per_s:9.2f}")
+        print(f"  artifact:            {ARTIFACT_PATH}")

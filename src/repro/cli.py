@@ -5,9 +5,10 @@ The subcommands (``python -m repro <command> --help``):
 ``query``
     Evaluate an SGF query (from a string or a file) over CSV data (a directory
     with one file per relation) under a chosen strategy and execution backend
-    (``--backend serial|parallel --workers N``), print the metrics and
-    optionally write the output relations back to CSV.  ``--strategy auto``
-    picks the cheapest applicable strategy by estimated cost.
+    (``--backend serial|parallel|sql --workers N --sql-db PATH``), print the
+    metrics and optionally write the output relations back to CSV.
+    ``--strategy auto`` picks the cheapest applicable strategy by estimated
+    cost.
 
 ``plan``
     Show the MapReduce plan (jobs, rounds, partition of the semi-joins) that a
@@ -36,12 +37,16 @@ The subcommands (``python -m repro <command> --help``):
     Run a generated workload on both execution backends (serial simulation vs
     the multiprocessing runtime) and print a comparison table: simulated total
     and net times, measured wall-clock times, and the parallel speedup.
+    ``--kernels`` instead races the interpreted vs the batch-kernel path;
+    ``--sql`` races the serial interpreter vs the sqlite3 SQL backend — both
+    verify identical outputs and simulated metrics across paths.
 
 ``fuzz``
     Run a seeded differential-fuzzing campaign: random (B)SGF programs and
     databases, each evaluated with the reference evaluator and with every
-    applicable strategy on every selected backend (plus the dynamic
-    executor).  Divergences are shrunk to minimal counterexamples and
+    applicable strategy on every selected backend (serial, parallel and the
+    sqlite3 SQL compiler by default, plus the dynamic executor).
+    Divergences are shrunk to minimal counterexamples and
     printed as standalone repro scripts; the exit code is non-zero when any
     divergence was found.  ``--incremental`` switches to the incremental
     oracle: every case additionally gets a random insert batch, and the
@@ -193,6 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
         "batch-kernel execution path (wall-clock, serial backend) on every "
         "Section 5 workload, verifying identical outputs and metrics",
     )
+    bench.add_argument(
+        "--sql",
+        action="store_true",
+        help="instead of comparing backends, compare the serial interpreter "
+        "vs the sqlite3 SQL backend (wall-clock) on every Section 5 "
+        "workload, verifying identical outputs and metrics",
+    )
+    bench.add_argument(
+        "--sql-db",
+        default=None,
+        metavar="PATH",
+        help="sqlite database file for --sql "
+        "(default: a private in-memory database)",
+    )
     _add_obs_arguments(bench)
 
     auto = subparsers.add_parser(
@@ -305,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel-backend worker processes (default: CPU count)",
     )
     delta.add_argument(
+        "--sql-db",
+        default=None,
+        metavar="PATH",
+        help="sqlite database file for --backend sql "
+        "(default: a private in-memory database)",
+    )
+    delta.add_argument(
         "--insert-fraction",
         type=float,
         default=0.01,
@@ -346,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="parallel-backend worker processes (default 2)",
+    )
+    trace.add_argument(
+        "--sql-db",
+        default=None,
+        metavar="PATH",
+        help="sqlite database file for --backend sql "
+        "(default: a private in-memory database)",
     )
     trace.add_argument(
         "--trace-out",
@@ -395,15 +428,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--backend",
-        default="both",
-        choices=list(BACKEND_NAMES) + ["both"],
-        help="backend(s) to differential-test (default both)",
+        default="all",
+        choices=list(BACKEND_NAMES) + ["both", "all"],
+        help="backend(s) to differential-test: one backend, 'both' "
+        "(serial+parallel), or 'all' (serial+parallel+sql, the default)",
     )
     fuzz.add_argument(
         "--workers",
         type=int,
         default=None,
         help="parallel-backend worker processes (default: CPU count)",
+    )
+    fuzz.add_argument(
+        "--sql-db",
+        default=None,
+        metavar="PATH",
+        help="sqlite database file for the sql backend axis "
+        "(default: a private in-memory database)",
     )
     fuzz.add_argument(
         "--no-shrink",
@@ -531,14 +572,21 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         default="serial",
         choices=list(BACKEND_NAMES),
-        help="execution backend: serial simulation or the multiprocessing "
-        "runtime (default serial)",
+        help="execution backend: serial simulation, the multiprocessing "
+        "runtime, or the sqlite3 SQL compiler (default serial)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
         help="worker processes for --backend parallel (default: CPU count)",
+    )
+    parser.add_argument(
+        "--sql-db",
+        default=None,
+        metavar="PATH",
+        help="sqlite database file for --backend sql "
+        "(default: a private in-memory database)",
     )
     parser.add_argument(
         "--no-packing", action="store_true", help="disable message packing"
@@ -570,6 +618,7 @@ def _gumbo_for(args: argparse.Namespace) -> Gumbo:
         tuple_reference=not args.no_tuple_reference,
         backend=getattr(args, "backend", "serial"),
         workers=getattr(args, "workers", None),
+        sql_db=getattr(args, "sql_db", None),
         kernel_mode=getattr(args, "kernel_mode", "auto"),
         trace=_obs_options(args).tracing,
     )
@@ -715,10 +764,77 @@ def _command_bench_kernels(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _command_bench_sql(args: argparse.Namespace) -> int:
+    """Serial interpreter vs sqlite3 SQL backend, per Section 5 workload."""
+    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
+    where = args.sql_db or "in-memory"
+    print(
+        f"sql-backend benchmark ({args.guard_tuples} guard tuples, "
+        f"strategy {args.strategy}, sqlite {where})"
+    )
+    header = f"{'workload':<10} {'serial_s':>12} {'sql_s':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    identical = True
+    for query_id, query in section5_workloads():
+        database = database_for(
+            query,
+            guard_tuples=args.guard_tuples,
+            selectivity=args.selectivity,
+            seed=args.seed,
+        )
+        results = {}
+        timings = {}
+        for backend_name in ("serial", "sql"):
+            backend = make_backend(
+                backend_name,
+                engine=environment.engine(),
+                sql_db=args.sql_db if backend_name == "sql" else None,
+            )
+            gumbo = Gumbo(
+                backend=backend,
+                options=GumboOptions(trace=_obs_options(args).tracing),
+            )
+            try:
+                start = perf_counter()
+                results[backend_name] = gumbo.execute(
+                    query, database, args.strategy
+                )
+                timings[backend_name] = perf_counter() - start
+            finally:
+                backend.close()
+        same = results["serial"].summary() == results["sql"].summary() and {
+            name: rel.tuples()
+            for name, rel in results["serial"].all_outputs.items()
+        } == {
+            name: rel.tuples()
+            for name, rel in results["sql"].all_outputs.items()
+        }
+        identical = identical and same
+        speedup = (
+            timings["serial"] / timings["sql"]
+            if timings["sql"] > 0
+            else float("inf")
+        )
+        flag = "" if same else "  DIVERGED"
+        print(
+            f"{query_id:<10} {timings['serial']:>12.3f} {timings['sql']:>10.3f} "
+            f"{speedup:>7.2f}x{flag}"
+        )
+    print(
+        f"outputs and simulated metrics identical across backends: "
+        f"{'yes' if identical else 'NO'}"
+    )
+    _export_obs(_obs_options(args))
+    return 0 if identical else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     """Run one workload on both backends and print a comparison table."""
     if args.kernels:
         return _command_bench_kernels(args)
+    if args.sql:
+        return _command_bench_sql(args)
     query_id = args.query_id.upper()
     if query_id.startswith("C"):
         queries = sgf_query(query_id)
@@ -1019,7 +1135,10 @@ def _command_delta(args: argparse.Namespace) -> int:
     inserted = sum(len(rows) for rows in batch.values())
     environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
     backend = make_backend(
-        args.backend, engine=environment.engine(), workers=args.workers
+        args.backend,
+        engine=environment.engine(),
+        workers=args.workers,
+        sql_db=args.sql_db,
     )
     gumbo = Gumbo(
         backend=backend, options=GumboOptions(trace=_obs_options(args).tracing)
@@ -1076,7 +1195,10 @@ def _command_trace(args: argparse.Namespace) -> int:
     )
     environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
     backend = make_backend(
-        args.backend, engine=environment.engine(), workers=args.workers
+        args.backend,
+        engine=environment.engine(),
+        workers=args.workers,
+        sql_db=args.sql_db,
     )
     gumbo = Gumbo(backend=backend, options=GumboOptions(trace=True))
     obs.drain_traces()  # start from a clean collector
@@ -1119,9 +1241,12 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 def _command_fuzz(args: argparse.Namespace) -> int:
     """Run a differential-fuzzing campaign and report any counterexample."""
-    backends = (
-        ("serial", "parallel") if args.backend == "both" else (args.backend,)
-    )
+    if args.backend == "all":
+        backends = tuple(BACKEND_NAMES)
+    elif args.backend == "both":
+        backends = ("serial", "parallel")
+    else:
+        backends = (args.backend,)
     config = FuzzConfig(
         max_statements=args.max_statements,
         max_tuples=args.max_tuples,
@@ -1133,6 +1258,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         config=config,
         backends=backends,
         workers=args.workers,
+        sql_db=args.sql_db,
         shrink=not args.no_shrink,
         stop_on_failure=not args.keep_going,
         include_dynamic=not args.no_dynamic,

@@ -41,12 +41,16 @@ class GumboOptions:
         it off even there.
     backend:
         The execution backend plans run on: ``"serial"`` (the in-process
-        simulator, the default) or ``"parallel"`` (the multiprocessing
-        runtime).  Not an optimisation — output relations and simulated
+        simulator, the default), ``"parallel"`` (the multiprocessing
+        runtime) or ``"sql"`` (sqlite3 compilation with interpreted
+        fallback).  Not an optimisation — output relations and simulated
         metrics are identical on every backend — but carried here so backend
         choice flows through the same plumbing.
     workers:
         Worker-pool size for the parallel backend (None → CPU count).
+    sql_db:
+        On-disk scratch-database path for the SQL backend (None → in-memory).
+        Lets guard relations spill out of core; ignored by other backends.
     default_strategy:
         The strategy :class:`~repro.core.gumbo.Gumbo` and the query service
         use when a call does not name one: any canonical strategy name, or
@@ -76,6 +80,7 @@ class GumboOptions:
     fuse_one_round: bool = True
     backend: str = SERIAL
     workers: Optional[int] = None
+    sql_db: Optional[str] = None
     default_strategy: str = "greedy"
     kernel_mode: str = KERNEL_AUTO
     trace: bool = False

@@ -9,17 +9,21 @@ DAGs) and *running*:
 * ``"parallel"`` — :class:`ParallelBackend`, a true ``multiprocessing``
   runtime that fans map tasks and reduce partitions out across a worker
   pool with a hash-partitioned shuffle, wave-scheduled on the simulated
-  cluster's task slots.
+  cluster's task slots;
+* ``"sql"`` — :class:`SQLBackend`, which compiles SQL-expressible jobs to
+  queries over an in-memory or on-disk sqlite3 database and falls back to
+  the interpreted engine per job where it cannot.
 
-Both backends produce bit-identical output relations and simulated Hadoop
+All backends produce bit-identical output relations and simulated Hadoop
 metrics; the parallel backend additionally uses real hardware parallelism
 and records measured wall-clock times per wave and per job.  Select a
 backend by name through :func:`make_backend`,
-:class:`~repro.core.gumbo.Gumbo`, or the CLI's ``--backend`` flag.
+:class:`~repro.core.gumbo.Gumbo`, or the CLI's ``--backend`` flag.  See
+``docs/backends.md`` for the full contract.
 
-``SimulatedBackend`` and ``ParallelBackend`` are loaded lazily (PEP 562) so
-that :mod:`repro.mapreduce.engine` can import the shared partitioning
-helpers from this package without an import cycle.
+The backend classes are loaded lazily (PEP 562) so that
+:mod:`repro.mapreduce.engine` can import the shared partitioning helpers
+from this package without an import cycle.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from .base import (
     BACKEND_NAMES,
     PARALLEL,
     SERIAL,
+    SQL,
     ExecutionBackend,
     make_backend,
     normalise_backend,
@@ -38,9 +43,11 @@ __all__ = [
     "BACKEND_NAMES",
     "PARALLEL",
     "SERIAL",
+    "SQL",
     "ExecutionBackend",
     "ParallelBackend",
     "SimulatedBackend",
+    "SQLBackend",
     "make_backend",
     "map_task_chunks",
     "normalise_backend",
@@ -58,4 +65,8 @@ def __getattr__(name: str):
         from .parallel import ParallelBackend
 
         return ParallelBackend
+    if name == "SQLBackend":
+        from .sql import SQLBackend
+
+        return SQLBackend
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,7 +8,10 @@ executed is an independent choice captured by :class:`ExecutionBackend`:
   task in-process on the serial :class:`~repro.mapreduce.engine.MapReduceEngine`
   — the seed behaviour, and the reference semantics;
 * :class:`~repro.exec.parallel.ParallelBackend` (``"parallel"``) fans map
-  tasks and reduce partitions out across a ``multiprocessing`` worker pool.
+  tasks and reduce partitions out across a ``multiprocessing`` worker pool;
+* :class:`~repro.exec.sql.SQLBackend` (``"sql"``) compiles SQL-expressible
+  jobs to queries over an in-memory or on-disk sqlite3 database, falling
+  back to the interpreted engine per job where it cannot.
 
 Every backend returns the engine's :class:`~repro.mapreduce.engine.JobResult`
 / :class:`~repro.mapreduce.engine.ProgramResult` types with identical output
@@ -33,7 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 #: Canonical backend names accepted by :func:`make_backend` and the CLI.
 SERIAL = "serial"
 PARALLEL = "parallel"
-BACKEND_NAMES = (SERIAL, PARALLEL)
+SQL = "sql"
+BACKEND_NAMES = (SERIAL, PARALLEL, SQL)
 
 #: Accepted aliases for backend names.
 _ALIASES = {
@@ -42,11 +46,25 @@ _ALIASES = {
     "single": SERIAL,
     "multiprocessing": PARALLEL,
     "mp": PARALLEL,
+    "sqlite": SQL,
+    "sqlite3": SQL,
 }
 
 
 def normalise_backend(name: str) -> str:
-    """Canonical form of a backend name (``"serial"`` or ``"parallel"``)."""
+    """Canonical form of a backend name.
+
+    Args:
+        name: A canonical name (``"serial"``, ``"parallel"``, ``"sql"``) or
+            an accepted alias (``"sim"``, ``"mp"``, ``"sqlite3"``, ...),
+            case-insensitive.
+
+    Returns:
+        The canonical name from :data:`BACKEND_NAMES`.
+
+    Raises:
+        ValueError: If *name* is not a known backend or alias.
+    """
     canonical = _ALIASES.get(name.strip().lower(), name.strip().lower())
     if canonical not in BACKEND_NAMES:
         raise ValueError(
@@ -98,21 +116,28 @@ def make_backend(
     backend: Union[str, ExecutionBackend, None] = None,
     engine: Optional["MapReduceEngine"] = None,
     workers: Optional[int] = None,
+    sql_db: Optional[str] = None,
 ) -> ExecutionBackend:
     """Build an execution backend from a name (or pass an instance through).
 
-    Parameters
-    ----------
-    backend:
-        ``"serial"``/``"parallel"`` (or an alias), an existing
-        :class:`ExecutionBackend` instance (returned unchanged), or ``None``
-        for the serial default.
-    engine:
-        The engine the backend should account against (a paper-cluster default
-        is created when omitted).
-    workers:
-        Worker-pool size for the parallel backend (ignored by serial;
-        defaults to the machine's CPU count).
+    Args:
+        backend: ``"serial"``/``"parallel"``/``"sql"`` (or an alias), an
+            existing :class:`ExecutionBackend` instance (returned unchanged),
+            or ``None`` for the serial default.
+        engine: The engine the backend should account against (a
+            paper-cluster default is created when omitted).
+        workers: Worker-pool size for the parallel backend (ignored by the
+            others; defaults to the machine's CPU count).
+        sql_db: On-disk scratch-database path for the SQL backend (ignored by
+            the others; ``None`` keeps it in ``:memory:``).
+
+    Returns:
+        A ready-to-use :class:`ExecutionBackend`.
+
+    Raises:
+        ValueError: If *backend* is an unknown name, or an instance was
+            passed together with a conflicting ``engine``, ``workers`` or
+            ``sql_db``.
     """
     if isinstance(backend, ExecutionBackend):
         if engine is not None and engine is not backend.engine:
@@ -125,12 +150,21 @@ def make_backend(
                 "an ExecutionBackend instance carries its own worker count; "
                 "pass workers= only when selecting a backend by name"
             )
+        if sql_db is not None and sql_db != getattr(backend, "sql_db", sql_db):
+            raise ValueError(
+                "an ExecutionBackend instance carries its own database path; "
+                "pass sql_db= only when selecting a backend by name"
+            )
         return backend
     name = normalise_backend(backend or SERIAL)
     if name == SERIAL:
         from .simulated import SimulatedBackend
 
         return SimulatedBackend(engine)
+    if name == SQL:
+        from .sql import SQLBackend
+
+        return SQLBackend(engine, sql_db=sql_db)
     from .parallel import ParallelBackend
 
     return ParallelBackend(engine, workers=workers)

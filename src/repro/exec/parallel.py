@@ -200,6 +200,7 @@ class ParallelBackend(ExecutionBackend):
         return self._pool
 
     def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later run re-creates it)."""
         if self._pool is not None:
             self._pool.close()
             self._pool.join()

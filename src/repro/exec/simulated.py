@@ -29,6 +29,7 @@ class SimulatedBackend(ExecutionBackend):
         self.engine = engine or MapReduceEngine()
 
     def run_job(self, job: MapReduceJob, database: Database) -> JobResult:
+        """Run one job in-process and stamp the measured wall clock."""
         start = perf_counter()
         result = self.engine.run_job(job, database)
         result.metrics.wall = WallClockMetrics(
@@ -37,6 +38,7 @@ class SimulatedBackend(ExecutionBackend):
         return result
 
     def run_program(self, program: MRProgram, database: Database) -> ProgramResult:
+        """Run a whole program in-process and stamp the measured wall clock."""
         start = perf_counter()
         result = self.engine.run_program(program, database)
         result.metrics.backend = self.name

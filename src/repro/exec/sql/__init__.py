@@ -1,0 +1,15 @@
+"""SQL execution backend: GUMBO jobs compiled to sqlite3.
+
+See ``docs/backends.md`` for the backend contract and
+``docs/operators.md`` for the GUMBO → SQL translation rules.
+"""
+
+from .backend import SQLBackend, SQLContext
+from .codec import SQLUnsupportedValueError, ValueCodec
+
+__all__ = [
+    "SQLBackend",
+    "SQLContext",
+    "SQLUnsupportedValueError",
+    "ValueCodec",
+]

@@ -1,0 +1,124 @@
+"""Value encoding for the sqlite3 backend: Python scalars → canonical TEXT.
+
+sqlite3 cannot store the simulator's data values directly with the semantics
+the reference engine needs: SQLite has no NaN storage (binding a NaN yields
+SQL ``NULL``), its ``INTEGER``/``REAL`` comparisons collapse ``1``/``1.0``
+(which Python *also* does — but ``=`` on SQL ``NULL`` never holds, breaking
+``None`` keys), and mixed-type columns would fall into SQLite's cross-type
+ordering rather than Python's equality.  The SQL backend therefore stores
+every value as one canonical TEXT token chosen so that
+
+    token equality  ≡  Python container equality (``hash`` + ``==``)
+
+for the value universe the fuzzer generates.  Concretely:
+
+* ``None``                    → ``"N"``
+* bools, ints, and *integral* floats (``-0.0`` included) → ``"i<int>"`` —
+  one shared token per equality class, because ``1 == 1.0 == True`` and
+  ``-0.0 == 0.0`` as set/dict keys;
+* ``±inf``                    → ``"f+inf"`` / ``"f-inf"``
+* non-integral floats         → ``"f<repr>"`` (repr is canonical per value)
+* strings                     → ``"s<text>"``
+* NaN                         → ``"n<index>"``, a *per-object* identity token
+  (registry keyed by ``id``): ``NaN != NaN``, but a set/dict probe finds the
+  *same* NaN object via the hash + identity shortcut, and since CPython 3.10
+  ``hash(nan)`` is id-based so distinct NaN objects do not collide.  Token
+  equality therefore reproduces join/membership semantics exactly; atom-level
+  conformance (which uses ``==`` and thus rejects every NaN) is handled by
+  the compiler's ``substr(c, 1, 1) != 'n'`` guards, not by the codec.
+
+Tokens are encode-only: results never round-trip through decoding — the
+compiler's queries return *row positions* and the backend re-reads the
+original Python objects, so outputs are bit-identical by construction.
+
+Anything outside this universe (exotic types, subclasses, strings that are
+not valid UTF-8) raises :class:`SQLUnsupportedValueError`; the backend then
+falls back to the interpreted engine for the whole job, which is always
+semantically correct (and metric-identical, since every path funnels through
+``finalise_job_metrics``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SQLUnsupportedValueError", "ValueCodec", "encode_scalar"]
+
+
+class SQLUnsupportedValueError(ValueError):
+    """A value (or job shape) the SQL backend cannot represent faithfully.
+
+    Raised by the codec and the job compilers; the backend catches it and
+    runs the affected job on the interpreted engine instead.
+    """
+
+
+def encode_scalar(value: object) -> Optional[str]:
+    """The canonical token of a non-NaN scalar (``None`` when *value* is NaN).
+
+    Raises :class:`SQLUnsupportedValueError` for values outside the
+    supported universe (exact ``bool``/``int``/``float``/``str``/``None``
+    only — subclasses would need their own equality semantics).
+    """
+    if value is None:
+        return "N"
+    kind = type(value)
+    if kind is bool:
+        return "i1" if value else "i0"
+    if kind is int:
+        return "i%d" % value
+    if kind is float:
+        if value != value:  # NaN: identity semantics, caller's business
+            return None
+        if value == float("inf"):
+            return "f+inf"
+        if value == float("-inf"):
+            return "f-inf"
+        if value.is_integer():  # 1.0 == 1 == True; -0.0 == 0 as container keys
+            return "i%d" % int(value)
+        return "f" + repr(value)
+    if kind is str:
+        try:
+            value.encode("utf-8", "strict")
+        except UnicodeEncodeError as exc:  # lone surrogates: sqlite3 rejects
+            raise SQLUnsupportedValueError(
+                f"string is not UTF-8 encodable: {value!r}"
+            ) from exc
+        return "s" + value
+    raise SQLUnsupportedValueError(
+        f"value of type {kind.__name__} has no SQL encoding: {value!r}"
+    )
+
+
+class ValueCodec:
+    """Stateful encoder shared by every table of one SQL execution context.
+
+    The only state is the NaN registry: each distinct NaN *object* receives
+    its own token, so the same object appearing in several relations (guard
+    and conditional, say) joins with itself — and only itself — exactly as
+    it does in the engine's hash-set probes.  Encoded objects are kept alive
+    for the codec's lifetime so ``id`` values cannot be recycled.
+    """
+
+    __slots__ = ("_nan_tokens", "_keepalive")
+
+    def __init__(self) -> None:
+        self._nan_tokens: Dict[int, str] = {}
+        self._keepalive: List[object] = []
+
+    def encode_value(self, value: object) -> str:
+        """The token of *value* (raises :class:`SQLUnsupportedValueError`)."""
+        token = encode_scalar(value)
+        if token is not None:
+            return token
+        key = id(value)
+        token = self._nan_tokens.get(key)
+        if token is None:
+            token = "n%d" % len(self._nan_tokens)
+            self._nan_tokens[key] = token
+            self._keepalive.append(value)
+        return token
+
+    def encode_row(self, row: Tuple[object, ...]) -> Tuple[str, ...]:
+        """Token tuple of one stored row."""
+        return tuple(self.encode_value(value) for value in row)

@@ -76,9 +76,12 @@ class DifferentialOracle:
     Parameters
     ----------
     backends:
-        Backend names to execute on (default: serial and parallel).
+        Backend names to execute on (default: serial, parallel and sql, so
+        every campaign cross-checks all three executors).
     workers:
         Worker-pool size for the parallel backend (None → CPU count).
+    sql_db:
+        On-disk scratch-database path for the sql backend (None → in-memory).
     engine:
         The shared MapReduce engine (paper-cluster default when omitted).
     include_dynamic:
@@ -101,7 +104,7 @@ class DifferentialOracle:
 
     def __init__(
         self,
-        backends: Sequence[str] = ("serial", "parallel"),
+        backends: Sequence[str] = ("serial", "parallel", "sql"),
         workers: Optional[int] = None,
         engine: Optional[MapReduceEngine] = None,
         include_dynamic: bool = True,
@@ -109,6 +112,7 @@ class DifferentialOracle:
         include_auto: bool = True,
         check_metrics: bool = True,
         kernel_axis: bool = True,
+        sql_db: Optional[str] = None,
     ) -> None:
         if not backends:
             raise ValueError("the oracle needs at least one backend")
@@ -120,7 +124,9 @@ class DifferentialOracle:
         self.kernel_axis = kernel_axis
         names = [normalise_backend(name) for name in backends]
         self._physical = {
-            name: make_backend(name, engine=self.engine, workers=workers)
+            name: make_backend(
+                name, engine=self.engine, workers=workers, sql_db=sql_db
+            )
             for name in dict.fromkeys(names)  # dedupe, keep order
         }
         # One axis per (backend, kernel mode): the plain axes pin the

@@ -33,8 +33,10 @@ class FuzzOptions:
     seed: int = 0
     iterations: int = 100
     config: FuzzConfig = field(default_factory=FuzzConfig)
-    backends: Sequence[str] = ("serial", "parallel")
+    backends: Sequence[str] = ("serial", "parallel", "sql")
     workers: Optional[int] = None
+    #: sqlite database file backing the ``sql`` axis (None = in-memory).
+    sql_db: Optional[str] = None
     shrink: bool = True
     stop_on_failure: bool = True
     include_dynamic: bool = True
@@ -140,6 +142,7 @@ def run_fuzz(
         oracle = DifferentialOracle(
             backends=options.backends,
             workers=options.workers,
+            sql_db=options.sql_db,
             include_dynamic=options.include_dynamic,
             include_optimal=options.include_optimal,
             include_auto=options.include_auto,

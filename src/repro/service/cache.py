@@ -29,6 +29,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -37,6 +38,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """The counters (plus hit rate) as a JSON-ready mapping."""
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -72,21 +72,26 @@ class ServiceResult:
 
     @property
     def query(self) -> SGFQuery:
+        """The query served (parsed form)."""
         return self.result.query
 
     @property
     def outputs(self) -> Dict[str, Relation]:
+        """The query's output relations, keyed by name."""
         return self.result.outputs
 
     @property
     def metrics(self) -> ProgramMetrics:
+        """The simulated MapReduce metrics of the execution."""
         return self.result.metrics
 
     @property
     def total_s(self) -> float:
+        """Total serving time: planning plus execution."""
         return self.plan_s + self.exec_s
 
     def output(self, name: Optional[str] = None) -> Relation:
+        """One output relation (the query's primary output by default)."""
         return self.result.output(name)
 
 
@@ -99,13 +104,16 @@ class BatchResult:
 
     @property
     def throughput_qps(self) -> float:
+        """Queries served per wall-clock second."""
         return len(self.results) / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     @property
     def plan_cache_hits(self) -> int:
+        """How many of the batch's queries skipped planning entirely."""
         return sum(1 for r in self.results if r.plan_cached)
 
     def summary(self) -> Dict[str, float]:
+        """Aggregate batch metrics as a JSON-ready mapping."""
         return {
             "queries": len(self.results),
             "elapsed_s": self.elapsed_s,
@@ -137,6 +145,7 @@ class QueryMetricsHistory:
     )
 
     def record(self, result: "ServiceResult", materialized: bool = False) -> None:
+        """Fold one served result into the cumulative counters."""
         self.queries += 1
         self.plan_cache_hits += 1 if result.plan_cached else 0
         self.materialized_hits += 1 if materialized else 0
@@ -145,6 +154,7 @@ class QueryMetricsHistory:
         self.exec_seconds.observe(result.exec_s)
 
     def record_failure(self) -> None:
+        """Count one failed request against this fingerprint."""
         self.failures += 1
 
     def copy(self) -> "QueryMetricsHistory":
@@ -161,6 +171,7 @@ class QueryMetricsHistory:
         )
 
     def as_dict(self) -> Dict[str, object]:
+        """The counters (with exec-time percentiles) as a JSON-ready mapping."""
         return {
             "queries": self.queries,
             "plan_cache_hits": self.plan_cache_hits,
@@ -188,6 +199,7 @@ class ServiceStats:
     queries_failed: int = 0
 
     def as_dict(self) -> Dict[str, object]:
+        """The snapshot as a JSON-ready mapping."""
         return {
             "queries_served": self.queries_served,
             "queries_failed": self.queries_failed,
@@ -248,8 +260,9 @@ class QueryService:
         self._plan_lock = RLock()
         self._state_lock = Lock()
         # The serial backend is pure (every run works on a copy of the
-        # database), so it is safe to run concurrently; other backends share
-        # worker pools and are serialised.
+        # database), so it is safe to run concurrently; other backends are
+        # serialised — parallel shares one worker pool, and two concurrent
+        # SQL runs against the same --sql-db file would race on its tables.
         self._exec_lock: Optional[Lock] = (
             None if gumbo.backend.name == SERIAL else Lock()
         )
@@ -383,6 +396,26 @@ class QueryService:
         all refer to the same snapshot.  (In-place mutation of the *current*
         database while queries are in flight remains the caller's
         responsibility — route changes through :meth:`mutate`.)
+
+        Parameters
+        ----------
+        query:
+            The query served: an :class:`~repro.query.sgf.SGFQuery`, a
+            :class:`~repro.query.bsgf.BSGFQuery`, or concrete query text.
+        strategy:
+            Strategy name; ``None`` uses the service default (``AUTO``).
+
+        Returns
+        -------
+        ServiceResult
+            The execution result plus serving-layer metrics (plan-cache hit,
+            plan and execution wall times).
+
+        Raises
+        ------
+        Exception
+            Planning and execution errors propagate unchanged; the failure is
+            counted against the service and the query's fingerprint first.
         """
         requested = self._normalise_strategy(strategy)
         database = self.database
@@ -508,6 +541,13 @@ class QueryService:
         :meth:`add_tuples(..., incremental=True) <add_tuples>` refreshes it
         with delta evaluation instead of invalidating.  Planning reuses the
         plan cache and the cached statistics catalog.
+
+        Raises
+        ------
+        IncrementalError
+            When concurrent mutations kept landing mid-execution for five
+            consecutive attempts, so no quiescent snapshot could be
+            registered.
         """
         requested = self._normalise_strategy(strategy)
         sgf = Gumbo.as_sgf(query)
@@ -635,6 +675,15 @@ class QueryService:
         miss.  Returns the per-materialization
         :class:`~repro.incremental.engine.DeltaResult` list (None on the
         invalidation path).
+
+        Raises
+        ------
+        SchemaError
+            When a row's arity does not match the target relation (raised
+            before anything mutates).
+        IncrementalError
+            When *relation* is the output of a registered materialization —
+            outputs are derived; insert into base relations.
         """
         rows = [tuple(row) for row in rows]
         if not rows:
@@ -722,6 +771,7 @@ class QueryService:
 
     @property
     def database_version(self) -> int:
+        """The invalidation counter (bumped by every cache-dropping mutation)."""
         return self._version
 
     def stats(self) -> ServiceStats:

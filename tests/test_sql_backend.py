@@ -1,0 +1,329 @@
+"""SQL-backend parity on the values SQL is worst at.
+
+The sqlite3 backend stores canonical text tokens, not the Python values
+(see docs/backends.md), precisely so that the cases below round-trip
+bit-identically to the serial reference: NaN object-identity joins,
+``-0.0``/``0`` unification, ``None``, mixed-type columns and empty
+relations.  Each case asserts identical output relations *and* identical
+simulated metrics.  NaN coverage is in-process only — pickling clones NaN
+into distinct objects — which is also why the fuzzer's value profiles
+exclude NaN and these pins live here instead.
+
+Also covered: the ``sqlite``/``sqlite3`` aliases, on-disk scratch
+databases (``sql_db=``), and the interpreted fallback for jobs the
+compiler must not touch (salted skew jobs, unencodable values).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import struct
+
+import pytest
+
+from repro.core.gumbo import Gumbo
+from repro.core.options import GumboOptions
+from repro.core.skew import SkewAwareMSJJob
+from repro.core.strategies import applicable_strategies
+from repro.exec import SQLBackend, SimulatedBackend, make_backend
+from repro.exec.sql.codec import SQLUnsupportedValueError, ValueCodec, encode_scalar
+from repro.mapreduce.engine import MapReduceEngine
+from repro.model.database import Database
+from repro.model.relation import Relation
+from repro.query.parser import parse_bsgf, parse_sgf
+
+
+def assert_sql_parity(query, database, strategy=None, options=None, sql_db=None):
+    """serial and sql runs must agree on outputs and every simulated metric."""
+    options = options or GumboOptions()
+    results = {}
+    for backend_name in ("serial", "sql"):
+        backend = make_backend(
+            backend_name, sql_db=sql_db if backend_name == "sql" else None
+        )
+        try:
+            gumbo = Gumbo(backend=backend, options=options)
+            results[backend_name] = gumbo.execute(query, database, strategy)
+        finally:
+            backend.close()
+    serial, sql = results["serial"], results["sql"]
+    context = f"{strategy}"
+    assert set(serial.all_outputs) == set(sql.all_outputs), context
+    for name in serial.all_outputs:
+        assert (
+            serial.all_outputs[name].tuples() == sql.all_outputs[name].tuples()
+        ), f"{context}:{name}"
+    assert serial.summary() == sql.summary(), context
+    assert serial.metrics.level_net_times == sql.metrics.level_net_times, context
+    assert set(serial.metrics.job_metrics) == set(sql.metrics.job_metrics)
+    for job_id, serial_job in serial.metrics.job_metrics.items():
+        sql_job = sql.metrics.job_metrics[job_id]
+        assert serial_job.reducers == sql_job.reducers, job_id
+        assert serial_job.mappers == sql_job.mappers, job_id
+        assert serial_job.intermediate_mb == sql_job.intermediate_mb, job_id
+        assert serial_job.output_records == sql_job.output_records, job_id
+        assert serial_job.map_task_durations == sql_job.map_task_durations, job_id
+        assert (
+            serial_job.reduce_task_durations == sql_job.reduce_task_durations
+        ), job_id
+    assert sql.metrics.backend == "sql"
+
+
+def each_strategy(query):
+    return applicable_strategies(query, include_optimal=False)
+
+
+# -- value edge cases ---------------------------------------------------------------
+
+
+class TestNaN:
+    def test_nan_identity_join_semantics(self):
+        """A NaN guard key joins the *same* NaN object and no other.
+
+        The engine's hash join buckets by object (``hash(nan)`` works even
+        though ``nan == nan`` is false); the codec's per-object tokens must
+        reproduce exactly that.
+        """
+        nan = float("nan")
+        other_nan = struct.unpack(">d", bytes.fromhex("7ff8000000000001"))[0]
+        database = Database.from_dict(
+            {
+                "R": [(nan, 1), (other_nan, 2), (1.0, nan), (2.0, 3.0), (2.0, nan)],
+                "S": [(nan,), (2.0,)],
+            }
+        )
+        query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+    def test_nan_under_negation(self):
+        """NOT S(x) must *exclude* the guard row holding S's NaN object."""
+        nan = float("nan")
+        stranger = float("nan")
+        database = Database.from_dict(
+            {"R": [(nan, 1), (stranger, 2), (3.0, 3)], "S": [(nan,), (9.0,)]}
+        )
+        query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE NOT S(x);")
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+    def test_repeated_variable_never_matches_nan(self):
+        """``R(x, x)`` compares with ``==``, under which NaN misses itself."""
+        nan = float("nan")
+        database = Database.from_dict(
+            {"R": [(nan, nan), (1, 1), (1, 2)], "S": [(nan,), (1,)]}
+        )
+        query = parse_sgf("Z := SELECT (x) FROM R(x, x) WHERE S(x);")
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+
+class TestNumericAndNone:
+    def test_negative_zero_unifies_with_zero(self):
+        """``-0.0 == 0 == 0.0`` in Python, so all three share one token."""
+        database = Database.from_dict(
+            {"R": [(-0.0, 1), (0, 2), (0.0, 3), (1, 4)], "S": [(0,)], "T": [(-0.0,)]}
+        )
+        query = parse_sgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(x);"
+        )
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+    def test_bool_int_float_unification(self):
+        """``True == 1 == 1.0`` joins across representations, as in Python."""
+        database = Database.from_dict(
+            {"R": [(True, 1), (1.0, 2), (2, 3), (2.5, 4)], "S": [(1,), (2.0,)]}
+        )
+        query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+    def test_none_values_join_and_negate(self):
+        database = Database.from_dict(
+            {
+                "R": [(None, 1), (None, None), (1, None), (2, 2)],
+                "S": [(None,), (2,)],
+                "T": [(None,)],
+            }
+        )
+        query = parse_sgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+        )
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+
+class TestMixedTypesAndEmpty:
+    def test_mixed_type_columns(self):
+        """int/float/str/None in one column: token equality == Python equality."""
+        database = Database.from_dict(
+            {
+                "R": [
+                    (1, "a"),
+                    (2.5, None),
+                    ("s3", 3),
+                    (None, "b"),
+                    (7, 7.5),
+                    ("s3", None),
+                    ("1", 1),  # the string "1" must NOT join the int 1
+                ],
+                "S": [(1,), ("s3",), (None,), (9,)],
+                "T": [("a",), (3,), (None,)],
+            }
+        )
+        query = parse_sgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+        )
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
+
+    def test_empty_relations(self):
+        """Empty guard, empty conditional, and a fully empty database."""
+        query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        arities = {"R": 2, "S": 1}
+        shapes = [
+            {"R": [], "S": [(1,)]},
+            {"R": [(1, 2), (3, 4)], "S": []},
+            {"R": [], "S": []},
+        ]
+        for shape in shapes:
+            database = Database(
+                Relation.from_tuples(name, rows, arity=arities[name])
+                for name, rows in shape.items()
+            )
+            for strategy in each_strategy(query):
+                assert_sql_parity(query, database, strategy)
+
+    def test_disjunctive_condition_and_kernel_mode(self):
+        """A Boolean guard (CASE translation) stays exact with kernels on."""
+        database = Database.from_dict(
+            {"R": [(1, 2), (3, 4), (5, 6)], "S": [(1,), (5,)], "T": [(4,)]}
+        )
+        query = parse_sgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR NOT T(y);"
+        )
+        for mode in ("off", "on"):
+            for strategy in each_strategy(query):
+                assert_sql_parity(
+                    query, database, strategy, GumboOptions(kernel_mode=mode)
+                )
+
+
+# -- codec contract -----------------------------------------------------------------
+
+
+class TestCodec:
+    def test_scalar_tokens(self):
+        assert encode_scalar(None) == "N"
+        assert encode_scalar(True) == "i1"
+        assert encode_scalar(1) == "i1"
+        assert encode_scalar(1.0) == "i1"
+        assert encode_scalar(0) == "i0"
+        assert encode_scalar(-0.0) == "i0"
+        assert encode_scalar(False) == "i0"
+        assert encode_scalar(2.5) == "f2.5"
+        assert encode_scalar(float("inf")) == "f+inf"
+        assert encode_scalar(float("-inf")) == "f-inf"
+        assert encode_scalar("x") == "sx"
+        assert encode_scalar("1") != encode_scalar(1)
+
+    def test_nan_gets_per_object_tokens(self):
+        nan, other = float("nan"), float("nan")
+        assert encode_scalar(nan) is None  # identity is the codec's business
+        codec = ValueCodec()
+        assert codec.encode_value(nan) == codec.encode_value(nan)
+        assert codec.encode_value(nan) != codec.encode_value(other)
+        assert codec.encode_value(nan).startswith("n")
+
+    def test_unsupported_values_raise(self):
+        with pytest.raises(SQLUnsupportedValueError):
+            encode_scalar(object())
+        with pytest.raises(SQLUnsupportedValueError):
+            encode_scalar((1, 2))
+        with pytest.raises(SQLUnsupportedValueError):
+            encode_scalar("\ud800")  # lone surrogate: sqlite3 rejects it
+
+
+# -- construction, aliases, on-disk databases ---------------------------------------
+
+
+class TestConstruction:
+    def test_aliases(self):
+        for name in ("sql", "sqlite", "sqlite3"):
+            backend = make_backend(name)
+            assert isinstance(backend, SQLBackend)
+            backend.close()
+
+    def test_instance_passthrough_and_conflicts(self):
+        backend = SQLBackend()
+        assert make_backend(backend) is backend
+        assert make_backend(backend, sql_db=None) is backend
+        with pytest.raises(ValueError):
+            make_backend(backend, sql_db="/tmp/elsewhere.db")
+        backend.close()
+
+    def test_sql_db_ignored_for_other_backends(self):
+        # gumbo.py always forwards options.sql_db; non-sql names ignore it.
+        backend = make_backend("serial", sql_db="/tmp/ignored.db")
+        assert isinstance(backend, SimulatedBackend)
+
+    def test_options_thread_backend_and_sql_db(self):
+        gumbo = Gumbo(options=GumboOptions(backend="sql", sql_db=None))
+        assert isinstance(gumbo.backend, SQLBackend)
+
+    def test_on_disk_database(self, tmp_path):
+        """--sql-db keeps the file; scratch tables are dropped per context."""
+        path = str(tmp_path / "scratch.db")
+        database = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)]})
+        query = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x);"
+        for _ in range(2):  # the file is reusable across runs
+            gumbo = Gumbo(options=GumboOptions(backend="sql", sql_db=path))
+            result = gumbo.execute(query, database)
+            assert result.output().tuples() == {(1, 2)}
+            gumbo.backend.close()
+        with sqlite3.connect(path) as connection:
+            tables = connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            ).fetchall()
+        assert tables == []  # dropped on context close; the file survives
+
+
+# -- interpreted fallback -----------------------------------------------------------
+
+
+class TestFallback:
+    def test_skew_job_interprets(self):
+        """Salted jobs report supports_sql() False and run on the engine."""
+        rows = [(7, i) for i in range(50)] + [(i + 100, i) for i in range(10)]
+        database = Database.from_dict({"R": rows, "S": [(7,), (100,)]})
+        specs = parse_bsgf(
+            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x);"
+        ).semijoin_specs()
+        job = SkewAwareMSJJob("salted", specs, heavy_keys=[(7,)], salt_factor=4)
+        assert not job.supports_sql()
+        engine = MapReduceEngine()
+        reference = engine.run_job(job, database)
+        backend = SQLBackend(MapReduceEngine())
+        try:
+            fallback = backend.run_job(job, database)
+        finally:
+            backend.close()
+        assert set(fallback.outputs) == set(reference.outputs)
+        for name in reference.outputs:
+            assert fallback.outputs[name].tuples() == reference.outputs[name].tuples()
+        assert (
+            fallback.metrics.reduce_task_durations
+            == reference.metrics.reduce_task_durations
+        )
+        assert fallback.metrics.wall.backend == "sql"
+
+    def test_unencodable_values_fall_back_per_job(self):
+        """A row holding an object with no token runs interpreted, exactly."""
+        marker = frozenset({1})
+        database = Database.from_dict(
+            {"R": [(marker, 1), (2, 2)], "S": [(marker,), (2,)]}
+        )
+        query = parse_sgf("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+        for strategy in each_strategy(query):
+            assert_sql_parity(query, database, strategy)
