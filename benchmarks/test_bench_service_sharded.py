@@ -1,0 +1,153 @@
+"""Benchmark — the sharded service tier under open-loop load.
+
+A load generator offers requests to the admission-controlled asyncio
+front-end at a **synthetic offered rate of ≥ 10k qps** — far beyond what
+the tier can serve — so the benchmark measures the serving discipline
+itself: how much the tier serves, how fast (p50/p95/p99 latency of served
+requests), and how cleanly it sheds the rest (typed fast-failure instead of
+unbounded queueing).  The query is materialized first, so serving is the
+warm path: plan cache + materialized result + resident shards.
+
+Results are written to ``BENCH_service_sharded.json`` (override with
+``REPRO_BENCH_SERVICE_SHARDED_JSON``); the ``bench-regression`` CI job
+gates the served-throughput floor committed in
+``benchmarks/baselines/service_sharded.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from time import perf_counter
+
+from common import write_bench_artifact
+from repro.model.database import Database
+from repro.service.sharded import ServiceOverloadedError, ShardedService
+
+#: Where the JSON artifact is written.
+ARTIFACT_PATH = os.environ.get(
+    "REPRO_BENCH_SERVICE_SHARDED_JSON", "BENCH_service_sharded.json"
+)
+
+#: Requests offered by the load generator.
+OFFERED_REQUESTS = int(os.environ.get("REPRO_BENCH_SHARDED_REQUESTS", 2_000))
+
+#: Synthetic offered rate (arrivals per second); the satellite contract is
+#: >= 10k offered qps, asserted below from the measured arrival window.
+OFFERED_QPS = float(os.environ.get("REPRO_BENCH_SHARDED_OFFERED_QPS", 20_000))
+
+SHARDS = 2
+QUERY = "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);"
+DB = {
+    "R": [(i, i + 1) for i in range(300)],
+    "S": [(i,) for i in range(0, 300, 2)],
+    "T": [(i,) for i in range(0, 300, 7)],
+}
+
+
+def _percentile(ordered, fraction):
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+async def _drive(frontend):
+    """Offer OFFERED_REQUESTS arrivals at OFFERED_QPS; collect outcomes."""
+    latencies = []
+    shed = 0
+
+    async def one_request():
+        nonlocal shed
+        start = perf_counter()
+        try:
+            await frontend.execute(QUERY)
+        except ServiceOverloadedError:
+            shed += 1
+        else:
+            latencies.append(perf_counter() - start)
+
+    interval = 1.0 / OFFERED_QPS
+    tasks = []
+    begin = perf_counter()
+    for index in range(OFFERED_REQUESTS):
+        target = begin + index * interval
+        delay = target - perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(one_request()))
+    arrival_window_s = perf_counter() - begin
+    await asyncio.gather(*tasks)
+    elapsed_s = perf_counter() - begin
+    return latencies, shed, arrival_window_s, elapsed_s
+
+
+def test_bench_sharded_service_load(capsys):
+    database = Database.from_dict(DB)
+
+    async def scenario():
+        with ShardedService.create(
+            database, shards=SHARDS, max_concurrency=8, max_queue=64
+        ) as frontend:
+            # Warm everything measurable: spawn shards, ship chunks, plan,
+            # materialize — the measured window is pure serving.
+            await frontend.materialize(QUERY)
+            outcome = await _drive(frontend)
+            return outcome, frontend.stats(), frontend.service.stats()
+
+    (latencies, shed, arrival_window_s, elapsed_s), fe_stats, svc_stats = (
+        asyncio.run(scenario())
+    )
+
+    served = len(latencies)
+    assert served + shed == OFFERED_REQUESTS
+    assert served > 0, "admission control shed every request"
+    # The load really was offered at >= 10k synthetic qps.
+    achieved_offered_qps = OFFERED_REQUESTS / arrival_window_s
+    assert achieved_offered_qps >= 10_000, (
+        f"load generator too slow: offered only "
+        f"{achieved_offered_qps:.0f} qps (need >= 10000)"
+    )
+
+    ordered = sorted(latencies)
+    p50 = _percentile(ordered, 0.50)
+    p95 = _percentile(ordered, 0.95)
+    p99 = _percentile(ordered, 0.99)
+    assert p50 <= p95 <= p99
+    served_qps = served / elapsed_s
+    shed_rate = shed / OFFERED_REQUESTS
+
+    write_bench_artifact(
+        ARTIFACT_PATH,
+        "service_sharded",
+        {
+            "offered_qps": achieved_offered_qps,
+            "sharded_served_qps": served_qps,
+            "shed_rate": shed_rate,
+            "latency_p50_s": p50,
+            "latency_p95_s": p95,
+            "latency_p99_s": p99,
+        },
+        shards=SHARDS,
+        offered_requests=OFFERED_REQUESTS,
+        served=served,
+        shed=shed,
+        elapsed_s=elapsed_s,
+        max_concurrency=8,
+        max_queue=64,
+        plan_cache_hit_rate=svc_stats.plan_cache.hit_rate,
+        frontend=fe_stats,
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            f"sharded service load-gen "
+            f"({OFFERED_REQUESTS} requests, {SHARDS} shards)"
+        )
+        print(f"  offered:   {achieved_offered_qps:10.0f} qps (synthetic)")
+        print(f"  served:    {served_qps:10.1f} qps ({served} requests)")
+        print(f"  shed:      {shed_rate:10.1%} ({shed} requests)")
+        print(f"  latency:   p50 {p50 * 1e3:7.2f} ms   p95 {p95 * 1e3:7.2f} ms"
+              f"   p99 {p99 * 1e3:7.2f} ms")
+        print(f"  artifact:  {ARTIFACT_PATH}")
+
+    # The shed path is the fast path: overload must not collapse throughput.
+    assert served_qps > 0

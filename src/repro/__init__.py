@@ -10,27 +10,40 @@ cluster.
 
 Quick start
 -----------
->>> from repro import Database, Gumbo
->>> db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(1,)], "T": [(4,)]})
->>> result = Gumbo().execute(
-...     "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR T(y);", db
-... )
->>> sorted(result.output().tuples())
+>>> import repro
+>>> with repro.connect(
+...     {"R": [(1, 2), (3, 4)], "S": [(1,)], "T": [(4,)]}
+... ) as conn:
+...     result = conn.execute(
+...         "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR T(y);"
+...     )
+...     sorted(result.tuples())
 [(1, 2), (3, 4)]
+
+:func:`connect` is the unified client API (see :mod:`repro.client`): one
+``Connection`` with ``execute``/``materialize``/``refresh``/``close``, one
+``Result`` type, every backend selectable by name.  The layer-specific entry
+points (:class:`Gumbo`, :class:`QueryService <repro.service.QueryService>`)
+remain fully supported underneath it.
 
 Execution backends
 ------------------
 Plans run on a pluggable execution backend (:mod:`repro.exec`): ``"serial"``
-executes every task in-process on the simulator (the default), while
-``"parallel"`` fans map tasks and reduce partitions out across a true
-``multiprocessing`` worker pool — same outputs, same simulated metrics, plus
-measured wall-clock times.  Select it per :class:`Gumbo` instance
-(``Gumbo(backend="parallel", workers=4)``), through
-:class:`GumboOptions(backend=...) <GumboOptions>`, or on the command line
-with ``repro query --backend parallel --workers 4``; ``repro bench`` compares
-the backends head to head.
+executes every task in-process on the simulator (the default), ``"parallel"``
+fans map tasks and reduce partitions out across a true ``multiprocessing``
+worker pool, ``"sql"`` compiles jobs to sqlite3, and ``"sharded"`` serves
+from long-lived worker processes each holding a hash-partitioned shard of
+the database warm (see :mod:`repro.service.sharded` and ``docs/service.md``)
+— same outputs, same simulated metrics on every backend, plus measured
+wall-clock times.  Select one with ``repro.connect(db, backend="sharded",
+shards=4)``, per :class:`Gumbo` instance (``Gumbo(backend="parallel",
+workers=4)``), through :class:`GumboOptions(backend=...) <GumboOptions>`, or
+on the command line with ``repro query --backend parallel --workers 4``;
+``repro bench`` compares the backends head to head.
 """
 
+from .client import Connection, Result, connect
+from .core.config import ExecutionConfig
 from .core.dynamic import DynamicSGFExecutor
 from .core.gumbo import Gumbo, GumboResult, PlannedQuery
 from .core.msj import MSJJob, multi_semi_join
@@ -63,9 +76,11 @@ __all__ = [
     "BatchResult",
     "BSGFQuery",
     "ClusterConfig",
+    "Connection",
     "Constant",
     "CostConstants",
     "Database",
+    "ExecutionConfig",
     "DeltaResult",
     "DifferentialOracle",
     "DynamicSGFExecutor",
@@ -81,6 +96,7 @@ __all__ = [
     "GumboResult",
     "PlannedQuery",
     "QueryService",
+    "Result",
     "ServiceResult",
     "StrategyChoice",
     "HadoopSettings",
@@ -95,6 +111,7 @@ __all__ = [
     "WangCostModel",
     "__version__",
     "choose_strategy",
+    "connect",
     "detect_heavy_hitters",
     "evaluate_bsgf",
     "evaluate_sgf",

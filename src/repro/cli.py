@@ -5,10 +5,10 @@ The subcommands (``python -m repro <command> --help``):
 ``query``
     Evaluate an SGF query (from a string or a file) over CSV data (a directory
     with one file per relation) under a chosen strategy and execution backend
-    (``--backend serial|parallel|sql --workers N --sql-db PATH``), print the
-    metrics and optionally write the output relations back to CSV.
-    ``--strategy auto`` picks the cheapest applicable strategy by estimated
-    cost.
+    (``--backend serial|parallel|sql|sharded --workers N --shards N
+    --sql-db PATH``), print the metrics and optionally write the output
+    relations back to CSV.  ``--strategy auto`` picks the cheapest applicable
+    strategy by estimated cost.
 
 ``plan``
     Show the MapReduce plan (jobs, rounds, partition of the semi-joins) that a
@@ -23,6 +23,10 @@ The subcommands (``python -m repro <command> --help``):
     Run the plan-caching :class:`~repro.service.QueryService` over a stream
     of repeated workload queries with concurrent clients, and print serving
     metrics (throughput, plan-cache hit rate, strategies chosen).
+    ``--sharded --shards N`` serves the stream through the persistent
+    sharded tier instead: an asyncio front-end with admission control
+    (bounded queue, shed + timeout errors) over long-lived worker-shard
+    processes, printing latency percentiles and shed/respawn counts.
 
 ``generate``
     Generate the synthetic workload of one of the paper's experiment queries
@@ -81,6 +85,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import obs
+from .core.config import ExecutionConfig
 from .core.gumbo import Gumbo
 from .core.options import GumboOptions
 from .obs.options import TRACE_FORMATS, ObsOptions
@@ -262,6 +267,33 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="strategy served when a request does not name one (default auto)",
     )
+    serve.add_argument(
+        "--sharded",
+        action="store_true",
+        help="serve through the sharded persistent tier: an asyncio "
+        "front-end with admission control over long-lived worker shards "
+        "(see docs/service.md)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="persistent worker shards for --sharded (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admitted --sharded requests allowed to queue beyond the "
+        "executing ones; arrivals past clients+queue are shed (default 64)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request timeout for --sharded (default: none)",
+    )
     serve.add_argument("--guard-tuples", type=int, default=2_000)
     serve.add_argument("--selectivity", type=float, default=0.5)
     serve.add_argument("--seed", type=int, default=0)
@@ -324,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel-backend worker processes (default: CPU count)",
     )
     delta.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sharded-backend persistent worker shards (default 2)",
+    )
+    delta.add_argument(
         "--sql-db",
         default=None,
         metavar="PATH",
@@ -372,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="parallel-backend worker processes (default 2)",
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sharded-backend persistent worker shards (default 2)",
     )
     trace.add_argument(
         "--sql-db",
@@ -431,13 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         choices=list(BACKEND_NAMES) + ["both", "all"],
         help="backend(s) to differential-test: one backend, 'both' "
-        "(serial+parallel), or 'all' (serial+parallel+sql, the default)",
+        "(serial+parallel), or 'all' (every backend: "
+        "serial+parallel+sql+sharded, the default)",
     )
     fuzz.add_argument(
         "--workers",
         type=int,
         default=None,
         help="parallel-backend worker processes (default: CPU count)",
+    )
+    fuzz.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sharded-backend persistent worker shards (default 2)",
     )
     fuzz.add_argument(
         "--sql-db",
@@ -582,6 +633,12 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for --backend parallel (default: CPU count)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="persistent worker shards for --backend sharded (default 2)",
+    )
+    parser.add_argument(
         "--sql-db",
         default=None,
         metavar="PATH",
@@ -612,20 +669,12 @@ def _read_query_text(args: argparse.Namespace) -> str:
 
 
 def _gumbo_for(args: argparse.Namespace) -> Gumbo:
-    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
-    options = GumboOptions(
-        message_packing=not args.no_packing,
-        tuple_reference=not args.no_tuple_reference,
-        backend=getattr(args, "backend", "serial"),
-        workers=getattr(args, "workers", None),
-        sql_db=getattr(args, "sql_db", None),
-        kernel_mode=getattr(args, "kernel_mode", "auto"),
-        trace=_obs_options(args).tracing,
-    )
+    config = ExecutionConfig.from_cli_args(args)
+    environment = ScaledEnvironment(scale=1.0, nodes=config.nodes)
     return Gumbo(
         engine=environment.engine(),
         cost_model=args.cost_model,
-        options=options,
+        options=config.to_options(),
     )
 
 
@@ -942,8 +991,97 @@ def _serve_workload(ids: Sequence[str], args: argparse.Namespace):
     return queries, database
 
 
+def _command_serve_sharded(args: argparse.Namespace) -> int:
+    """Serve an open-loop query stream through the sharded persistent tier."""
+    import asyncio
+
+    from .service.sharded import (
+        RequestTimeoutError,
+        ServiceOverloadedError,
+        ShardedService,
+    )
+
+    ids = [part.strip().upper() for part in args.query_ids.split(",") if part.strip()]
+    if not ids:
+        raise SystemExit("no workload ids given")
+    queries, database = _serve_workload(ids, args)
+    requests = [queries[i % len(queries)] for i in range(args.requests)]
+    config = ExecutionConfig.from_cli_args(args).with_backend("sharded")
+    environment = ScaledEnvironment(scale=1.0, nodes=config.nodes)
+    obs_options = _obs_options(args)
+    shards = config.shards or 2
+    latencies: List[float] = []
+    shed = timeouts = 0
+
+    async def _client(frontend, query) -> Optional[str]:
+        nonlocal shed, timeouts
+        start = perf_counter()
+        try:
+            result = await frontend.execute(query)
+        except ServiceOverloadedError:
+            shed += 1
+            return None
+        except RequestTimeoutError:
+            timeouts += 1
+            return None
+        latencies.append(perf_counter() - start)
+        return result.strategy
+
+    async def _drive(frontend) -> List[Optional[str]]:
+        return list(
+            await asyncio.gather(*[_client(frontend, q) for q in requests])
+        )
+
+    start = perf_counter()
+    with ShardedService.create(
+        database,
+        shards=shards,
+        engine=environment.engine(),
+        strategy=args.strategy,
+        plan_cache_size=args.plan_cache,
+        options=config.to_options(),
+        max_concurrency=args.clients,
+        max_queue=args.max_queue,
+        request_timeout_s=args.request_timeout,
+    ) as frontend:
+        strategies = asyncio.run(_drive(frontend))
+        elapsed = perf_counter() - start
+        front_stats = frontend.stats()
+        service_stats = frontend.service.stats()
+        cluster = frontend.service.gumbo.backend.cluster
+        respawns, retries = cluster.respawns, cluster.retries
+        service_registry = frontend.service.metrics
+    _export_obs(obs_options, registries=[service_registry])
+
+    served = [s for s in strategies if s is not None]
+    print(
+        f"served {len(served)}/{len(requests)} requests over {', '.join(ids)} "
+        f"(sharded tier: {shards} shards, {args.clients} concurrent, "
+        f"queue {args.max_queue})"
+    )
+    print(f"  elapsed:             {elapsed:.3f}s "
+          f"({len(served) / elapsed if elapsed > 0 else 0.0:.1f} queries/s)")
+    if latencies:
+        ordered = sorted(latencies)
+
+        def pct(p: float) -> float:
+            return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+        print(f"  latency p50/p95/p99: {pct(0.50) * 1e3:.1f} / "
+              f"{pct(0.95) * 1e3:.1f} / {pct(0.99) * 1e3:.1f} ms")
+    print(f"  shed / timed out:    {shed} / {timeouts}")
+    print(f"  plan-cache hit rate: {service_stats.plan_cache.hit_rate:.0%} "
+          f"({service_stats.plan_cache.hits} hits / "
+          f"{service_stats.plan_cache.misses} misses)")
+    print(f"  worker respawns:     {respawns} ({retries} request retries)")
+    print(f"  front-end stats:     {front_stats}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """Serve repeated workload queries through the plan-caching service."""
+    if args.sharded:
+        return _command_serve_sharded(args)
     ids = [part.strip().upper() for part in args.query_ids.split(",") if part.strip()]
     if not ids:
         raise SystemExit("no workload ids given")
@@ -1133,15 +1271,11 @@ def _command_delta(args: argparse.Namespace) -> int:
     )
     batch = _insert_batch_for(database, query, args.insert_fraction, args.seed)
     inserted = sum(len(rows) for rows in batch.values())
-    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
-    backend = make_backend(
-        args.backend,
-        engine=environment.engine(),
-        workers=args.workers,
-        sql_db=args.sql_db,
-    )
+    config = ExecutionConfig.from_cli_args(args)
+    environment = ScaledEnvironment(scale=1.0, nodes=config.nodes)
+    backend = config.make_backend(engine=environment.engine())
     gumbo = Gumbo(
-        backend=backend, options=GumboOptions(trace=_obs_options(args).tracing)
+        backend=backend, options=GumboOptions(trace=config.trace)
     )
     try:
         # Full re-execution path: statistics + planning + run on the
@@ -1193,13 +1327,9 @@ def _command_trace(args: argparse.Namespace) -> int:
         selectivity=args.selectivity,
         seed=args.seed,
     )
-    environment = ScaledEnvironment(scale=1.0, nodes=args.nodes)
-    backend = make_backend(
-        args.backend,
-        engine=environment.engine(),
-        workers=args.workers,
-        sql_db=args.sql_db,
-    )
+    config = ExecutionConfig.from_cli_args(args)
+    environment = ScaledEnvironment(scale=1.0, nodes=config.nodes)
+    backend = config.make_backend(engine=environment.engine())
     gumbo = Gumbo(backend=backend, options=GumboOptions(trace=True))
     obs.drain_traces()  # start from a clean collector
     with QueryService(database, gumbo, strategy=args.strategy) as service:
@@ -1258,6 +1388,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         config=config,
         backends=backends,
         workers=args.workers,
+        shards=args.shards,
         sql_db=args.sql_db,
         shrink=not args.no_shrink,
         stop_on_failure=not args.keep_going,

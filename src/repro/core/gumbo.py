@@ -93,6 +93,12 @@ class GumboResult:
 class Gumbo:
     """Planner + executor for (B)SGF queries on the simulated MapReduce engine.
 
+    .. note:: *Deprecated as a client entry point.*  New code should open a
+       connection with :func:`repro.connect` — one unified ``Connection`` /
+       ``Result`` API over every backend, with plan caching and incremental
+       refresh built in.  ``Gumbo`` remains fully supported as the planning/
+       execution layer underneath (and for ablation-style direct use).
+
     Parameters
     ----------
     engine:
@@ -140,6 +146,7 @@ class Gumbo:
                 engine=self.engine,
                 workers=workers if workers is not None else self.options.workers,
                 sql_db=self.options.sql_db,
+                shards=self.options.shards,
             )
         if isinstance(cost_model, CostModel):
             self.cost_model = cost_model

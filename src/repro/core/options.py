@@ -48,6 +48,10 @@ class GumboOptions:
         choice flows through the same plumbing.
     workers:
         Worker-pool size for the parallel backend (None → CPU count).
+    shards:
+        Persistent worker count for the sharded backend (None → its default
+        of 2); each worker owns a hash-partitioned shard of the database,
+        held warm across requests.  Ignored by other backends.
     sql_db:
         On-disk scratch-database path for the SQL backend (None → in-memory).
         Lets guard relations spill out of core; ignored by other backends.
@@ -80,6 +84,7 @@ class GumboOptions:
     fuse_one_round: bool = True
     backend: str = SERIAL
     workers: Optional[int] = None
+    shards: Optional[int] = None
     sql_db: Optional[str] = None
     default_strategy: str = "greedy"
     kernel_mode: str = KERNEL_AUTO

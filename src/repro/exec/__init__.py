@@ -12,7 +12,11 @@ DAGs) and *running*:
   cluster's task slots;
 * ``"sql"`` — :class:`SQLBackend`, which compiles SQL-expressible jobs to
   queries over an in-memory or on-disk sqlite3 database and falls back to
-  the interpreted engine per job where it cannot.
+  the interpreted engine per job where it cannot;
+* ``"sharded"`` — :class:`ShardedBackend` (from
+  :mod:`repro.service.sharded`), the persistent service tier: long-lived
+  worker processes each holding a hash-partitioned shard of the database
+  warm across requests, spoken to over length-prefixed RPC.
 
 All backends produce bit-identical output relations and simulated Hadoop
 metrics; the parallel backend additionally uses real hardware parallelism
@@ -32,6 +36,7 @@ from .base import (
     BACKEND_NAMES,
     PARALLEL,
     SERIAL,
+    SHARDED,
     SQL,
     ExecutionBackend,
     make_backend,
@@ -43,9 +48,11 @@ __all__ = [
     "BACKEND_NAMES",
     "PARALLEL",
     "SERIAL",
+    "SHARDED",
     "SQL",
     "ExecutionBackend",
     "ParallelBackend",
+    "ShardedBackend",
     "SimulatedBackend",
     "SQLBackend",
     "make_backend",
@@ -69,4 +76,8 @@ def __getattr__(name: str):
         from .sql import SQLBackend
 
         return SQLBackend
+    if name == "ShardedBackend":
+        from ..service.sharded.backend import ShardedBackend
+
+        return ShardedBackend
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -11,7 +11,11 @@ executed is an independent choice captured by :class:`ExecutionBackend`:
   tasks and reduce partitions out across a ``multiprocessing`` worker pool;
 * :class:`~repro.exec.sql.SQLBackend` (``"sql"``) compiles SQL-expressible
   jobs to queries over an in-memory or on-disk sqlite3 database, falling
-  back to the interpreted engine per job where it cannot.
+  back to the interpreted engine per job where it cannot;
+* :class:`~repro.service.sharded.backend.ShardedBackend` (``"sharded"``)
+  fans tasks out to long-lived worker processes that each hold a
+  hash-partitioned shard of the database warm across requests (the
+  persistent service tier).
 
 Every backend returns the engine's :class:`~repro.mapreduce.engine.JobResult`
 / :class:`~repro.mapreduce.engine.ProgramResult` types with identical output
@@ -37,7 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 SERIAL = "serial"
 PARALLEL = "parallel"
 SQL = "sql"
-BACKEND_NAMES = (SERIAL, PARALLEL, SQL)
+SHARDED = "sharded"
+BACKEND_NAMES = (SERIAL, PARALLEL, SQL, SHARDED)
 
 #: Accepted aliases for backend names.
 _ALIASES = {
@@ -48,6 +53,8 @@ _ALIASES = {
     "mp": PARALLEL,
     "sqlite": SQL,
     "sqlite3": SQL,
+    "shard": SHARDED,
+    "shards": SHARDED,
 }
 
 
@@ -117,27 +124,30 @@ def make_backend(
     engine: Optional["MapReduceEngine"] = None,
     workers: Optional[int] = None,
     sql_db: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> ExecutionBackend:
     """Build an execution backend from a name (or pass an instance through).
 
     Args:
-        backend: ``"serial"``/``"parallel"``/``"sql"`` (or an alias), an
-            existing :class:`ExecutionBackend` instance (returned unchanged),
-            or ``None`` for the serial default.
+        backend: ``"serial"``/``"parallel"``/``"sql"``/``"sharded"`` (or an
+            alias), an existing :class:`ExecutionBackend` instance (returned
+            unchanged), or ``None`` for the serial default.
         engine: The engine the backend should account against (a
             paper-cluster default is created when omitted).
         workers: Worker-pool size for the parallel backend (ignored by the
             others; defaults to the machine's CPU count).
         sql_db: On-disk scratch-database path for the SQL backend (ignored by
             the others; ``None`` keeps it in ``:memory:``).
+        shards: Persistent worker count for the sharded backend (ignored by
+            the others; ``None`` uses its default of 2).
 
     Returns:
         A ready-to-use :class:`ExecutionBackend`.
 
     Raises:
         ValueError: If *backend* is an unknown name, or an instance was
-            passed together with a conflicting ``engine``, ``workers`` or
-            ``sql_db``.
+            passed together with a conflicting ``engine``, ``workers``,
+            ``sql_db`` or ``shards``.
     """
     if isinstance(backend, ExecutionBackend):
         if engine is not None and engine is not backend.engine:
@@ -155,6 +165,11 @@ def make_backend(
                 "an ExecutionBackend instance carries its own database path; "
                 "pass sql_db= only when selecting a backend by name"
             )
+        if shards is not None and shards != getattr(backend, "shards", shards):
+            raise ValueError(
+                "an ExecutionBackend instance carries its own shard count; "
+                "pass shards= only when selecting a backend by name"
+            )
         return backend
     name = normalise_backend(backend or SERIAL)
     if name == SERIAL:
@@ -165,6 +180,10 @@ def make_backend(
         from .sql import SQLBackend
 
         return SQLBackend(engine, sql_db=sql_db)
+    if name == SHARDED:
+        from ..service.sharded.backend import ShardedBackend
+
+        return ShardedBackend(engine, shards=shards)
     from .parallel import ParallelBackend
 
     return ParallelBackend(engine, workers=workers)

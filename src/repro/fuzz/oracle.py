@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.config import ExecutionConfig
 from ..core.dynamic import DynamicSGFExecutor
 from ..core.gumbo import Gumbo
 from ..core.options import GumboOptions
@@ -33,7 +34,7 @@ from ..mapreduce.kernels import KERNEL_OFF, KERNEL_ON
 from ..model.database import Database
 from ..query.reference import evaluate_sgf
 from ..query.sgf import SGFQuery
-from ..exec.base import make_backend, normalise_backend
+from ..exec.base import normalise_backend
 
 #: Pseudo-strategy name under which the dynamic executor is reported.
 DYNAMIC = "dynamic"
@@ -77,9 +78,12 @@ class DifferentialOracle:
     ----------
     backends:
         Backend names to execute on (default: serial, parallel and sql, so
-        every campaign cross-checks all three executors).
+        every campaign cross-checks all three executors; add ``"sharded"``
+        for the persistent worker-shard tier as a fourth axis).
     workers:
         Worker-pool size for the parallel backend (None → CPU count).
+    shards:
+        Persistent worker count for the sharded backend (None → its default).
     sql_db:
         On-disk scratch-database path for the sql backend (None → in-memory).
     engine:
@@ -113,6 +117,7 @@ class DifferentialOracle:
         check_metrics: bool = True,
         kernel_axis: bool = True,
         sql_db: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if not backends:
             raise ValueError("the oracle needs at least one backend")
@@ -122,11 +127,10 @@ class DifferentialOracle:
         self.include_auto = include_auto
         self.check_metrics = check_metrics
         self.kernel_axis = kernel_axis
+        config = ExecutionConfig(workers=workers, sql_db=sql_db, shards=shards)
         names = [normalise_backend(name) for name in backends]
         self._physical = {
-            name: make_backend(
-                name, engine=self.engine, workers=workers, sql_db=sql_db
-            )
+            name: config.with_backend(name).make_backend(engine=self.engine)
             for name in dict.fromkeys(names)  # dedupe, keep order
         }
         # One axis per (backend, kernel mode): the plain axes pin the

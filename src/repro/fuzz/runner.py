@@ -35,6 +35,8 @@ class FuzzOptions:
     config: FuzzConfig = field(default_factory=FuzzConfig)
     backends: Sequence[str] = ("serial", "parallel", "sql")
     workers: Optional[int] = None
+    #: Persistent worker count for a ``sharded`` axis (None = its default).
+    shards: Optional[int] = None
     #: sqlite database file backing the ``sql`` axis (None = in-memory).
     sql_db: Optional[str] = None
     shrink: bool = True
@@ -142,6 +144,7 @@ def run_fuzz(
         oracle = DifferentialOracle(
             backends=options.backends,
             workers=options.workers,
+            shards=options.shards,
             sql_db=options.sql_db,
             include_dynamic=options.include_dynamic,
             include_optimal=options.include_optimal,

@@ -33,6 +33,7 @@ from threading import Lock, RLock
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..core.config import ExecutionConfig
 from ..core.costing import PlanCostEstimator
 from ..core.gumbo import Gumbo, GumboResult, PlannedQuery, QueryLike
 from ..core.options import GumboOptions
@@ -96,11 +97,34 @@ class ServiceResult:
 
 
 @dataclass(frozen=True)
+class BatchFailure:
+    """One failed query of a batch: its submission position and the error."""
+
+    #: Position of the failed query in the submitted batch.
+    index: int
+    #: ``TypeName: message`` of the raised exception.
+    error: str
+    #: The exception itself, for callers that need to re-raise or inspect.
+    exception: BaseException = field(repr=False, compare=False, default=None)
+
+
+@dataclass(frozen=True)
 class BatchResult:
-    """Outcome of a batched submission, with aggregate serving metrics."""
+    """Outcome of a batched submission, with aggregate serving metrics.
+
+    ``results`` holds the successful queries in submission order;
+    ``failures`` holds the failed ones (with their batch positions) — a
+    failing query no longer aborts the rest of the batch.
+    """
 
     results: Tuple[ServiceResult, ...]
     elapsed_s: float
+    failures: Tuple[BatchFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every query of the batch succeeded."""
+        return not self.failures
 
     @property
     def throughput_qps(self) -> float:
@@ -116,6 +140,7 @@ class BatchResult:
         """Aggregate batch metrics as a JSON-ready mapping."""
         return {
             "queries": len(self.results),
+            "failures": len(self.failures),
             "elapsed_s": self.elapsed_s,
             "throughput_qps": self.throughput_qps,
             "plan_cache_hits": self.plan_cache_hits,
@@ -217,6 +242,11 @@ class ServiceStats:
 class QueryService:
     """Serve (B)SGF queries over one database with plan and statistics caching.
 
+    .. note:: *Deprecated as a client entry point.*  New code should use
+       :func:`repro.connect`, which returns a ``Connection`` facade over
+       this service with one unified ``Result`` type; direct ``QueryService``
+       construction remains fully supported (the facade delegates here).
+
     Parameters
     ----------
     database:
@@ -233,6 +263,10 @@ class QueryService:
         Maximum cached plans (0 disables plan caching).
     max_workers:
         Thread-pool size for concurrent submissions.
+    config:
+        A validated :class:`~repro.core.config.ExecutionConfig` supplying
+        the backend selection and options in one bundle; mutually exclusive
+        with *gumbo*/*backend*/*workers*/*options*.
     """
 
     def __init__(
@@ -246,7 +280,16 @@ class QueryService:
         backend: Union[str, ExecutionBackend, None] = None,
         workers: Optional[int] = None,
         options: Optional[GumboOptions] = None,
+        config: Optional["ExecutionConfig"] = None,
     ) -> None:
+        if config is not None:
+            if gumbo is not None or backend is not None or workers is not None \
+                    or options is not None:
+                raise ValueError(
+                    "pass either config= or the loose "
+                    "gumbo/backend/workers/options arguments, not both"
+                )
+            options = config.to_options()
         self._owns_gumbo = gumbo is None
         if gumbo is None:
             gumbo = Gumbo(options=options, backend=backend, workers=workers)
@@ -419,8 +462,15 @@ class QueryService:
         """
         requested = self._normalise_strategy(strategy)
         database = self.database
-        sgf = Gumbo.as_sgf(query)
-        fingerprint = query_fingerprint(sgf, database)
+        try:
+            sgf = Gumbo.as_sgf(query)
+            fingerprint = query_fingerprint(sgf, database)
+        except Exception:
+            # Unparseable/ill-typed queries fail before a fingerprint exists;
+            # count them against the service under a sentinel fingerprint so
+            # batch accounting (queries_failed) never loses a failure.
+            self._record_failure("<unparseable>")
+            raise
         self._m_requests.inc()
         request_start = perf_counter()
         with obs.trace(
@@ -628,11 +678,34 @@ class QueryService:
         queries: Iterable[QueryLike],
         strategy: Optional[str] = None,
     ) -> BatchResult:
-        """Submit a batch, wait for every result, and report batch metrics."""
+        """Submit a batch, wait for every query, and report batch metrics.
+
+        A failing query does not abort the batch: its exception is captured
+        as a :class:`BatchFailure` (carrying the query's submission
+        position) in ``BatchResult.failures``, counted against
+        :attr:`ServiceStats.queries_failed`, and the remaining queries'
+        results are still returned.
+        """
         start = perf_counter()
         futures = self.submit_many(queries, strategy)
-        results = tuple(future.result() for future in futures)
-        return BatchResult(results=results, elapsed_s=perf_counter() - start)
+        results: List[ServiceResult] = []
+        failures: List[BatchFailure] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                failures.append(
+                    BatchFailure(
+                        index=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                        exception=exc,
+                    )
+                )
+        return BatchResult(
+            results=tuple(results),
+            elapsed_s=perf_counter() - start,
+            failures=tuple(failures),
+        )
 
     # -- mutation and invalidation ------------------------------------------------
 

@@ -40,13 +40,14 @@ HELP_CHECKS = [
         ["query", "plan", "auto", "serve", "generate", "experiment",
          "bench", "fuzz", "delta", "trace"],
     ),
-    (["query"], ["--backend", "{serial,parallel,sql}", "--sql-db",
-                 "--kernel-mode", "--workers"]),
+    (["query"], ["--backend", "{serial,parallel,sql,sharded}", "--sql-db",
+                 "--kernel-mode", "--workers", "--shards"]),
     (["bench"], ["--kernels", "--sql", "--sql-db", "--guard-tuples"]),
-    (["fuzz"], ["--backend", "sql", "--profile", "--incremental",
-                "--sql-db"]),
+    (["fuzz"], ["--backend", "sql", "sharded", "--profile", "--incremental",
+                "--sql-db", "--shards"]),
     (["delta"], ["--backend", "--sql-db", "--insert-fraction"]),
     (["trace"], ["--backend", "--sql-db", "--trace-out"]),
+    (["serve"], ["--sharded", "--shards", "--max-queue", "--request-timeout"]),
 ]
 
 _FENCE = re.compile(r"^```(\w*)\s*$")

@@ -4,7 +4,11 @@
 Runs a fixed workload mix — the Section 5 A3 query plus a handwritten
 mixed-type database that stresses the type-tagged sort order (ints, floats,
 strings, ``None`` sharing columns) — under both kernel modes and every
-applicable strategy, then prints a canonical digest per combination:
+applicable strategy, then prints a canonical digest per combination.  A
+final pass re-runs the mix on the sharded persistent tier (every map/reduce
+task executed in long-lived worker processes with their own interpreters,
+routed by ``stable_hash`` placement), whose digests must equal the serial
+ones line for line:
 
 * ``outputs`` — SHA-256 over the sorted output relations, with floats
   rendered as their IEEE-754 bit patterns so the digest is bit-exact;
@@ -68,36 +72,53 @@ def digest(lines) -> str:
     return hasher.hexdigest()[:16]
 
 
-def run_case(label: str, query, database) -> None:
+def _digest_result(label: str, strategy: str, mode: str, result) -> str:
+    output_lines = []
+    for name in sorted(result.all_outputs):
+        relation = result.all_outputs[name]
+        for row in relation.sorted_tuples():
+            output_lines.append(name + "|" + ",".join(canonical(v) for v in row))
+
+    shuffle_lines = []
+    for job_id in sorted(result.metrics.job_metrics):
+        metrics = result.metrics.job_metrics[job_id]
+        shuffle_lines.append(
+            "%s|map:%s|reduce:%s"
+            % (
+                job_id,
+                ",".join(map(canonical, metrics.map_task_durations)),
+                ",".join(map(canonical, metrics.reduce_task_durations)),
+            )
+        )
+
+    return (
+        f"{label} strategy={strategy} kernel={mode} "
+        f"outputs={digest(output_lines)} shuffle={digest(shuffle_lines)}"
+    )
+
+
+def run_case(label: str, query, database, backend=None) -> None:
     for strategy in applicable_strategies(query, include_optimal=False):
         for mode in ("off", "on"):
-            gumbo = Gumbo(options=GumboOptions(kernel_mode=mode))
-            result = gumbo.execute(query, database, strategy)
-
-            output_lines = []
-            for name in sorted(result.all_outputs):
-                relation = result.all_outputs[name]
-                for row in relation.sorted_tuples():
-                    output_lines.append(
-                        name + "|" + ",".join(canonical(v) for v in row)
-                    )
-
-            shuffle_lines = []
-            for job_id in sorted(result.metrics.job_metrics):
-                metrics = result.metrics.job_metrics[job_id]
-                shuffle_lines.append(
-                    "%s|map:%s|reduce:%s"
-                    % (
-                        job_id,
-                        ",".join(map(canonical, metrics.map_task_durations)),
-                        ",".join(map(canonical, metrics.reduce_task_durations)),
-                    )
-                )
-
-            print(
-                f"{label} strategy={strategy} kernel={mode} "
-                f"outputs={digest(output_lines)} shuffle={digest(shuffle_lines)}"
+            gumbo = Gumbo(
+                backend=backend, options=GumboOptions(kernel_mode=mode)
             )
+            result = gumbo.execute(query, database, strategy)
+            print(_digest_result(label, strategy, mode, result))
+
+
+def run_sharded_case(label: str, query, database, shards: int = 2) -> None:
+    """The same digests, computed through the sharded worker tier.
+
+    One cluster serves every strategy × kernel-mode combination, so the
+    check also covers warm-shard reuse; worker processes inherit the parent's
+    ``PYTHONHASHSEED``, so hash-order dependence on either side of the RPC
+    boundary shows up as a digest change.
+    """
+    from repro.service.sharded import ShardedBackend
+
+    with ShardedBackend(shards=shards) as backend:
+        run_case(label, query, database, backend=backend)
 
 
 def main() -> None:
@@ -111,8 +132,13 @@ def main() -> None:
     args = parser.parse_args()
 
     a3 = workload_query("A3")
-    run_case("A3", a3, database_for(a3, guard_tuples=args.tuples, seed=7))
-    run_case("mixed-types", parse_sgf(MIXED_QUERY), Database.from_dict(MIXED_DB))
+    a3_db = database_for(a3, guard_tuples=args.tuples, seed=7)
+    mixed = parse_sgf(MIXED_QUERY)
+    mixed_db = Database.from_dict(MIXED_DB)
+    run_case("A3", a3, a3_db)
+    run_case("mixed-types", mixed, mixed_db)
+    run_sharded_case("A3[sharded]", a3, a3_db)
+    run_sharded_case("mixed-types[sharded]", mixed, mixed_db)
 
 
 if __name__ == "__main__":
