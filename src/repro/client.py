@@ -230,6 +230,7 @@ def connect(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     sql_db: Optional[str] = None,
+    data_plane: Optional[str] = None,
     strategy: str = AUTO,
     plan_cache_size: int = 256,
     max_workers: int = 4,
@@ -247,9 +248,10 @@ def connect(
     backend:
         ``"serial"`` (default), ``"parallel"``, ``"sql"`` or ``"sharded"``
         — or any accepted alias.
-    workers / shards / sql_db:
+    workers / shards / sql_db / data_plane:
         The backend knobs (parallel pool size, persistent shard count,
-        sqlite scratch path), as in :class:`~repro.core.config.ExecutionConfig`.
+        sqlite scratch path, shared-memory vs pickle chunk shipping), as in
+        :class:`~repro.core.config.ExecutionConfig`.
     strategy:
         Default plan strategy for queries that do not name one
         (default ``"auto"``: cost-based selection).
@@ -277,22 +279,30 @@ def connect(
     elif not isinstance(database, Database):
         database = Database.from_dict(database)
     if config is not None:
-        if options is not None or backend is not None or workers or shards or sql_db:
+        if (
+            options is not None
+            or backend is not None
+            or workers
+            or shards
+            or sql_db
+            or data_plane
+        ):
             raise ValueError(
                 "pass either config= or the individual "
-                "backend/workers/shards/sql_db/options knobs, not both"
+                "backend/workers/shards/sql_db/data_plane/options knobs, not both"
             )
     elif options is not None:
-        if workers or shards or sql_db:
+        if workers or shards or sql_db or data_plane:
             raise ValueError(
                 "pass either options= or the individual "
-                "workers/shards/sql_db knobs, not both"
+                "workers/shards/sql_db/data_plane knobs, not both"
             )
         config = ExecutionConfig(
             backend=backend or options.backend,
             workers=options.workers,
             shards=options.shards,
             sql_db=options.sql_db,
+            data_plane=options.data_plane,
             kernel_mode=options.kernel_mode,
             strategy=strategy,
             message_packing=options.message_packing,
@@ -307,6 +317,7 @@ def connect(
             workers=workers,
             shards=shards,
             sql_db=sql_db,
+            data_plane=data_plane or "auto",
             strategy=strategy,
         )
     service = QueryService(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 from ..exec.base import SERIAL, make_backend, normalise_backend
+from ..exec.shm import normalise_data_plane
 from ..mapreduce.kernels import KERNEL_AUTO, KERNEL_MODES
 from .options import GumboOptions
 
@@ -53,6 +54,10 @@ class ExecutionConfig:
         default of 2).
     sql_db:
         On-disk scratch-database path for the SQL backend (None → memory).
+    data_plane:
+        How chunk payloads cross process boundaries on the parallel and
+        sharded backends (``"auto"``/``"shm"``/``"pickle"``, see
+        :mod:`repro.exec.shm`).
     kernel_mode:
         Batch-kernel path selector (``"auto"``/``"on"``/``"off"``).
     strategy:
@@ -71,6 +76,7 @@ class ExecutionConfig:
     workers: Optional[int] = None
     shards: Optional[int] = None
     sql_db: Optional[str] = None
+    data_plane: str = "auto"
     kernel_mode: str = KERNEL_AUTO
     strategy: str = "auto"
     nodes: int = 10
@@ -82,6 +88,9 @@ class ExecutionConfig:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", normalise_backend(self.backend))
+        object.__setattr__(
+            self, "data_plane", normalise_data_plane(self.data_plane)
+        )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.shards is not None and self.shards < 1:
@@ -110,6 +119,7 @@ class ExecutionConfig:
             workers=getattr(args, "workers", None),
             shards=getattr(args, "shards", None),
             sql_db=getattr(args, "sql_db", None),
+            data_plane=getattr(args, "data_plane", None) or "auto",
             kernel_mode=getattr(args, "kernel_mode", None) or KERNEL_AUTO,
             strategy=getattr(args, "strategy", None) or "auto",
             nodes=getattr(args, "nodes", 10),
@@ -129,6 +139,7 @@ class ExecutionConfig:
             workers=self.workers,
             shards=self.shards,
             sql_db=self.sql_db,
+            data_plane=self.data_plane,
             default_strategy=self.strategy,
             kernel_mode=self.kernel_mode,
             trace=self.trace,
@@ -145,6 +156,7 @@ class ExecutionConfig:
             workers=self.workers,
             sql_db=self.sql_db,
             shards=self.shards,
+            data_plane=self.data_plane,
         )
 
     def with_backend(self, backend: str) -> "ExecutionConfig":

@@ -134,6 +134,9 @@ class Gumbo:
         backend: Union[str, ExecutionBackend, None] = None,
         workers: Optional[int] = None,
     ) -> None:
+        from ..deprecation import warn_legacy_entry_point
+
+        warn_legacy_entry_point("Gumbo")
         self.options = options or GumboOptions()
         if isinstance(backend, ExecutionBackend):
             # Validates that engine=/workers= do not conflict with the instance.
@@ -147,6 +150,7 @@ class Gumbo:
                 workers=workers if workers is not None else self.options.workers,
                 sql_db=self.options.sql_db,
                 shards=self.options.shards,
+                data_plane=self.options.data_plane,
             )
         if isinstance(cost_model, CostModel):
             self.cost_model = cost_model

@@ -55,6 +55,14 @@ class GumboOptions:
     sql_db:
         On-disk scratch-database path for the SQL backend (None → in-memory).
         Lets guard relations spill out of core; ignored by other backends.
+    data_plane:
+        How chunk payloads cross process boundaries on the parallel and
+        sharded backends (see :mod:`repro.exec.shm`): ``"auto"`` (the
+        default) ships large typed chunks through shared-memory segments
+        and small ones by pickle, ``"shm"`` forces shared memory, and
+        ``"pickle"`` forces the historical pickle path.  Ignored by the
+        serial and SQL backends.  Not an optimisation — outputs and
+        simulated metrics are bit-identical on every plane.
     default_strategy:
         The strategy :class:`~repro.core.gumbo.Gumbo` and the query service
         use when a call does not name one: any canonical strategy name, or
@@ -86,6 +94,7 @@ class GumboOptions:
     workers: Optional[int] = None
     shards: Optional[int] = None
     sql_db: Optional[str] = None
+    data_plane: str = "auto"
     default_strategy: str = "greedy"
     kernel_mode: str = KERNEL_AUTO
     trace: bool = False
@@ -96,6 +105,11 @@ class GumboOptions:
                 f"unknown kernel_mode {self.kernel_mode!r}; "
                 f"expected one of {KERNEL_MODES}"
             )
+        from ..exec.shm import normalise_data_plane
+
+        object.__setattr__(
+            self, "data_plane", normalise_data_plane(self.data_plane)
+        )
 
     def without(self, **flags: bool) -> "GumboOptions":
         """A copy with the given flags overridden, e.g. ``without(message_packing=False)``."""

@@ -1,0 +1,48 @@
+"""Deprecation plumbing for the legacy client entry points.
+
+PR 9 redesigned the client surface around :func:`repro.connect`; the older
+entry points (:class:`~repro.core.gumbo.Gumbo` and
+:class:`~repro.service.service.QueryService` as *direct client APIs*) were
+deprecated in their docstrings only.  This module turns that note into a
+real, filterable :class:`DeprecationWarning` — emitted once per call site,
+and only for *external* construction: the library builds ``Gumbo`` and
+``QueryService`` internally on every ``connect()``, and those internal uses
+must stay silent.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+
+def _caller_module(depth: int) -> str:
+    """The ``__name__`` of the frame *depth* levels above this one."""
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:  # pragma: no cover - shallower stack than expected
+        return ""
+    return frame.f_globals.get("__name__", "")
+
+
+def warn_legacy_entry_point(
+    name: str, replacement: str = "repro.connect()"
+) -> None:
+    """Emit a :class:`DeprecationWarning` for a legacy client entry point.
+
+    Called from the deprecated constructor itself; the warning points at the
+    *caller's* call site (``stacklevel=3``: this helper → the constructor →
+    the caller).  Construction from inside the ``repro`` package — the
+    client facade, the service tier, the fuzzer, the CLI — is exempt: the
+    deprecation covers the *client API*, not the internal layering.
+    """
+    module = _caller_module(3)
+    if module == "repro" or module.startswith("repro."):
+        return
+    warnings.warn(
+        f"{name} is deprecated as a client entry point; use {replacement} "
+        f"instead (it returns a unified Connection/Result API over every "
+        f"backend)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -43,21 +43,25 @@ from .base import (
     normalise_backend,
 )
 from .partition import map_task_chunks, partition_index, stable_hash
+from .shm import DATA_PLANES, SegmentPool, normalise_data_plane
 
 __all__ = [
     "BACKEND_NAMES",
+    "DATA_PLANES",
     "PARALLEL",
     "SERIAL",
     "SHARDED",
     "SQL",
     "ExecutionBackend",
     "ParallelBackend",
+    "SegmentPool",
     "ShardedBackend",
     "SimulatedBackend",
     "SQLBackend",
     "make_backend",
     "map_task_chunks",
     "normalise_backend",
+    "normalise_data_plane",
     "partition_index",
     "stable_hash",
 ]

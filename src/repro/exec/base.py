@@ -125,6 +125,7 @@ def make_backend(
     workers: Optional[int] = None,
     sql_db: Optional[str] = None,
     shards: Optional[int] = None,
+    data_plane: Optional[str] = None,
 ) -> ExecutionBackend:
     """Build an execution backend from a name (or pass an instance through).
 
@@ -140,6 +141,10 @@ def make_backend(
             the others; ``None`` keeps it in ``:memory:``).
         shards: Persistent worker count for the sharded backend (ignored by
             the others; ``None`` uses its default of 2).
+        data_plane: How chunk payloads cross process boundaries on the
+            parallel and sharded backends (``"shm"``/``"pickle"``/``"auto"``,
+            see :mod:`repro.exec.shm`; ignored by serial and SQL; ``None``
+            keeps the ``"auto"`` default).
 
     Returns:
         A ready-to-use :class:`ExecutionBackend`.
@@ -147,7 +152,7 @@ def make_backend(
     Raises:
         ValueError: If *backend* is an unknown name, or an instance was
             passed together with a conflicting ``engine``, ``workers``,
-            ``sql_db`` or ``shards``.
+            ``sql_db``, ``shards`` or ``data_plane``.
     """
     if isinstance(backend, ExecutionBackend):
         if engine is not None and engine is not backend.engine:
@@ -170,6 +175,15 @@ def make_backend(
                 "an ExecutionBackend instance carries its own shard count; "
                 "pass shards= only when selecting a backend by name"
             )
+        if data_plane is not None:
+            from .shm import normalise_data_plane
+
+            plane = normalise_data_plane(data_plane)
+            if plane != getattr(backend, "data_plane", plane):
+                raise ValueError(
+                    "an ExecutionBackend instance carries its own data plane; "
+                    "pass data_plane= only when selecting a backend by name"
+                )
         return backend
     name = normalise_backend(backend or SERIAL)
     if name == SERIAL:
@@ -183,7 +197,7 @@ def make_backend(
     if name == SHARDED:
         from ..service.sharded.backend import ShardedBackend
 
-        return ShardedBackend(engine, shards=shards)
+        return ShardedBackend(engine, shards=shards, data_plane=data_plane)
     from .parallel import ParallelBackend
 
-    return ParallelBackend(engine, workers=workers)
+    return ParallelBackend(engine, workers=workers, data_plane=data_plane)

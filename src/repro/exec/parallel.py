@@ -30,6 +30,16 @@ per task.  Map-task inputs ship as packed
 :class:`~repro.model.relation.ColumnBlock` payloads — homogeneous numeric
 columns travel as typed ``array`` buffers instead of per-row pickle records
 (the reduce side still ships key groups as plain pairs).
+
+Since the shared-memory data plane (see :mod:`repro.exec.shm` and
+``docs/dataplane.md``), packed chunks may cross the pool boundary as
+:class:`~repro.exec.shm.ShmPayload` descriptors instead: the typed columns
+are placed once into a shared-memory segment owned by the backend's
+:class:`~repro.exec.shm.SegmentPool`, workers attach and build
+memoryview-backed blocks without copying, and the parent releases the
+segments when the wave's results are in.  ``data_plane="auto"`` (the
+default) picks per chunk by size; outputs and simulated metrics are
+bit-identical on every plane.
 """
 
 from __future__ import annotations
@@ -58,6 +68,13 @@ from ..obs import metrics as obs_metrics
 from .. import obs
 from .base import PARALLEL, ExecutionBackend
 from .partition import partition_index
+from .shm import (
+    SegmentPool,
+    decode_payload,
+    encode_block,
+    normalise_data_plane,
+    payload_segment,
+)
 
 _MB = 1024.0 * 1024.0
 
@@ -104,7 +121,9 @@ def _run_map_task(task: _MapTask):
     job_blob, relation_name, packed, traced = task
     start_s = perf_counter() if traced else 0.0
     job = _job_from_blob(job_blob)
-    rows = ColumnBlock.unpack(packed).rows()
+    block = decode_payload(packed)
+    rows = block.rows()
+    block.release()  # transient chunk: unpin the shm segment (no-op on pickle)
     buffer: Dict[Key, List[object]] = {}
     for row in rows:
         for key, value in job.map(relation_name, row):
@@ -173,6 +192,12 @@ class ParallelBackend(ExecutionBackend):
     start_method:
         ``multiprocessing`` start method (``"fork"``/``"spawn"``/...);
         platform default when omitted.
+    data_plane:
+        How map chunks cross the pool boundary: ``"shm"`` (shared-memory
+        segments, zero-copy attach on the workers), ``"pickle"`` (the
+        historical pipe payloads) or ``"auto"`` (the default: shm for
+        chunks with enough typed bytes).  Outputs and simulated metrics are
+        bit-identical on every plane.
     """
 
     name = PARALLEL
@@ -182,15 +207,18 @@ class ParallelBackend(ExecutionBackend):
         engine: Optional[MapReduceEngine] = None,
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        data_plane: Optional[str] = None,
     ) -> None:
         self.engine = engine or MapReduceEngine()
         self.workers = max(1, int(workers or os.cpu_count() or 1))
+        self.data_plane = normalise_data_plane(data_plane)
         self._context = (
             multiprocessing.get_context(start_method)
             if start_method
             else multiprocessing.get_context()
         )
         self._pool = None
+        self._segments = SegmentPool()
 
     # -- pool lifecycle -----------------------------------------------------------
 
@@ -205,6 +233,7 @@ class ParallelBackend(ExecutionBackend):
             self._pool.close()
             self._pool.join()
             self._pool = None
+        self._segments.close_all()
 
     # -- wave scheduling ----------------------------------------------------------
 
@@ -285,6 +314,7 @@ class ParallelBackend(ExecutionBackend):
         traced = obs.tracing_enabled()
         tagged: List[Tuple[int, _MapTask]] = []
         parts: List[Tuple[str, float, int, int]] = []
+        shipped_segments: List[str] = []
         for relation_name in job.input_relations():
             relation = database.get(relation_name)
             input_records = len(relation) if relation is not None else 0
@@ -296,12 +326,24 @@ class ParallelBackend(ExecutionBackend):
                 else [ColumnBlock.from_rows([])]
             )
             for chunk in chunks:
+                payload = encode_block(chunk, self._segments, self.data_plane)
+                segment = payload_segment(payload)
+                if segment is not None:
+                    shipped_segments.append(segment)
                 tagged.append(
-                    (len(parts), (job_blob, relation_name, chunk.packed(), traced))
+                    (len(parts), (job_blob, relation_name, payload, traced))
                 )
             parts.append((relation_name, input_mb, input_records, mappers))
 
-        results = self._run_waves("map", _run_map_task, [t for _, t in tagged], wall)
+        try:
+            results = self._run_waves(
+                "map", _run_map_task, [t for _, t in tagged], wall
+            )
+        finally:
+            # The wave is merged (or failed); the workers have materialised
+            # their rows, so the parent-owned segments can be unlinked now.
+            for segment in shipped_segments:
+                self._segments.release(segment)
 
         groups: Dict[Key, List[object]] = defaultdict(list)
         key_bytes: Counter = Counter()

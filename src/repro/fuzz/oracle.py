@@ -86,6 +86,10 @@ class DifferentialOracle:
         Persistent worker count for the sharded backend (None → its default).
     sql_db:
         On-disk scratch-database path for the sql backend (None → in-memory).
+    data_plane:
+        How chunk payloads reach parallel/sharded workers
+        (``"shm"``/``"pickle"``/``"auto"``, see :mod:`repro.exec.shm`) —
+        the shm fuzz axis pins ``"shm"`` here and must diverge nowhere.
     engine:
         The shared MapReduce engine (paper-cluster default when omitted).
     include_dynamic:
@@ -118,6 +122,7 @@ class DifferentialOracle:
         kernel_axis: bool = True,
         sql_db: Optional[str] = None,
         shards: Optional[int] = None,
+        data_plane: Optional[str] = None,
     ) -> None:
         if not backends:
             raise ValueError("the oracle needs at least one backend")
@@ -127,7 +132,12 @@ class DifferentialOracle:
         self.include_auto = include_auto
         self.check_metrics = check_metrics
         self.kernel_axis = kernel_axis
-        config = ExecutionConfig(workers=workers, sql_db=sql_db, shards=shards)
+        config = ExecutionConfig(
+            workers=workers,
+            sql_db=sql_db,
+            shards=shards,
+            data_plane=data_plane or "auto",
+        )
         names = [normalise_backend(name) for name in backends]
         self._physical = {
             name: config.with_backend(name).make_backend(engine=self.engine)

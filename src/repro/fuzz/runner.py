@@ -39,6 +39,11 @@ class FuzzOptions:
     shards: Optional[int] = None
     #: sqlite database file backing the ``sql`` axis (None = in-memory).
     sql_db: Optional[str] = None
+    #: Data plane for the parallel/sharded axes (``"shm"``/``"pickle"``/
+    #: ``"auto"``; None keeps the ``"auto"`` default) — the dedicated shm
+    #: fuzz axis pins ``"shm"`` and requires zero divergence and zero
+    #: leaked ``/dev/shm/repro_*`` segments.
+    data_plane: Optional[str] = None
     shrink: bool = True
     stop_on_failure: bool = True
     include_dynamic: bool = True
@@ -146,6 +151,7 @@ def run_fuzz(
             workers=options.workers,
             shards=options.shards,
             sql_db=options.sql_db,
+            data_plane=options.data_plane,
             include_dynamic=options.include_dynamic,
             include_optimal=options.include_optimal,
             include_auto=options.include_auto,

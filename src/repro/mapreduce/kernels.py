@@ -20,6 +20,13 @@ A kernel-capable job implements three methods (see
 * ``reduce_batch(batches)`` — combine the per-partition batches into the
   output relations, returning ``{relation name: iterable of rows}``.
 
+Kernels run *in-process* on the driver and ship nothing: the shared-memory
+data plane (``docs/dataplane.md``) applies only to the fan-out paths — the
+parallel backend's pool tasks and the sharded tier's resident/inline
+payloads — where chunks actually cross a process boundary.  A kernelised
+job on those backends short-circuits the fan-out entirely, so the two
+optimisations compose rather than overlap.
+
 Metric fidelity contract: for every job the kernel path must produce the
 *identical* ``PartitionMetrics``, per-key byte loads and output relations the
 interpreted path produces — byte for byte — so that

@@ -282,6 +282,9 @@ class QueryService:
         options: Optional[GumboOptions] = None,
         config: Optional["ExecutionConfig"] = None,
     ) -> None:
+        from ..deprecation import warn_legacy_entry_point
+
+        warn_legacy_entry_point("QueryService")
         if config is not None:
             if gumbo is not None or backend is not None or workers is not None \
                     or options is not None:

@@ -24,6 +24,12 @@ repeated service requests over one database ship nothing, while any
 mutation changes the block and forces a re-ship.  Relations that exist only
 *inside* one program run (intermediates of later levels) are shipped inline
 with their tasks and never become resident.
+
+Both resident loads and inline payloads travel over the configured *data
+plane* (:mod:`repro.exec.shm`): on the shm plane the RPC frames carry tiny
+segment descriptors instead of pickled rows, and a respawned worker's
+resident reload re-attaches the cluster-owned segments instead of
+re-shipping them.
 """
 
 from __future__ import annotations
@@ -35,6 +41,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ...exec.base import SHARDED, ExecutionBackend
 from ...exec.partition import partition_index
+from ...exec.shm import (
+    SegmentPool,
+    encode_block,
+    normalise_data_plane,
+    payload_segment,
+)
 from ...mapreduce.counters import PartitionMetrics, ProgramMetrics, WallClockMetrics
 from ...mapreduce.engine import (
     JobResult,
@@ -82,6 +94,10 @@ class ShardedBackend(ExecutionBackend):
         An existing :class:`ShardCluster` to drive (it is then *not* owned:
         :meth:`close` leaves it running).  Mutually exclusive sizing with
         *shards*.
+    data_plane:
+        How chunk payloads cross the RPC boundary (``"shm"``/``"pickle"``/
+        ``"auto"``, see :mod:`repro.exec.shm`).  With an external *cluster*
+        the cluster's plane governs; passing a conflicting value raises.
     """
 
     name = SHARDED
@@ -92,6 +108,7 @@ class ShardedBackend(ExecutionBackend):
         shards: Optional[int] = None,
         start_method: Optional[str] = None,
         cluster: Optional[ShardCluster] = None,
+        data_plane: Optional[str] = None,
     ) -> None:
         self.engine = engine or MapReduceEngine()
         if cluster is not None:
@@ -99,14 +116,28 @@ class ShardedBackend(ExecutionBackend):
                 raise ValueError(
                     f"cluster has {cluster.shards} shards, shards={shards} given"
                 )
+            if (
+                data_plane is not None
+                and normalise_data_plane(data_plane) != cluster.data_plane
+            ):
+                raise ValueError(
+                    f"cluster uses the {cluster.data_plane!r} data plane, "
+                    f"data_plane={data_plane!r} given"
+                )
             self._cluster = cluster
             self._owns_cluster = False
         else:
             self._cluster = ShardCluster(
-                shards if shards is not None else 2, start_method=start_method
+                shards if shards is not None else 2,
+                start_method=start_method,
+                data_plane=normalise_data_plane(data_plane),
             )
             self._owns_cluster = True
         self.shards = self._cluster.shards
+        self.data_plane = self._cluster.data_plane
+        #: Shipping pool for *inline* task payloads (program intermediates);
+        #: resident chunks live in the cluster's own pool.
+        self._segments = SegmentPool()
 
     @property
     def cluster(self) -> ShardCluster:
@@ -117,6 +148,7 @@ class ShardedBackend(ExecutionBackend):
         """Shut the owned cluster down (idempotent; a later run restarts it)."""
         if self._owns_cluster:
             self._cluster.close()
+        self._segments.close_all()
 
     # -- shard loading ------------------------------------------------------------
 
@@ -218,6 +250,7 @@ class ShardedBackend(ExecutionBackend):
         traced = obs.tracing_enabled()
         parts: List[Tuple[str, float, int, int]] = []
         tasks: List[Tuple[int, object]] = []
+        inline_segments: List[str] = []
         #: task_id -> part index, for remote tasks; local empties are merged
         #: directly (they contribute nothing, but keep the accounting exact).
         task_parts: Dict[int, int] = {}
@@ -255,6 +288,10 @@ class ShardedBackend(ExecutionBackend):
                 chunks = relation.column_chunks(mappers)
                 for index, chunk in enumerate(chunks):
                     task_parts[task_id] = part_index
+                    payload = encode_block(chunk, self._segments, self.data_plane)
+                    segment = payload_segment(payload)
+                    if segment is not None:
+                        inline_segments.append(segment)
                     tasks.append(
                         (
                             shard_for_chunk(relation_name, index, self.shards),
@@ -263,7 +300,7 @@ class ShardedBackend(ExecutionBackend):
                                 job_blob=job_blob,
                                 relation=relation_name,
                                 chunk_index=index,
-                                payload=chunk.packed(),
+                                payload=payload,
                                 traced=traced,
                             ),
                         )
@@ -274,7 +311,13 @@ class ShardedBackend(ExecutionBackend):
             # empty chunk needs no task at all.
             parts.append((relation_name, input_mb, input_records, mappers))
 
-        responses = self._dispatch("map", tasks, wall)
+        try:
+            # run_tasks handles the death → respawn → retry-once contract
+            # internally, so segments may be freed as soon as it returns.
+            responses = self._dispatch("map", tasks, wall)
+        finally:
+            for segment in inline_segments:
+                self._segments.release(segment)
 
         groups: Dict[Key, List[object]] = defaultdict(list)
         key_bytes: Counter = Counter()

@@ -122,13 +122,18 @@ class ShardedService:
         max_concurrency: int = 8,
         max_queue: int = 64,
         request_timeout_s: Optional[float] = None,
+        data_plane: Optional[str] = None,
     ) -> "ShardedService":
         """Build the whole tier: sharded backend → query service → front-end.
 
         The returned front-end owns the stack; :meth:`close` shuts down the
-        service, its Gumbo, and the shard cluster.
+        service, its Gumbo, and the shard cluster.  ``data_plane`` selects
+        how chunks reach the shard workers (``None`` follows
+        ``options.data_plane``, default ``"auto"``).
         """
-        backend = ShardedBackend(engine=engine, shards=shards)
+        if data_plane is None and options is not None:
+            data_plane = options.data_plane
+        backend = ShardedBackend(engine=engine, shards=shards, data_plane=data_plane)
         service = QueryService(
             database,
             backend=backend,

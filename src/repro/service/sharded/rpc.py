@@ -40,7 +40,9 @@ from typing import Dict, List, Optional, Tuple
 _HEADER = struct.Struct(">I")
 
 #: Hard ceiling on one frame's payload (1 GiB) — a corrupted header must not
-#: turn into an unbounded allocation.
+#: turn into an unbounded allocation.  The cap is *inclusive*: a payload of
+#: exactly ``MAX_FRAME_BYTES`` is legal on both the encode and decode side;
+#: one byte more raises :class:`FrameTooLargeError` (never a struct error).
 MAX_FRAME_BYTES = 1 << 30
 
 
@@ -67,11 +69,13 @@ class WorkerDied(RPCError):
 class LoadRelation:
     """Install (or replace) one relation's resident chunks on a worker.
 
-    ``chunks`` maps *global* chunk index → packed
-    :class:`~repro.model.relation.ColumnBlock` payload; only the chunks the
-    receiving shard owns are included.  ``version`` is the cluster's ship
-    counter for the relation — map tasks name the version they expect, so a
-    stale worker answers with a :class:`Failure` instead of stale data.
+    ``chunks`` maps *global* chunk index → data-plane payload (a packed
+    :class:`~repro.model.relation.ColumnBlock` tuple on the pickle plane, a
+    tiny :class:`~repro.exec.shm.ShmPayload` segment descriptor on the shm
+    plane); only the chunks the receiving shard owns are included.
+    ``version`` is the cluster's ship counter for the relation — map tasks
+    name the version they expect, so a stale worker answers with a
+    :class:`Failure` instead of stale data.
     """
 
     name: str
@@ -84,8 +88,10 @@ class MapTask:
     """One map chunk of one job: map, combine and size its rows.
 
     ``payload`` is ``None`` for resident chunks (the worker reads its warm
-    block) and a packed column block for inline shipment (intermediate
-    relations that only exist inside one program run).
+    block) and a data-plane payload (packed column block or shm segment
+    descriptor, see :func:`repro.exec.shm.decode_payload`) for inline
+    shipment (intermediate relations that only exist inside one program
+    run).
     """
 
     task_id: int

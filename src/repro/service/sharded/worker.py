@@ -6,7 +6,11 @@ parallel backend (which receive a packed chunk with *every* task), a shard
 worker keeps the :class:`~repro.model.relation.ColumnBlock` chunks it owns
 resident across requests: a :class:`~repro.service.sharded.rpc.LoadRelation`
 installs them once, and subsequent map tasks name ``(relation, chunk_index,
-version)`` instead of shipping rows.  The blocks' memoised key tuples and
+version)`` instead of shipping rows.  Chunks arrive as data-plane payloads
+(:func:`repro.exec.shm.decode_payload`): on the shm plane a worker *attaches*
+the cluster's shared-memory segments instead of unpickling row bytes, and a
+respawned worker's resident reload is therefore a re-attach, not a re-ship.
+The blocks' memoised key tuples and
 the per-blob job cache stay warm with them, which is the entire point of the
 tier — repeated queries pay neither serialisation nor cache-warmup cost.
 
@@ -26,6 +30,7 @@ import traceback
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from ...exec.shm import decode_payload
 from ...mapreduce.job import Key, MapReduceJob
 from ...model.relation import ColumnBlock
 from ...obs.trace import worker_payload
@@ -72,7 +77,7 @@ class _WorkerState:
     def chunk_for(self, task: MapTask) -> ColumnBlock:
         """The rows of one map task: inline payload or resident chunk."""
         if task.payload is not None:
-            return ColumnBlock.unpack(task.payload)
+            return decode_payload(task.payload)
         entry = self.relations.get(task.relation)
         if entry is None:
             raise LookupError(
@@ -110,7 +115,10 @@ def run_map_task(state: _WorkerState, task: MapTask) -> TaskDone:
     """Map, combine and size one chunk — the serial engine's exact recipe."""
     start_s = perf_counter() if task.traced else 0.0
     job = state.job_from_blob(task.job_blob)
-    rows = state.chunk_for(task).rows()
+    block = state.chunk_for(task)
+    rows = block.rows()
+    if task.payload is not None:
+        block.release()  # transient chunk: detach its shm segment (if any)
     buffer: Dict[Key, List[object]] = {}
     for row in rows:
         for key, value in job.map(task.relation, row):
@@ -179,13 +187,17 @@ def _handle(state: _WorkerState, message: object) -> Optional[object]:
     if isinstance(message, ReduceTask):
         return run_reduce_task(state, message)
     if isinstance(message, LoadRelation):
+        previous = state.relations.get(message.name)
         state.relations[message.name] = (
             message.version,
             {
-                index: ColumnBlock.unpack(packed)
-                for index, packed in message.chunks.items()
+                index: decode_payload(payload)
+                for index, payload in message.chunks.items()
             },
         )
+        if previous is not None:
+            for block in previous[1].values():
+                block.release()  # evicted version: drop its shm attachments
         return Ok(info=len(message.chunks))
     if isinstance(message, Ping):
         return Ok(info={"shard": state.shard, "pid": os.getpid()})
@@ -229,4 +241,11 @@ def worker_main(shard: int, conn: socket.socket) -> None:
             except (ConnectionError, OSError):
                 break
     finally:
+        for _, chunks in state.relations.values():
+            for block in chunks.values():
+                try:
+                    block.release()
+                except Exception:  # pragma: no cover - best-effort detach
+                    pass
+        state.relations.clear()
         conn.close()

@@ -1,0 +1,53 @@
+"""The legacy client entry points emit real ``DeprecationWarning``s.
+
+PR 9 deprecated direct ``Gumbo`` / ``QueryService`` construction in
+docstrings only; the warning is a first-class :class:`DeprecationWarning`
+now — visible to ``-W error::DeprecationWarning`` and test runners — while
+the library's *internal* construction (every ``repro.connect()`` builds
+both) stays silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.gumbo import Gumbo
+from repro.model.database import Database
+from repro.service.service import QueryService
+
+
+def test_gumbo_warns():
+    with pytest.warns(DeprecationWarning, match="Gumbo is deprecated") as caught:
+        gumbo = Gumbo()
+    gumbo.close()
+    assert "repro.connect()" in str(caught[0].message)
+
+
+def test_query_service_warns():
+    database = Database.from_dict({"R": [(1, 2)]})
+    with pytest.warns(DeprecationWarning, match="QueryService is deprecated"):
+        service = QueryService(database)
+    service.close()
+
+
+def test_connect_does_not_warn():
+    """The blessed entry point builds Gumbo and QueryService internally —
+    those internal constructions must not trip the client-facing warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with repro.connect({"R": [(1, 2)], "S": [(1,)]}) as conn:
+            result = conn.execute("Z := SELECT (x, y) FROM R(x, y) WHERE S(x);")
+            assert result.tuples() == {(1, 2)}
+
+
+def test_warning_points_at_the_caller():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        gumbo = Gumbo()
+    gumbo.close()
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert deprecations[0].filename == __file__

@@ -118,6 +118,77 @@ class TestFraming:
             left.close()
             right.close()
 
+    @staticmethod
+    def _message_of_exact_frame_size(target: int) -> Ok:
+        """An ``Ok`` whose pickled frame payload is exactly *target* bytes."""
+        overhead = len(pickle.dumps(Ok(info=b""), pickle.HIGHEST_PROTOCOL))
+        # Pickle's length prefixes can shift by a few bytes at size
+        # boundaries; walk the payload size until the encoding lands exactly
+        # on target.
+        for padding in range(max(0, target - overhead - 8), target):
+            message = Ok(info=b"x" * padding)
+            if len(pickle.dumps(message, pickle.HIGHEST_PROTOCOL)) == target:
+                return message
+        raise AssertionError(f"no payload size pickles to exactly {target} bytes")
+
+    def test_frame_exactly_at_cap_is_legal(self, monkeypatch):
+        """The 1 GiB cap is inclusive: an exactly-at-cap frame round-trips on
+        both the encode and the decode side (tested with a shrunk cap)."""
+        from repro.service.sharded import rpc
+
+        monkeypatch.setattr(rpc, "MAX_FRAME_BYTES", 4096)
+        message = self._message_of_exact_frame_size(4096)
+        frame = rpc.encode_frame(message)
+        assert len(frame) == 4 + 4096
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame)
+            assert recv_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_one_byte_over_cap_raises_typed_error(self, monkeypatch):
+        """Cap + 1 raises FrameTooLargeError — on encode, on the worker's
+        blocking decode, and on the parent's asyncio decode — never a bare
+        struct/overflow error."""
+        from repro.service.sharded import rpc
+
+        monkeypatch.setattr(rpc, "MAX_FRAME_BYTES", 4096)
+        over = self._message_of_exact_frame_size(4097)
+        with pytest.raises(FrameTooLargeError):
+            rpc.encode_frame(over)
+        # A forged header claiming cap+1 bytes must be rejected before any
+        # allocation, with the typed error, on both receive paths.
+        forged = struct.pack(">I", 4097) + b"junk"
+        left, right = socket.socketpair()
+        try:
+            left.sendall(forged)
+            with pytest.raises(FrameTooLargeError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+        async def _async_side():
+            reader = asyncio.StreamReader()
+            reader.feed_data(forged)
+            reader.feed_eof()
+            with pytest.raises(FrameTooLargeError):
+                await rpc.read_frame_async(reader)
+
+        asyncio.run(_async_side())
+
+    def test_header_width_covers_the_cap(self):
+        """The 4-byte unsigned header can express the inclusive cap."""
+        from repro.service.sharded import rpc
+
+        assert rpc.MAX_FRAME_BYTES == 1 << 30
+        assert rpc.MAX_FRAME_BYTES <= 0xFFFFFFFF
+        assert struct.unpack(">I", struct.pack(">I", rpc.MAX_FRAME_BYTES))[0] == (
+            rpc.MAX_FRAME_BYTES
+        )
+
     def test_truncated_stream_raises_connection_error(self):
         left, right = socket.socketpair()
         try:

@@ -41,10 +41,11 @@ HELP_CHECKS = [
          "bench", "fuzz", "delta", "trace"],
     ),
     (["query"], ["--backend", "{serial,parallel,sql,sharded}", "--sql-db",
-                 "--kernel-mode", "--workers", "--shards"]),
+                 "--kernel-mode", "--workers", "--shards", "--data-plane",
+                 "{auto,shm,pickle}"]),
     (["bench"], ["--kernels", "--sql", "--sql-db", "--guard-tuples"]),
     (["fuzz"], ["--backend", "sql", "sharded", "--profile", "--incremental",
-                "--sql-db", "--shards"]),
+                "--sql-db", "--shards", "--data-plane"]),
     (["delta"], ["--backend", "--sql-db", "--insert-fraction"]),
     (["trace"], ["--backend", "--sql-db", "--trace-out"]),
     (["serve"], ["--sharded", "--shards", "--max-queue", "--request-timeout"]),
